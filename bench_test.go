@@ -1,0 +1,135 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 8). Each benchmark drives the corresponding experiment in
+// internal/bench once per iteration and reports the headline series as
+// custom metrics; run with
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// and tune scale with MRP_BENCH_SECONDS / MRP_BENCH_SCALE /
+// MRP_BENCH_CLIENTS / MRP_BENCH_RECORDS. The full text reports are
+// produced by cmd/mrp-bench.
+package mrp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mrp/internal/bench"
+)
+
+// BenchmarkFig3Baseline regenerates Figure 3 (Multi-Ring Paxos baseline:
+// five storage modes x four request sizes). Reported metric: in-memory
+// throughput at 32 KB in Mbps; the full sweep prints with -v via
+// cmd/mrp-bench.
+func BenchmarkFig3Baseline(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig3(opts)
+		for _, r := range rows {
+			name := fmt.Sprintf("%s_%dB_Mbps", sanitize(r.Mode.String()), r.Size)
+			b.ReportMetric(r.ThroughputMbps, name)
+		}
+	}
+}
+
+// BenchmarkFig4YCSB regenerates Figure 4 (YCSB A-F across the four
+// systems). Reported metrics: ops/s per system on workload A.
+func BenchmarkFig4YCSB(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig4(opts)
+		for _, r := range rows {
+			if r.Workload == 'A' {
+				b.ReportMetric(r.OpsPerSec, sanitize(string(r.System))+"_A_ops/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5DLog regenerates Figure 5 (dLog vs Bookkeeper-like).
+func BenchmarkFig5DLog(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig5(opts)
+		for _, r := range rows {
+			if r.Clients == 100 {
+				b.ReportMetric(r.OpsPerSec, sanitize(r.System)+"_100c_ops/s")
+				b.ReportMetric(float64(r.MeanLat.Milliseconds()), sanitize(r.System)+"_100c_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Vertical regenerates Figure 6 (dLog vertical scalability).
+func BenchmarkFig6Vertical(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig6(opts)
+		for _, r := range rows {
+			b.ReportMetric(r.AggOpsPerSec, fmt.Sprintf("rings%d_ops/s", r.Rings))
+		}
+	}
+}
+
+// BenchmarkFig7Horizontal regenerates Figure 7 (MRP-Store across EC2
+// regions).
+func BenchmarkFig7Horizontal(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig7(opts)
+		for _, r := range rows {
+			b.ReportMetric(r.AggOpsPerSec, fmt.Sprintf("regions%d_ops/s", r.Regions))
+		}
+	}
+}
+
+// BenchmarkFig8Recovery regenerates Figure 8 (impact of recovery).
+func BenchmarkFig8Recovery(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		res := bench.Fig8(opts)
+		b.ReportMetric(res.SteadyOps, "steady_ops/s")
+		b.ReportMetric(res.DipOps, "dip_ops/s")
+		b.ReportMetric(res.RecoveredOps, "recovered_ops/s")
+	}
+}
+
+// BenchmarkAblationBatching measures coordinator batching on/off (a design
+// choice DESIGN.md calls out).
+func BenchmarkAblationBatching(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationBatching(opts)
+		for _, r := range rows {
+			b.ReportMetric(r.OpsPerSec, sanitize(r.Variant)+"_ops/s")
+		}
+	}
+}
+
+// BenchmarkAblationSkip measures rate leveling on/off: without skips the
+// deterministic merge of an idle ring stalls.
+func BenchmarkAblationSkip(b *testing.B) {
+	opts := bench.FromEnv()
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationSkip(opts)
+		for _, r := range rows {
+			b.ReportMetric(r.OpsPerSec, sanitize(r.Variant)+"_ops/s")
+		}
+	}
+}
+
+// sanitize makes a label usable as a benchmark metric suffix.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '(', r == ')', r == '.':
+			// drop
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,127 @@
+// Command dlogd runs an interactive dLog cluster: a distributed shared log
+// ordered by Multi-Ring Paxos, with a REPL for the Table 2 operations.
+//
+// Usage:
+//
+//	dlogd [-logs 2] [-servers 3]
+//
+// REPL commands:
+//
+//	append <log> <value>
+//	mappend <log,log,...> <value>
+//	read <log> <pos>
+//	trim <log> <pos>
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mrp"
+)
+
+func main() {
+	logs := flag.Int("logs", 2, "number of logs")
+	servers := flag.Int("servers", 3, "number of servers")
+	flag.Parse()
+
+	net := mrp.NewSimNetwork()
+	defer net.Close()
+	lg, err := mrp.DeployLog(mrp.LogConfig{
+		Net:          net,
+		Logs:         *logs,
+		Servers:      *servers,
+		StorageMode:  mrp.InMemory,
+		SkipInterval: 5 * time.Millisecond,
+		SkipRate:     1000,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deploy:", err)
+		os.Exit(1)
+	}
+	defer lg.Stop()
+	cl := lg.NewClient()
+	defer cl.Close()
+
+	fmt.Printf("dLog: %d logs x %d servers\n", *logs, *servers)
+	fmt.Println("commands: append l v | mappend l1,l2 v | read l p | trim l p | quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "append":
+			if len(fields) != 3 {
+				fmt.Println("usage: append <log> <value>")
+				continue
+			}
+			l, _ := strconv.Atoi(fields[1])
+			pos, err := cl.Append(mrp.LogID(l), []byte(fields[2]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("pos %d\n", pos)
+		case "mappend":
+			if len(fields) != 3 {
+				fmt.Println("usage: mappend <log,log,...> <value>")
+				continue
+			}
+			var ids []mrp.LogID
+			for _, s := range strings.Split(fields[1], ",") {
+				l, _ := strconv.Atoi(s)
+				ids = append(ids, mrp.LogID(l))
+			}
+			positions, err := cl.MultiAppend(ids, []byte(fields[2]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for l, p := range positions {
+				fmt.Printf("log %d -> pos %d\n", l, p)
+			}
+		case "read":
+			if len(fields) != 3 {
+				fmt.Println("usage: read <log> <pos>")
+				continue
+			}
+			l, _ := strconv.Atoi(fields[1])
+			p, _ := strconv.ParseUint(fields[2], 10, 64)
+			v, err := cl.Read(mrp.LogID(l), p)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%s\n", v)
+		case "trim":
+			if len(fields) != 3 {
+				fmt.Println("usage: trim <log> <pos>")
+				continue
+			}
+			l, _ := strconv.Atoi(fields[1])
+			p, _ := strconv.ParseUint(fields[2], 10, 64)
+			if err := cl.Trim(mrp.LogID(l), p); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("ok")
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command mrp-bench regenerates the tables and figures of the paper's
+// evaluation (Section 8) and prints them as text reports.
+//
+// Usage:
+//
+//	mrp-bench [-fig 3|4|5|6|7|8|ablations|all] [-seconds 1.5] [-scale 0.25]
+//	          [-clients 40] [-records 5000] [-v]
+//
+// Absolute numbers depend on the host; the shapes (who wins, scaling
+// factors, crossovers) are the reproduction target — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mrp/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,ablations,all")
+	seconds := flag.Float64("seconds", 1.5, "measured seconds per data point")
+	scale := flag.Float64("scale", 0.25, "time scale for WAN latencies and disk service times")
+	clients := flag.Int("clients", 40, "client threads for the YCSB comparison")
+	records := flag.Int("records", 5000, "preloaded records for the YCSB comparison")
+	verbose := flag.Bool("v", false, "print progress while measuring")
+	flag.Parse()
+
+	opts := bench.Options{
+		PointSeconds: *seconds,
+		Scale:        *scale,
+		Clients:      *clients,
+		Records:      *records,
+	}
+	if *verbose {
+		opts.Out = os.Stderr
+	}
+	w := os.Stdout
+
+	run := func(name string, fn func(io.Writer, bench.Options)) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fn(w, opts)
+		fmt.Fprintln(w)
+	}
+	run("3", func(w io.Writer, o bench.Options) { bench.RenderFig3(w, bench.Fig3(o)) })
+	run("4", func(w io.Writer, o bench.Options) { bench.RenderFig4(w, bench.Fig4(o)) })
+	run("5", func(w io.Writer, o bench.Options) { bench.RenderFig5(w, bench.Fig5(o)) })
+	run("6", func(w io.Writer, o bench.Options) { bench.RenderFig6(w, bench.Fig6(o)) })
+	run("7", func(w io.Writer, o bench.Options) { bench.RenderFig7(w, bench.Fig7(o)) })
+	run("8", func(w io.Writer, o bench.Options) { bench.RenderFig8(w, bench.Fig8(o)) })
+	run("ablations", func(w io.Writer, o bench.Options) {
+		rows := append(bench.AblationBatching(o), bench.AblationSkip(o)...)
+		bench.RenderAblations(w, rows)
+	})
+}

@@ -1,0 +1,129 @@
+// Command mrp-store runs an interactive MRP-Store cluster: a partitioned,
+// replicated key-value store ordered by Multi-Ring Paxos, served from an
+// in-process simulated network, with a REPL for the Table 1 operations.
+//
+// Usage:
+//
+//	mrp-store [-partitions 3] [-replicas 3] [-global]
+//
+// REPL commands:
+//
+//	insert <key> <value>
+//	read <key>
+//	update <key> <value>
+//	delete <key>
+//	scan <from> <to> [limit]
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mrp"
+)
+
+func main() {
+	partitions := flag.Int("partitions", 3, "number of partitions")
+	replicas := flag.Int("replicas", 3, "replicas per partition")
+	global := flag.Bool("global", true, "order cross-partition scans through a global ring")
+	flag.Parse()
+
+	net := mrp.NewSimNetwork()
+	defer net.Close()
+	st, err := mrp.DeployStore(mrp.StoreConfig{
+		Net:          net,
+		Partitions:   *partitions,
+		Replicas:     *replicas,
+		GlobalRing:   *global,
+		StorageMode:  mrp.InMemory,
+		SkipInterval: 5 * time.Millisecond,
+		SkipRate:     1000,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deploy:", err)
+		os.Exit(1)
+	}
+	defer st.Stop()
+	cl := st.NewClient()
+	defer cl.Close()
+
+	fmt.Printf("MRP-Store: %d partitions x %d replicas (global ring: %v)\n",
+		*partitions, *replicas, *global)
+	fmt.Println("commands: insert k v | read k | update k v | delete k | scan from to [limit] | quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		start := time.Now()
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "insert", "update":
+			if len(fields) != 3 {
+				fmt.Println("usage:", fields[0], "<key> <value>")
+				continue
+			}
+			var err error
+			if fields[0] == "insert" {
+				err = cl.Insert(fields[1], []byte(fields[2]))
+			} else {
+				err = cl.Update(fields[1], []byte(fields[2]))
+			}
+			report(err, start, "ok")
+		case "read":
+			if len(fields) != 2 {
+				fmt.Println("usage: read <key>")
+				continue
+			}
+			v, err := cl.Read(fields[1])
+			report(err, start, string(v))
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: delete <key>")
+				continue
+			}
+			report(cl.Delete(fields[1]), start, "ok")
+		case "scan":
+			if len(fields) < 3 {
+				fmt.Println("usage: scan <from> <to> [limit]")
+				continue
+			}
+			limit := 0
+			if len(fields) > 3 {
+				limit, _ = strconv.Atoi(fields[3])
+			}
+			entries, err := cl.Scan(fields[1], fields[2], limit)
+			if err != nil {
+				report(err, start, "")
+				continue
+			}
+			for _, e := range entries {
+				fmt.Printf("  %s = %s\n", e.Key, e.Value)
+			}
+			fmt.Printf("(%d entries, %v)\n", len(entries), time.Since(start).Round(time.Microsecond))
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}
+
+func report(err error, start time.Time, ok string) {
+	if err != nil {
+		fmt.Printf("error: %v (%v)\n", err, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	fmt.Printf("%s (%v)\n", ok, time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,177 @@
+// Package baseline implements the comparator systems of the paper's
+// evaluation on the same simulated substrate as MRP-Store and dLog:
+//
+//   - CassandraLike (Figure 4): a partitioned, replicated key-value store
+//     with per-key coordinators and asynchronous replication — strong
+//     consistency within nothing, no ordering across requests. It models
+//     Apache Cassandra at consistency level ONE, which is how the paper
+//     explains its throughput edge ("it does not impose any ordering on
+//     requests") and its weakness on range scans (workload E).
+//   - MySQLLike (Figure 4): a single server executing every operation on
+//     one node with buffered writes — no replication, no partitioning.
+//   - BookkeeperLike (Figure 5): a write-ahead log over an ensemble of
+//     three bookies with an ack quorum of two and aggressive batch commits
+//     ("its aggressive batching mechanism ... attempts to maximize disk use
+//     by writing in large chunks"), trading latency for disk efficiency.
+//
+// All three speak the same client protocol as the SMR services (proposals
+// in, responses out), so the benchmark harness drives them identically.
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"mrp/internal/msg"
+	"mrp/internal/smr"
+	"mrp/internal/transport"
+)
+
+// opKind tags baseline KV operations.
+type opKind byte
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+	opScan
+	opReplicate // internal: async replication between replicas
+	opAppend    // bookkeeper
+)
+
+var errBad = errors.New("baseline: bad encoding")
+
+type op struct {
+	kind  opKind
+	key   string
+	value []byte
+	limit int
+}
+
+func (o op) encode() []byte {
+	b := []byte{byte(o.kind)}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(o.key)))
+	b = append(b, o.key...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(o.value)))
+	b = append(b, o.value...)
+	b = binary.BigEndian.AppendUint32(b, uint32(o.limit))
+	return b
+}
+
+func decodeOp(b []byte) (op, error) {
+	if len(b) < 3 {
+		return op{}, errBad
+	}
+	o := op{kind: opKind(b[0])}
+	kn := int(binary.BigEndian.Uint16(b[1:]))
+	b = b[3:]
+	if len(b) < kn+4 {
+		return op{}, errBad
+	}
+	o.key = string(b[:kn])
+	b = b[kn:]
+	vn := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < vn+4 {
+		return op{}, errBad
+	}
+	o.value = b[:vn]
+	o.limit = int(binary.BigEndian.Uint32(b[vn:]))
+	return o, nil
+}
+
+// server is a generic request loop: it decodes smr.Commands from incoming
+// proposals, executes them through the handler, and replies to the client.
+type server struct {
+	ep     transport.Endpoint
+	handle func(from transport.Addr, cmd smr.Command)
+	done   chan struct{}
+}
+
+func newServer(ep transport.Endpoint, handle func(transport.Addr, smr.Command)) *server {
+	s := &server{ep: ep, handle: handle, done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+func (s *server) run() {
+	defer close(s.done)
+	for env := range s.ep.Inbox() {
+		p, ok := env.Msg.(*msg.Proposal)
+		if !ok {
+			continue
+		}
+		cmd, err := smr.DecodeCommand(p.Payload)
+		if err != nil {
+			continue
+		}
+		s.handle(env.From, cmd)
+	}
+}
+
+func (s *server) reply(cmd smr.Command, result []byte) {
+	if cmd.ReplyTo == "" {
+		return
+	}
+	_ = s.ep.Send(cmd.ReplyTo, &msg.Response{
+		ClientID: cmd.ClientID,
+		Seq:      cmd.Seq,
+		Result:   result,
+	})
+}
+
+func (s *server) stop() {
+	_ = s.ep.Close()
+	<-s.done
+}
+
+// result encoding: status byte + payload (value or entries).
+const (
+	statusOK byte = iota + 1
+	statusNotFound
+)
+
+func encodeEntries(entries []kvEntry) []byte {
+	b := []byte{statusOK}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(e.key)))
+		b = append(b, e.key...)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(e.value)))
+		b = append(b, e.value...)
+	}
+	return b
+}
+
+func decodeEntries(b []byte) ([]kvEntry, error) {
+	if len(b) < 5 || b[0] != statusOK {
+		return nil, errBad
+	}
+	n := int(binary.BigEndian.Uint32(b[1:]))
+	b = b[5:]
+	out := make([]kvEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, errBad
+		}
+		kn := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < kn+4 {
+			return nil, errBad
+		}
+		k := string(b[:kn])
+		b = b[kn:]
+		vn := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < vn {
+			return nil, errBad
+		}
+		out = append(out, kvEntry{key: k, value: append([]byte(nil), b[:vn]...)})
+		b = b[vn:]
+	}
+	return out, nil
+}
+
+type kvEntry struct {
+	key   string
+	value []byte
+}

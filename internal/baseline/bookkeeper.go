@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/netsim"
+	"mrp/internal/smr"
+	"mrp/internal/storage"
+	"mrp/internal/transport"
+)
+
+// BookkeeperConfig parametrizes the Bookkeeper-like log comparator
+// (Figure 5: an ensemble of three bookies, synchronous disk writes,
+// aggressive batching).
+type BookkeeperConfig struct {
+	Net *netsim.Network
+	// Bookies is the ensemble size (default 3, as in the paper).
+	Bookies int
+	// AckQuorum is how many bookie acks complete an append (default 2).
+	AckQuorum int
+	// FlushBytes is the journal chunk size that triggers a flush
+	// (default 1 MB — "writing in large chunks").
+	FlushBytes int
+	// FlushEvery caps how long entries wait for a chunk to fill
+	// (default 100 ms; this is what produces Bookkeeper's large latency
+	// in Figure 5).
+	FlushEvery time.Duration
+	// DiskModel is the journal device (default HDD, as in Figure 5's
+	// sync-disk comparison).
+	DiskModel storage.DiskModel
+	// DiskScale scales the journal device.
+	DiskScale float64
+}
+
+// Bookkeeper is the running ensemble.
+type Bookkeeper struct {
+	cfg     BookkeeperConfig
+	bookies []*bookie
+	nextID  uint64
+}
+
+// bookie journals entries in large synchronous chunks.
+type bookie struct {
+	*server
+	disk *storage.Disk
+
+	mu      sync.Mutex
+	pending []pendingAck
+	bytes   int
+	flushC  chan struct{}
+	done    chan struct{}
+	cfg     BookkeeperConfig
+}
+
+type pendingAck struct {
+	cmd smr.Command
+}
+
+// NewBookkeeper deploys the ensemble.
+func NewBookkeeper(cfg BookkeeperConfig) *Bookkeeper {
+	if cfg.Bookies <= 0 {
+		cfg.Bookies = 3
+	}
+	if cfg.AckQuorum <= 0 {
+		cfg.AckQuorum = 2
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 1 << 20
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 100 * time.Millisecond
+	}
+	if cfg.DiskModel.Bandwidth == 0 {
+		cfg.DiskModel = storage.HDD
+	}
+	if cfg.DiskScale <= 0 {
+		cfg.DiskScale = 1
+	}
+	bk := &Bookkeeper{cfg: cfg}
+	for i := 0; i < cfg.Bookies; i++ {
+		b := &bookie{
+			disk:   storage.NewDisk(cfg.DiskModel.Scale(cfg.DiskScale)),
+			flushC: make(chan struct{}, 1),
+			done:   make(chan struct{}),
+			cfg:    cfg,
+		}
+		b.server = newServer(cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("bookie-%d", i))), b.handle)
+		go b.flusher()
+		bk.bookies = append(bk.bookies, b)
+	}
+	return bk
+}
+
+func (b *bookie) handle(_ transport.Addr, cmd smr.Command) {
+	o, err := decodeOp(cmd.Op)
+	if err != nil || o.kind != opAppend {
+		return
+	}
+	b.mu.Lock()
+	b.pending = append(b.pending, pendingAck{cmd: cmd})
+	b.bytes += len(o.value)
+	full := b.bytes >= b.cfg.FlushBytes
+	b.mu.Unlock()
+	if full {
+		select {
+		case b.flushC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// flusher journals accumulated entries in one large synchronous write,
+// then acknowledges all of them — maximal disk efficiency, batch-sized
+// latency.
+func (b *bookie) flusher() {
+	ticker := time.NewTicker(b.cfg.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-b.flushC:
+		case <-b.done:
+			return
+		}
+		b.mu.Lock()
+		batch := b.pending
+		n := b.bytes
+		b.pending = nil
+		b.bytes = 0
+		b.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		b.disk.SyncWrite(n)
+		for _, p := range batch {
+			b.reply(p.cmd, []byte{statusOK})
+		}
+	}
+}
+
+func (b *bookie) stopBookie() {
+	close(b.done)
+	b.stop()
+}
+
+// Stop shuts the ensemble down.
+func (bk *Bookkeeper) Stop() {
+	for _, b := range bk.bookies {
+		b.stopBookie()
+	}
+}
+
+// NewClient creates an append client. Each append goes to the whole
+// ensemble and completes after AckQuorum bookies acknowledge.
+func (bk *Bookkeeper) NewClient() *BookkeeperClient {
+	bk.nextID++
+	id := 5_000_000 + bk.nextID
+	ep := bk.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("bk-client-%d", id)))
+	var addrs []transport.Addr
+	for i := 0; i < bk.cfg.Bookies; i++ {
+		addrs = append(addrs, transport.Addr(fmt.Sprintf("bookie-%d", i)))
+	}
+	c := &BookkeeperClient{
+		ep:     ep,
+		addrs:  addrs,
+		quorum: bk.cfg.AckQuorum,
+		waits:  make(map[uint64]chan struct{}),
+		acks:   make(map[uint64]int),
+	}
+	go c.readLoop()
+	return c
+}
+
+// BookkeeperClient appends entries to the ensemble.
+type BookkeeperClient struct {
+	ep     transport.Endpoint
+	addrs  []transport.Addr
+	quorum int
+
+	mu    sync.Mutex
+	seq   uint64
+	waits map[uint64]chan struct{}
+	acks  map[uint64]int
+}
+
+func (c *BookkeeperClient) readLoop() {
+	for env := range c.ep.Inbox() {
+		resp, ok := env.Msg.(*msg.Response)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		c.acks[resp.Seq]++
+		if c.acks[resp.Seq] == c.quorum {
+			if ch, ok := c.waits[resp.Seq]; ok {
+				close(ch)
+				delete(c.waits, resp.Seq)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Append journals one entry on the ensemble and waits for the ack quorum.
+func (c *BookkeeperClient) Append(data []byte) error {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	ch := make(chan struct{})
+	c.waits[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waits, seq)
+		delete(c.acks, seq)
+		c.mu.Unlock()
+	}()
+	cmd := smr.Command{ClientID: 1, Seq: seq, ReplyTo: c.ep.Addr(), Op: op{kind: opAppend, value: data}.encode()}
+	payload := cmd.Encode()
+	for _, a := range c.addrs {
+		_ = c.ep.Send(a, &msg.Proposal{Payload: payload})
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(20 * time.Second):
+		return smr.ErrTimeout
+	}
+}
+
+// Close releases the client.
+func (c *BookkeeperClient) Close() { _ = c.ep.Close() }

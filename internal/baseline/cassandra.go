@@ -1,0 +1,257 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/netsim"
+	"mrp/internal/smr"
+	"mrp/internal/storage"
+	"mrp/internal/store"
+	"mrp/internal/transport"
+)
+
+// CassandraConfig parametrizes the Cassandra-like comparator: Figure 4
+// uses three partitions with replication factor three.
+type CassandraConfig struct {
+	Net        *netsim.Network
+	Partitions int
+	Replicas   int
+	// ScanPenalty models the per-returned-entry cost of a range scan over
+	// an LSM store (SSTable merge + tombstone filtering); MRP-Store scans
+	// an in-memory sorted map instead. This is the modeling assumption
+	// behind Cassandra losing workload E in Figure 4 (documented in
+	// DESIGN.md).
+	ScanPenalty time.Duration
+	// DiskScale scales the async commit-log device.
+	DiskScale float64
+}
+
+// Cassandra is the running comparator cluster.
+type Cassandra struct {
+	cfg     CassandraConfig
+	servers [][]*cassServer // [partition][replica]
+	part    *store.HashPartitioner
+	nextID  uint64
+}
+
+type cassServer struct {
+	*server
+	data  *store.SortedMap
+	disk  *storage.Disk
+	peers []transport.Addr
+	pen   time.Duration
+}
+
+// NewCassandra deploys the comparator.
+func NewCassandra(cfg CassandraConfig) *Cassandra {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.DiskScale <= 0 {
+		cfg.DiskScale = 1
+	}
+	c := &Cassandra{cfg: cfg, part: store.NewHashPartitioner(cfg.Partitions)}
+	addr := func(p, r int) transport.Addr {
+		return transport.Addr(fmt.Sprintf("cass-p%d-r%d", p, r))
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		var row []*cassServer
+		for r := 0; r < cfg.Replicas; r++ {
+			var peers []transport.Addr
+			for rr := 0; rr < cfg.Replicas; rr++ {
+				if rr != r {
+					peers = append(peers, addr(p, rr))
+				}
+			}
+			cs := &cassServer{
+				data:  store.NewSortedMap(),
+				disk:  storage.NewDisk(storage.SSD.Scale(cfg.DiskScale)),
+				peers: peers,
+				pen:   cfg.ScanPenalty,
+			}
+			cs.server = newServer(cfg.Net.Endpoint(addr(p, r)), cs.handle)
+			row = append(row, cs)
+		}
+		c.servers = append(c.servers, row)
+	}
+	return c
+}
+
+func (s *cassServer) handle(_ transport.Addr, cmd smr.Command) {
+	o, err := decodeOp(cmd.Op)
+	if err != nil {
+		return
+	}
+	switch o.kind {
+	case opRead:
+		// Consistency ONE: serve the local copy, whatever it is.
+		v, ok := s.data.Get(o.key)
+		if !ok {
+			s.reply(cmd, []byte{statusNotFound})
+			return
+		}
+		s.reply(cmd, append([]byte{statusOK}, v...))
+	case opWrite:
+		// Apply locally (memtable + async commit log), replicate in the
+		// background, acknowledge immediately: no ordering, no quorum.
+		s.data.Put(o.key, append([]byte(nil), o.value...))
+		s.disk.AsyncWrite(len(o.value))
+		rep := op{kind: opReplicate, key: o.key, value: o.value}
+		for _, peer := range s.peers {
+			_ = s.ep.Send(peer, &msg.Proposal{Payload: smr.Command{Op: rep.encode()}.Encode()})
+		}
+		s.reply(cmd, []byte{statusOK})
+	case opReplicate:
+		s.data.Put(o.key, append([]byte(nil), o.value...))
+		s.disk.AsyncWrite(len(o.value))
+	case opScan:
+		entries := s.data.Scan(o.key, "", o.limit)
+		if s.pen > 0 {
+			time.Sleep(time.Duration(len(entries)) * s.pen)
+		}
+		out := make([]kvEntry, len(entries))
+		for i, e := range entries {
+			out[i] = kvEntry{key: e.Key, value: e.Value}
+		}
+		s.reply(cmd, encodeEntries(out))
+	}
+}
+
+// Stop shuts the cluster down.
+func (c *Cassandra) Stop() {
+	for _, row := range c.servers {
+		for _, s := range row {
+			s.stop()
+		}
+	}
+}
+
+// NewClient creates a client. Clients route by key hash to a coordinator
+// replica of the owning partition.
+func (c *Cassandra) NewClient() *CassandraClient {
+	c.nextID++
+	id := 3_000_000 + c.nextID
+	ep := c.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("cass-client-%d", id)))
+	proposers := make(map[msg.RingID][]transport.Addr)
+	for p := 0; p < c.cfg.Partitions; p++ {
+		var addrs []transport.Addr
+		for r := 0; r < c.cfg.Replicas; r++ {
+			addrs = append(addrs, transport.Addr(fmt.Sprintf("cass-p%d-r%d", p, r)))
+		}
+		proposers[msg.RingID(p+1)] = addrs
+	}
+	// Writes are token-aware (routed to the key's primary replica, which
+	// then replicates asynchronously); reads rotate across replicas — the
+	// standard consistency-ONE access pattern.
+	primaries := make(map[msg.RingID][]transport.Addr)
+	for p := 0; p < c.cfg.Partitions; p++ {
+		primaries[msg.RingID(p+1)] = []transport.Addr{transport.Addr(fmt.Sprintf("cass-p%d-r0", p))}
+	}
+	epW := c.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("cass-client-%d-w", id)))
+	return &CassandraClient{
+		smr:   smr.NewClient(smr.ClientConfig{ID: id, Endpoint: ep, Proposers: proposers, Timeout: 20 * time.Second}),
+		write: smr.NewClient(smr.ClientConfig{ID: id + 500_000, Endpoint: epW, Proposers: primaries, Timeout: 20 * time.Second}),
+		part:  c.part,
+	}
+}
+
+// CassandraClient accesses the comparator with the Figure 4 operations.
+// Reads may return stale values: the comparator is eventually consistent
+// by design.
+type CassandraClient struct {
+	smr   *smr.Client // reads/scans: any replica
+	write *smr.Client // writes: the key's primary
+	part  *store.HashPartitioner
+}
+
+// ErrNotFound mirrors the store error for missing keys.
+var ErrNotFound = errors.New("baseline: key not found")
+
+// Close releases the client.
+func (c *CassandraClient) Close() {
+	c.smr.Close()
+	c.write.Close()
+}
+
+func (c *CassandraClient) ringFor(key string) msg.RingID {
+	return msg.RingID(c.part.PartitionOf(key) + 1)
+}
+
+// Read returns the (possibly stale) value of k.
+func (c *CassandraClient) Read(k string) ([]byte, error) {
+	raw, err := c.smr.Execute(c.ringFor(k), op{kind: opRead, key: k}.encode())
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 1 || raw[0] == statusNotFound {
+		return nil, ErrNotFound
+	}
+	return raw[1:], nil
+}
+
+// Update writes k=v (upsert; Cassandra has no read-before-write updates).
+func (c *CassandraClient) Update(k string, v []byte) error { return c.put(k, v) }
+
+// Insert writes k=v.
+func (c *CassandraClient) Insert(k string, v []byte) error { return c.put(k, v) }
+
+func (c *CassandraClient) put(k string, v []byte) error {
+	_, err := c.write.Execute(c.ringFor(k), op{kind: opWrite, key: k, value: v}.encode())
+	return err
+}
+
+// Scan fans out to every partition and merges (token-range scatter).
+func (c *CassandraClient) Scan(from string, limit int) ([]store.Entry, error) {
+	var all []store.Entry
+	for p := 0; p < c.part.N(); p++ {
+		raw, err := c.smr.Execute(msg.RingID(p+1), op{kind: opScan, key: from, limit: limit}.encode())
+		if err != nil {
+			return nil, err
+		}
+		entries, err := decodeEntries(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			all = append(all, store.Entry{Key: e.key, Value: e.value})
+		}
+	}
+	sortEntries(all)
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// ReadModifyWrite reads then writes (two round trips, like YCSB's RMW).
+func (c *CassandraClient) ReadModifyWrite(k string, v []byte) error {
+	if _, err := c.Read(k); err != nil && err != ErrNotFound {
+		return err
+	}
+	return c.put(k, v)
+}
+
+func sortEntries(es []store.Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].Key > es[j].Key; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}
+
+// Preload installs initial records on every replica of the owning
+// partition (database initialization before the measured run).
+func (c *Cassandra) Preload(entries []store.Entry) {
+	for _, e := range entries {
+		p := c.part.PartitionOf(e.Key)
+		for _, s := range c.servers[p] {
+			s.data.Put(e.Key, e.Value)
+		}
+	}
+}

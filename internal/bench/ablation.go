@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"time"
+
+	"mrp/internal/storage"
+)
+
+// AblationRow compares a design choice on/off.
+type AblationRow struct {
+	Name      string
+	Variant   string
+	OpsPerSec float64
+	MeanLat   time.Duration
+}
+
+// AblationBatching measures the effect of coordinator batching on small
+// (512 B) requests over synchronous disks — the regime where one stable
+// write per instance makes batching pay (it is the design choice behind
+// the 32 KB packet batching in the paper's service experiments).
+func AblationBatching(opts Options) []AblationRow {
+	off := fig3Point(opts, storage.SyncHDD, 512)
+	on := fig3PointBatched(opts, storage.SyncHDD, 512, 32<<10)
+	return []AblationRow{
+		{Name: "batching", Variant: "off (1 proposal/instance)",
+			OpsPerSec: off.ThroughputMbps * 1e6 / 8 / 512, MeanLat: off.MeanLatency},
+		{Name: "batching", Variant: "on (32 KB instances)",
+			OpsPerSec: on.ThroughputMbps * 1e6 / 8 / 512, MeanLat: on.MeanLatency},
+	}
+}
+
+// AblationSkip measures rate leveling's effect on a two-ring learner with
+// one idle ring: with skips the busy ring flows; without, the merge stalls
+// (multicast delivery approaches zero).
+func AblationSkip(opts Options) []AblationRow {
+	withSkips := mergeThroughput(opts, true)
+	withoutSkips := mergeThroughput(opts, false)
+	return []AblationRow{
+		{Name: "rate leveling", Variant: "on (Δ=5ms)", OpsPerSec: withSkips},
+		{Name: "rate leveling", Variant: "off", OpsPerSec: withoutSkips},
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns the smallest useful options for a smoke test.
+func tiny() Options {
+	return Options{PointSeconds: 0.3, Scale: 0.05, Clients: 6, Records: 300}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	row := fig3Point(opts, Fig3Modes[4], 512) // in-memory
+	if row.ThroughputMbps <= 0 {
+		t.Fatalf("no throughput: %+v", row)
+	}
+	if row.MeanLatency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	var buf bytes.Buffer
+	RenderFig3(&buf, []Fig3Row{row})
+	if !strings.Contains(buf.String(), "In Memory") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
+func TestFig3SyncSlowerThanMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	mem := fig3Point(opts, Fig3Modes[4], 2048)  // in-memory
+	sync := fig3Point(opts, Fig3Modes[0], 2048) // sync HDD
+	if sync.ThroughputMbps >= mem.ThroughputMbps {
+		t.Fatalf("sync HDD (%.1f Mbps) should be slower than in-memory (%.1f Mbps)",
+			sync.ThroughputMbps, mem.ThroughputMbps)
+	}
+	if sync.MeanLatency <= mem.MeanLatency {
+		t.Fatalf("sync HDD latency (%v) should exceed in-memory (%v)",
+			sync.MeanLatency, mem.MeanLatency)
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	for _, sys := range Fig4Systems {
+		row := fig4Point(opts, sys, 'A')
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", sys)
+		}
+		if row.Errors > uint64(row.OpsPerSec*opts.PointSeconds/10) {
+			t.Fatalf("%s: too many errors: %d", sys, row.Errors)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	dl := fig5DLog(opts, 10)
+	bk := fig5Bookkeeper(opts, 10)
+	if dl.OpsPerSec <= 0 || bk.OpsPerSec <= 0 {
+		t.Fatalf("throughput: dlog=%.0f bk=%.0f", dl.OpsPerSec, bk.OpsPerSec)
+	}
+	var buf bytes.Buffer
+	RenderFig5(&buf, []Fig5Row{dl, bk})
+	if !strings.Contains(buf.String(), "dLog") {
+		t.Fatal("render")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	r1 := fig6Point(opts, 1)
+	r2 := fig6Point(opts, 2)
+	if r1.AggOpsPerSec <= 0 || r2.AggOpsPerSec <= 0 {
+		t.Fatalf("throughput: %v %v", r1.AggOpsPerSec, r2.AggOpsPerSec)
+	}
+	// Two rings (two disks) must beat one ring meaningfully.
+	if r2.AggOpsPerSec < r1.AggOpsPerSec*1.2 {
+		t.Fatalf("no vertical scaling: 1 ring=%.0f, 2 rings=%.0f", r1.AggOpsPerSec, r2.AggOpsPerSec)
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	opts.PointSeconds = 0.8 // WAN batches need a few round trips
+	r1 := fig7Point(opts, 1)
+	r2 := fig7Point(opts, 2)
+	if r1.AggOpsPerSec <= 0 || r2.AggOpsPerSec <= 0 {
+		t.Fatalf("throughput: %v %v", r1.AggOpsPerSec, r2.AggOpsPerSec)
+	}
+	if r2.AggOpsPerSec < r1.AggOpsPerSec*1.2 {
+		t.Fatalf("no horizontal scaling: 1 region=%.0f, 2 regions=%.0f",
+			r1.AggOpsPerSec, r2.AggOpsPerSec)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	opts.PointSeconds = 0.6 // total timeline = 6s
+	res := Fig8(opts)
+	if res.SteadyOps <= 0 {
+		t.Fatal("no steady-state throughput")
+	}
+	if res.RecoveredOps <= res.SteadyOps/4 {
+		t.Fatalf("no recovery: steady=%.0f recovered=%.0f", res.SteadyOps, res.RecoveredOps)
+	}
+	// All five paper events must be present.
+	want := []string{"1:", "2:", "3:", "4:", "5:"}
+	for _, prefix := range want {
+		found := false
+		for _, e := range res.Events {
+			if strings.HasPrefix(e.Label, prefix) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing event %q in %v", prefix, res.Events)
+		}
+	}
+}
+
+func TestAblationSkipSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tiny()
+	rows := AblationSkip(opts)
+	on, off := rows[0].OpsPerSec, rows[1].OpsPerSec
+	if off*5 > on {
+		t.Fatalf("merge without skips should collapse: on=%.0f off=%.0f", on, off)
+	}
+}
+
+func TestOptionsFromEnv(t *testing.T) {
+	t.Setenv("MRP_BENCH_SECONDS", "2.5")
+	t.Setenv("MRP_BENCH_SCALE", "0.5")
+	o := FromEnv()
+	if o.PointSeconds != 2.5 || o.Scale != 0.5 {
+		t.Fatalf("opts = %+v", o)
+	}
+	t.Setenv("MRP_BENCH_SECONDS", "garbage")
+	o = FromEnv()
+	if o.PointSeconds != 1.5 {
+		t.Fatalf("default not applied: %+v", o)
+	}
+}

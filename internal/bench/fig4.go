@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"mrp/internal/baseline"
+	"mrp/internal/metrics"
+	"mrp/internal/netsim"
+	"mrp/internal/storage"
+	"mrp/internal/store"
+	"mrp/internal/ycsb"
+)
+
+// Fig4System names the compared systems.
+type Fig4System string
+
+// The four systems of Figure 4.
+const (
+	SysCassandra Fig4System = "Cassandra-like"
+	SysMRPIndep  Fig4System = "MRP-Store (indep. rings)"
+	SysMRPStore  Fig4System = "MRP-Store"
+	SysMySQL     Fig4System = "MySQL-like"
+)
+
+// Fig4Systems lists the systems in the paper's bar order.
+var Fig4Systems = []Fig4System{SysCassandra, SysMRPIndep, SysMRPStore, SysMySQL}
+
+// Fig4Row is one (system, workload) bar of Figure 4's top graph, plus the
+// per-operation latencies of the bottom graph (populated for workload F).
+type Fig4Row struct {
+	System    Fig4System
+	Workload  ycsb.Workload
+	OpsPerSec float64
+	// Workload F latency breakdown (bottom graph).
+	ReadLat   time.Duration
+	UpdateLat time.Duration
+	RMWLat    time.Duration
+	Errors    uint64
+}
+
+// kvIface is the operation surface all four systems expose.
+type kvIface interface {
+	Read(k string) ([]byte, error)
+	Update(k string, v []byte) error
+	Insert(k string, v []byte) error
+	Scan(from string, limit int) ([]store.Entry, error)
+	ReadModifyWrite(k string, v []byte) error
+	Close()
+}
+
+// mrpKV adapts store.Client to kvIface.
+type mrpKV struct{ c *store.Client }
+
+func (a mrpKV) Read(k string) ([]byte, error)               { return a.c.Read(k) }
+func (a mrpKV) Update(k string, v []byte) error             { return a.c.Update(k, v) }
+func (a mrpKV) Insert(k string, v []byte) error             { return a.c.Insert(k, v) }
+func (a mrpKV) Scan(f string, l int) ([]store.Entry, error) { return a.c.Scan(f, "", l) }
+func (a mrpKV) ReadModifyWrite(k string, v []byte) error {
+	if _, err := a.c.Read(k); err != nil && err != store.ErrNotFound {
+		return err
+	}
+	return a.c.Update(k, v)
+}
+func (a mrpKV) Close() { a.c.Close() }
+
+// Fig4 reproduces the YCSB comparison (Section 8.3.2): the four systems
+// under workloads A-F with a preloaded database.
+func Fig4(opts Options) []Fig4Row {
+	var rows []Fig4Row
+	for _, sys := range Fig4Systems {
+		for _, w := range ycsb.Workloads {
+			row := fig4Point(opts, sys, w)
+			opts.logf("fig4 %-26s %v  %9.0f ops/s", sys, w, row.OpsPerSec)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// fig4Point builds one system, preloads it, and drives one workload.
+func fig4Point(opts Options, sys Fig4System, w ycsb.Workload) Fig4Row {
+	net := netsim.New(
+		netsim.WithUniformLatency(50*time.Microsecond),
+		netsim.WithBandwidth(10<<30/8),
+	)
+	defer net.Close()
+
+	records := make([]store.Entry, 0, opts.Records)
+	for _, r := range ycsb.Load(ycsb.Config{RecordCount: opts.Records, ValueSize: 100}) {
+		records = append(records, store.Entry{Key: r.Key, Value: r.Value})
+	}
+
+	var newClient func() kvIface
+	switch sys {
+	case SysCassandra:
+		c := baseline.NewCassandra(baseline.CassandraConfig{
+			Net:         net,
+			Partitions:  3,
+			Replicas:    3,
+			ScanPenalty: 30 * time.Microsecond,
+			DiskScale:   opts.Scale,
+		})
+		defer c.Stop()
+		c.Preload(records)
+		newClient = func() kvIface { return cassKV{c.NewClient()} }
+	case SysMySQL:
+		m := baseline.NewMySQL(baseline.MySQLConfig{Net: net, DiskScale: opts.Scale})
+		defer m.Stop()
+		m.Preload(records)
+		newClient = func() kvIface { return mysqlKV{m.NewClient()} }
+	case SysMRPStore, SysMRPIndep:
+		d, err := store.Deploy(store.DeployConfig{
+			Net:          net,
+			Partitions:   3,
+			Replicas:     3,
+			GlobalRing:   sys == SysMRPStore,
+			StorageMode:  storage.AsyncHDD, // "all of which write asynchronously to disk"
+			DiskScale:    opts.Scale,
+			SkipInterval: 5 * time.Millisecond, // Δ = 5 ms (local config)
+			SkipRate:     9000,                 // λ = 9000 instances/s
+			RetryTimeout: 300 * time.Millisecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Stop()
+		d.Preload(records)
+		newClient = func() kvIface { return mrpKV{d.NewClient()} }
+	}
+
+	var (
+		ops     metrics.Counter
+		errs    metrics.Counter
+		readH   metrics.Histogram
+		updateH metrics.Histogram
+		rmwH    metrics.Histogram
+	)
+	deadline := time.Now().Add(opts.point())
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Clients; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			cl := newClient()
+			defer cl.Close()
+			gen := ycsb.New(ycsb.Config{
+				Workload:    w,
+				RecordCount: opts.Records,
+				ValueSize:   100,
+				Seed:        int64(t) + 1,
+			})
+			for time.Now().Before(deadline) {
+				o := gen.Next()
+				start := time.Now()
+				var err error
+				switch o.Kind {
+				case ycsb.OpRead:
+					_, err = cl.Read(o.Key)
+					readH.Record(time.Since(start))
+				case ycsb.OpUpdate:
+					err = cl.Update(o.Key, o.Value)
+					updateH.Record(time.Since(start))
+				case ycsb.OpInsert:
+					err = cl.Insert(o.Key, o.Value)
+				case ycsb.OpScan:
+					_, err = cl.Scan(o.Key, o.ScanLen)
+				case ycsb.OpReadModifyWrite:
+					err = cl.ReadModifyWrite(o.Key, o.Value)
+					rmwH.Record(time.Since(start))
+				}
+				if err != nil && err != store.ErrNotFound && err != baseline.ErrNotFound {
+					errs.Add(1, 0)
+					continue
+				}
+				ops.Add(1, 0)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return Fig4Row{
+		System:    sys,
+		Workload:  w,
+		OpsPerSec: float64(ops.Ops()) / opts.PointSeconds,
+		ReadLat:   readH.Mean(),
+		UpdateLat: updateH.Mean(),
+		RMWLat:    rmwH.Mean(),
+		Errors:    errs.Ops(),
+	}
+}
+
+// cassKV and mysqlKV adapt the baseline clients to kvIface.
+type cassKV struct{ c *baseline.CassandraClient }
+
+func (a cassKV) Read(k string) ([]byte, error)               { return a.c.Read(k) }
+func (a cassKV) Update(k string, v []byte) error             { return a.c.Update(k, v) }
+func (a cassKV) Insert(k string, v []byte) error             { return a.c.Insert(k, v) }
+func (a cassKV) Scan(f string, l int) ([]store.Entry, error) { return a.c.Scan(f, l) }
+func (a cassKV) ReadModifyWrite(k string, v []byte) error    { return a.c.ReadModifyWrite(k, v) }
+func (a cassKV) Close()                                      { a.c.Close() }
+
+type mysqlKV struct{ c *baseline.MySQLClient }
+
+func (a mysqlKV) Read(k string) ([]byte, error)               { return a.c.Read(k) }
+func (a mysqlKV) Update(k string, v []byte) error             { return a.c.Update(k, v) }
+func (a mysqlKV) Insert(k string, v []byte) error             { return a.c.Insert(k, v) }
+func (a mysqlKV) Scan(f string, l int) ([]store.Entry, error) { return a.c.Scan(f, l) }
+func (a mysqlKV) ReadModifyWrite(k string, v []byte) error    { return a.c.ReadModifyWrite(k, v) }
+func (a mysqlKV) Close()                                      { a.c.Close() }

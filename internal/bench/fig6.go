@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"mrp/internal/dlog"
+	"mrp/internal/metrics"
+	"mrp/internal/netsim"
+	"mrp/internal/storage"
+)
+
+// Fig6Row is one point of Figure 6: k synchronized rings (each with its
+// own disk), aggregate and per-ring append throughput, and the latency
+// distribution for writes to disk 1.
+type Fig6Row struct {
+	Rings        int
+	AggOpsPerSec float64
+	PerRing      []float64
+	// ScalingPct is throughput relative to a linear extrapolation of the
+	// previous row (the percentages printed in the paper's figure).
+	ScalingPct float64
+	// P50 and P99 of disk-1 append latency (the paper plots the CDF).
+	P50, P99 time.Duration
+	CDF      []metrics.CDFPoint
+}
+
+// Fig6 reproduces dLog vertical scalability (Section 8.4.1): the number of
+// rings grows 1..5, each ring bound to its own disk, learners subscribe to
+// all k rings plus a common ring, 1 KB appends batched into 32 KB packets.
+// Throughput should grow near-linearly because each added ring brings its
+// own disk and its own coordinator pipeline.
+func Fig6(opts Options) []Fig6Row {
+	var rows []Fig6Row
+	var prev float64
+	for k := 1; k <= 5; k++ {
+		row := fig6Point(opts, k)
+		if prev > 0 {
+			expected := prev * float64(k) / float64(k-1)
+			row.ScalingPct = 100 * row.AggOpsPerSec / expected
+		} else {
+			row.ScalingPct = 100
+		}
+		prev = row.AggOpsPerSec
+		opts.logf("fig6 %d rings  %8.0f ops/s (%.0f%%)  p50=%s", k, row.AggOpsPerSec,
+			row.ScalingPct, row.P50.Round(time.Millisecond))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// fig6Disk is the per-ring device: bandwidth low enough that the disk — not
+// the simulator's CPU — is the binding constraint, preserving the paper's
+// bottleneck structure. Scaled by opts.Scale like every other device.
+var fig6Disk = storage.DiskModel{
+	SyncLatency: 4 * time.Millisecond,
+	Bandwidth:   8 << 20, // 8 MB/s per disk at scale 1
+	BufferBytes: 256 << 10,
+}
+
+func fig6Point(opts Options, k int) Fig6Row {
+	net := netsim.New(
+		netsim.WithUniformLatency(50*time.Microsecond),
+		netsim.WithBandwidth(10<<30/8),
+	)
+	defer net.Close()
+	d, err := dlog.Deploy(dlog.DeployConfig{
+		Net:           net,
+		Logs:          k,
+		Servers:       3,
+		SyncWrites:    false,
+		StorageMode:   storage.AsyncHDD, // "asynchronous mode"
+		DiskModel:     fig6Disk,
+		DiskScale:     opts.Scale,
+		BatchMaxBytes: 32 << 10, // "batched into 32 KByte packets by a proxy"
+		BatchDelay:    2 * time.Millisecond,
+		SkipInterval:  5 * time.Millisecond, // Δ = 5 ms
+		SkipRate:      9000,                 // λ
+		RetryTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer d.Stop()
+
+	perRing := make([]*metrics.Counter, k)
+	for i := range perRing {
+		perRing[i] = metrics.NewCounter()
+	}
+	disk1Hist := &metrics.Histogram{}
+	payload := make([]byte, 1024)
+	deadline := time.Now().Add(opts.point())
+
+	// The workload is append-only; enough client threads per ring to keep
+	// each disk saturated.
+	const threadsPerRing = 8
+	var wg sync.WaitGroup
+	for ring := 0; ring < k; ring++ {
+		for t := 0; t < threadsPerRing; t++ {
+			wg.Add(1)
+			go func(ring int) {
+				defer wg.Done()
+				cl := d.NewClient()
+				defer cl.Close()
+				for time.Now().Before(deadline) {
+					start := time.Now()
+					if _, err := cl.Append(dlog.LogID(ring), payload); err != nil {
+						return
+					}
+					if ring == 0 {
+						disk1Hist.Record(time.Since(start))
+					}
+					perRing[ring].Add(1, 1024)
+				}
+			}(ring)
+		}
+	}
+	wg.Wait()
+
+	row := Fig6Row{
+		Rings: k,
+		P50:   disk1Hist.Quantile(0.50),
+		P99:   disk1Hist.Quantile(0.99),
+		CDF:   disk1Hist.CDF(),
+	}
+	for _, c := range perRing {
+		ops := float64(c.Ops()) / opts.PointSeconds
+		row.PerRing = append(row.PerRing, ops)
+		row.AggOpsPerSec += ops
+	}
+	return row
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrp/internal/metrics"
+	"mrp/internal/netsim"
+	"mrp/internal/storage"
+	"mrp/internal/store"
+	"mrp/internal/transport"
+)
+
+// Fig7Regions are the four EC2 regions of the paper's global deployment,
+// in deployment order.
+var Fig7Regions = []string{"eu-west-1", "us-west-1", "us-east-1", "us-west-2"}
+
+// Fig7Row is one point of Figure 7: the first k regions active, aggregate
+// and per-region update throughput, and the latency distribution measured
+// in us-west-2.
+type Fig7Row struct {
+	Regions      int
+	AggOpsPerSec float64
+	PerRegion    []float64
+	ScalingPct   float64
+	// P50/P99 of command latency at the us-west-2 client (the paper plots
+	// this CDF); zero until us-west-2 joins the deployment.
+	P50, P99 time.Duration
+	CDF      []metrics.CDFPoint
+}
+
+// Fig7 reproduces MRP-Store horizontal scalability (Section 8.4.2): one
+// partition (ring) per region with three replicas, all replicas also in a
+// global ring, clients sending 1 KB update commands to their local
+// partition batched into 32 KB packets.
+//
+// Each region's clients offer a fixed load; the paper's claim is that "the
+// local throughput of a region is not influenced by other regions", so the
+// reproduction target is (a) every region sustains its offered load as
+// regions are added (aggregate grows ~linearly) and (b) latency stays
+// bounded. A region failing to sustain its load under the global ring's
+// WAN coupling would show up as collapsing per-region throughput and
+// exploding latency.
+func Fig7(opts Options) []Fig7Row {
+	var rows []Fig7Row
+	var prev float64
+	for k := 1; k <= len(Fig7Regions); k++ {
+		row := fig7Point(opts, k)
+		if prev > 0 {
+			expected := prev * float64(k) / float64(k-1)
+			row.ScalingPct = 100 * row.AggOpsPerSec / expected
+		} else {
+			row.ScalingPct = 100
+		}
+		prev = row.AggOpsPerSec
+		opts.logf("fig7 %d regions  %8.0f ops/s (%.0f%%)  p50@us-west-2=%s",
+			k, row.AggOpsPerSec, row.ScalingPct, row.P50.Round(time.Millisecond))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func fig7Point(opts Options, k int) Fig7Row {
+	regions := Fig7Regions[:k]
+	net := netsim.New(
+		netsim.WithLatency(netsim.WANLatency(500*time.Microsecond, opts.Scale)),
+		netsim.WithBandwidth(1<<30/8), // 1 Gbps WAN paths
+		netsim.WithInboxSize(1<<14),
+	)
+	defer net.Close()
+
+	// Partition p lives entirely in region p; keys are region-prefixed so
+	// clients write only to their local partition.
+	bounds := make([]string, 0, k-1)
+	for p := 1; p < k; p++ {
+		bounds = append(bounds, fmt.Sprintf("p%d", p))
+	}
+	d, err := store.Deploy(store.DeployConfig{
+		Net:         net,
+		Partitions:  k,
+		Replicas:    3,
+		GlobalRing:  true,
+		Partitioner: store.NewRangePartitioner(bounds),
+		StorageMode: storage.AsyncHDD,
+		DiskScale:   opts.Scale,
+		AddrFor: func(p, r int) transport.Addr {
+			return transport.Addr(fmt.Sprintf("%s/store-p%d-r%d", regions[p], p, r))
+		},
+		BatchMaxBytes: 32 << 10,
+		BatchDelay:    4 * time.Millisecond,
+		// WAN configuration (Section 8.2): Δ = 20 ms, λ = 2000.
+		SkipInterval: time.Duration(float64(20*time.Millisecond) * opts.Scale),
+		SkipRate:     2000,
+		RetryTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer d.Stop()
+
+	perRegion := make([]*metrics.Counter, k)
+	for i := range perRegion {
+		perRegion[i] = metrics.NewCounter()
+	}
+	latHist := &metrics.Histogram{} // measured at us-west-2 (paper) when present
+	latRegion := -1
+	for i, r := range regions {
+		if r == "us-west-2" {
+			latRegion = i
+		}
+	}
+	if latRegion < 0 {
+		latRegion = 0 // measure at the first region until us-west-2 joins
+	}
+
+	// "In each region there is ... one client running on a separate
+	// machine": a multi-threaded client per region, 1 KB commands batched
+	// into 32 KB packets (32 entries per WriteBatch). Each thread offers a
+	// paced load; a thread whose batch latency exceeds its pacing interval
+	// falls behind, which is how failure to scale would manifest.
+	const threadsPerRegion = 48
+	const entriesPerBatch = 32
+	// The pacing interval exceeds the worst-case WAN command latency
+	// (global-ring merge wait plus cross-region circulation), so a healthy
+	// region sustains its offered load at any k; ~240 batches/s/region.
+	pace := 200 * time.Millisecond
+	value := make([]byte, 1024)
+	deadline := time.Now().Add(opts.point())
+	var wg sync.WaitGroup
+	var clientSeq uint64
+	var mu sync.Mutex
+	for p := 0; p < k; p++ {
+		for t := 0; t < threadsPerRegion; t++ {
+			wg.Add(1)
+			go func(p, t int) {
+				defer wg.Done()
+				mu.Lock()
+				clientSeq++
+				id := 7_000_000 + clientSeq
+				mu.Unlock()
+				ep := net.Endpoint(transport.Addr(fmt.Sprintf("%s/client-%d", regions[p], id)))
+				cl := d.NewClientAt(ep, id)
+				defer cl.Close()
+				batchNo := 0
+				for time.Now().Before(deadline) {
+					next := time.Now().Add(pace)
+					batch := make([]store.Entry, entriesPerBatch)
+					for i := range batch {
+						batch[i] = store.Entry{
+							Key:   fmt.Sprintf("p%d-t%02d-%08d-%02d", p, t, batchNo, i),
+							Value: value,
+						}
+					}
+					batchNo++
+					start := time.Now()
+					n, err := cl.WriteBatch(batch)
+					if err != nil {
+						return
+					}
+					if p == latRegion {
+						latHist.Record(time.Since(start))
+					}
+					perRegion[p].Add(uint64(n), uint64(n)*1024)
+					if wait := time.Until(next); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+			}(p, t)
+		}
+	}
+	wg.Wait()
+
+	row := Fig7Row{
+		Regions: k,
+		P50:     latHist.Quantile(0.50),
+		P99:     latHist.Quantile(0.99),
+		CDF:     latHist.CDF(),
+	}
+	for _, c := range perRegion {
+		ops := float64(c.Ops()) / opts.PointSeconds
+		row.PerRegion = append(row.PerRegion, ops)
+		row.AggOpsPerSec += ops
+	}
+	return row
+}

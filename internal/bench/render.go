@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RenderFig3 prints the Figure 3 sweep as the paper's four metrics.
+func RenderFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "Figure 3 — Multi-Ring Paxos baseline (1 ring, 3 processes, 10 proposer threads, no batching)")
+	fmt.Fprintf(w, "%-18s %8s %14s %14s %16s %12s\n",
+		"storage mode", "size", "Mbps", "mean latency", "coord MB/s*", "<10ms frac")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %7dB %14.1f %14s %16.1f %12.2f\n",
+			r.Mode, r.Size, r.ThroughputMbps, r.MeanLatency.Round(10*time.Microsecond),
+			r.CoordProxyMBps, r.FracUnder10ms)
+	}
+	fmt.Fprintln(w, "  (*) coordinator CPU is proxied by its message-processing volume")
+}
+
+// RenderFig4 prints the YCSB comparison.
+func RenderFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4 — YCSB: throughput in ops/s (top graph)")
+	fmt.Fprintf(w, "%-28s", "system")
+	for _, wl := range []byte("ABCDEF") {
+		fmt.Fprintf(w, "%10c", wl)
+	}
+	fmt.Fprintln(w)
+	bySystem := map[Fig4System][]Fig4Row{}
+	for _, r := range rows {
+		bySystem[r.System] = append(bySystem[r.System], r)
+	}
+	for _, sys := range Fig4Systems {
+		fmt.Fprintf(w, "%-28s", sys)
+		for _, r := range bySystem[sys] {
+			fmt.Fprintf(w, "%10.0f", r.OpsPerSec)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "Workload F latency breakdown (bottom graph, mean)")
+	fmt.Fprintf(w, "%-28s %12s %12s %16s\n", "system", "read", "update", "read-mod-write")
+	for _, sys := range Fig4Systems {
+		for _, r := range bySystem[sys] {
+			if r.Workload != 'F' {
+				continue
+			}
+			fmt.Fprintf(w, "%-28s %12s %12s %16s\n", sys,
+				r.ReadLat.Round(10*time.Microsecond),
+				r.UpdateLat.Round(10*time.Microsecond),
+				r.RMWLat.Round(10*time.Microsecond))
+		}
+	}
+}
+
+// RenderFig5 prints the dLog vs Bookkeeper sweep.
+func RenderFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5 — dLog vs Bookkeeper-like (1 KB synchronous appends)")
+	fmt.Fprintf(w, "%-18s %8s %12s %14s\n", "system", "clients", "ops/s", "mean latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8d %12.0f %14s\n",
+			r.System, r.Clients, r.OpsPerSec, r.MeanLat.Round(100*time.Microsecond))
+	}
+}
+
+// RenderFig6 prints the vertical-scalability sweep.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6 — dLog vertical scalability (one disk per ring, 1 KB appends in 32 KB batches)")
+	fmt.Fprintf(w, "%-8s %14s %10s %12s %12s\n", "rings", "agg ops/s", "scaling", "p50 (disk1)", "p99 (disk1)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %14.0f %9.0f%% %12s %12s\n",
+			r.Rings, r.AggOpsPerSec, r.ScalingPct,
+			r.P50.Round(100*time.Microsecond), r.P99.Round(100*time.Microsecond))
+	}
+}
+
+// RenderFig7 prints the horizontal-scalability sweep.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Figure 7 — MRP-Store across EC2 regions (1 KB updates in 32 KB batches)")
+	fmt.Fprintf(w, "%-10s %14s %10s %14s %14s\n", "regions", "agg ops/s", "scaling", "p50 latency", "p99 latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %14.0f %9.0f%% %14s %14s\n",
+			r.Regions, r.AggOpsPerSec, r.ScalingPct,
+			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+	}
+}
+
+// RenderFig8 prints the recovery timeline.
+func RenderFig8(w io.Writer, res Fig8Result) {
+	fmt.Fprintln(w, "Figure 8 — impact of recovery on performance")
+	fmt.Fprintf(w, "steady=%.0f ops/s  dip=%.0f ops/s  recovered=%.0f ops/s\n",
+		res.SteadyOps, res.DipOps, res.RecoveredOps)
+	fmt.Fprintln(w, "events:")
+	for _, e := range res.Events {
+		fmt.Fprintf(w, "  %8s  %s\n", e.At.Round(10*time.Millisecond), e.Label)
+	}
+	fmt.Fprintln(w, "timeline (window, ops/s, mean latency):")
+	for _, s := range res.Samples {
+		fmt.Fprintf(w, "  %8s %10.0f %12s\n",
+			s.At.Round(10*time.Millisecond), s.Throughput, s.MeanLat.Round(100*time.Microsecond))
+	}
+}
+
+// RenderAblations prints ablation rows.
+func RenderAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations")
+	fmt.Fprintf(w, "%-16s %-28s %12s %14s\n", "choice", "variant", "ops/s", "mean latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-28s %12.0f %14s\n",
+			r.Name, r.Variant, r.OpsPerSec, r.MeanLat.Round(10*time.Microsecond))
+	}
+}

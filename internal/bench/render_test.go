@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mrp/internal/metrics"
+	"mrp/internal/storage"
+	"mrp/internal/ycsb"
+)
+
+func TestRenderFig4(t *testing.T) {
+	rows := []Fig4Row{
+		{System: SysCassandra, Workload: ycsb.WorkloadA, OpsPerSec: 100},
+		{System: SysCassandra, Workload: ycsb.WorkloadF, OpsPerSec: 50,
+			ReadLat: time.Millisecond, RMWLat: 2 * time.Millisecond},
+		{System: SysMRPStore, Workload: ycsb.WorkloadA, OpsPerSec: 80},
+		{System: SysMRPStore, Workload: ycsb.WorkloadF, OpsPerSec: 40},
+	}
+	var buf bytes.Buffer
+	RenderFig4(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Cassandra-like", "MRP-Store", "Workload F", "read-mod-write"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig6AndFig7(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig6(&buf, []Fig6Row{{Rings: 1, AggOpsPerSec: 10, ScalingPct: 100, P50: time.Millisecond}})
+	RenderFig7(&buf, []Fig7Row{{Regions: 2, AggOpsPerSec: 20, ScalingPct: 95, P50: 40 * time.Millisecond}})
+	out := buf.String()
+	if !strings.Contains(out, "vertical scalability") || !strings.Contains(out, "EC2 regions") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestRenderFig8(t *testing.T) {
+	res := Fig8Result{
+		Samples:   []metrics.Sample{{At: 0, Throughput: 100, MeanLat: time.Millisecond}},
+		Events:    []metrics.Event{{At: time.Second, Label: "1:replica terminated"}},
+		SteadyOps: 100, DipOps: 50, RecoveredOps: 90,
+	}
+	var buf bytes.Buffer
+	RenderFig8(&buf, res)
+	if !strings.Contains(buf.String(), "replica terminated") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
+func TestRenderFig3AllModes(t *testing.T) {
+	var rows []Fig3Row
+	for _, m := range Fig3Modes {
+		rows = append(rows, Fig3Row{Mode: m, Size: 512, ThroughputMbps: 1})
+	}
+	var buf bytes.Buffer
+	RenderFig3(&buf, rows)
+	for _, m := range []storage.Mode{storage.InMemory, storage.SyncHDD} {
+		if !strings.Contains(buf.String(), m.String()) {
+			t.Fatalf("missing mode %v", m)
+		}
+	}
+}
+
+func TestRenderAblationsAndFig5(t *testing.T) {
+	var buf bytes.Buffer
+	RenderAblations(&buf, []AblationRow{{Name: "x", Variant: "on", OpsPerSec: 1}})
+	RenderFig5(&buf, []Fig5Row{{System: "dLog", Clients: 1, OpsPerSec: 2, MeanLat: time.Second}})
+	if !strings.Contains(buf.String(), "Ablations") || !strings.Contains(buf.String(), "dLog") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}

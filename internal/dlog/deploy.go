@@ -1,0 +1,412 @@
+package dlog
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/multiring"
+	"mrp/internal/netsim"
+	"mrp/internal/recovery"
+	"mrp/internal/ringpaxos"
+	"mrp/internal/smr"
+	"mrp/internal/storage"
+	"mrp/internal/transport"
+)
+
+// DeployConfig describes a dLog deployment: k logs, one ring per log, plus
+// a common ring shared by all servers for multi-appends (the Figure 6
+// topology: "learners subscribe to k rings and to a common ring shared by
+// all learners"). Servers are co-located ring members.
+type DeployConfig struct {
+	// Net is the simulated network. Leave nil when providing EndpointFor.
+	Net *netsim.Network
+	// EndpointFor creates the endpoint for a server address; defaults to
+	// Net.Endpoint.
+	EndpointFor func(transport.Addr) (transport.Endpoint, error)
+	// AddrFor names server endpoints; default "dlog-s<i>". Use real
+	// host:port addresses for TCP deployments.
+	AddrFor func(server int) transport.Addr
+	// Logs is the number of logs (= rings).
+	Logs int
+	// Servers is the number of dLog servers (default 3).
+	Servers int
+	// SyncWrites selects synchronous service-level disk writes (Figure 5).
+	SyncWrites bool
+	// StorageMode is the acceptors' stable-storage mode.
+	StorageMode storage.Mode
+	// DiskModel is the per-(server, log) data disk; each log gets its own
+	// device on each server, as in the vertical-scalability experiment.
+	DiskModel storage.DiskModel
+	// DiskScale scales disk service times.
+	DiskScale float64
+
+	// Ring tuning.
+	BatchMaxBytes int
+	BatchDelay    time.Duration
+	SkipInterval  time.Duration
+	SkipRate      int
+	RetryTimeout  time.Duration
+	MergeM        int
+
+	// CacheBytes bounds each server's per-log cache.
+	CacheBytes int
+}
+
+// ServerHandle bundles one dLog server.
+type ServerHandle struct {
+	Index   int
+	Node    *multiring.Node
+	Learner *multiring.Learner
+	Replica *smr.Replica
+	SM      *SM
+	Disks   map[LogID]*storage.Disk
+
+	ckpt    *storage.CheckpointStore
+	logs    map[msg.RingID]*storage.Log
+	stopped bool
+}
+
+// Deployment is a running dLog cluster.
+type Deployment struct {
+	cfg       DeployConfig
+	Servers   []*ServerHandle
+	ringPeers [][]ringpaxos.Peer
+	nextID    uint64
+}
+
+// LogRing returns the ring of one log.
+func (d *Deployment) LogRing(l LogID) msg.RingID { return msg.RingID(int(l) + 1) }
+
+// CommonRing returns the shared multi-append ring.
+func (d *Deployment) CommonRing() msg.RingID { return msg.RingID(d.cfg.Logs + 1) }
+
+// Deploy builds and starts a dLog cluster.
+func Deploy(cfg DeployConfig) (*Deployment, error) {
+	if cfg.Logs <= 0 {
+		return nil, errors.New("dlog: need at least one log")
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 3
+	}
+	if cfg.DiskScale <= 0 {
+		cfg.DiskScale = 1
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 100 * time.Millisecond
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = time.Millisecond
+	}
+	if cfg.MergeM <= 0 {
+		cfg.MergeM = 1
+	}
+	if cfg.EndpointFor == nil && cfg.Net != nil {
+		cfg.EndpointFor = func(a transport.Addr) (transport.Endpoint, error) {
+			return cfg.Net.Endpoint(a), nil
+		}
+	}
+	if cfg.AddrFor == nil {
+		cfg.AddrFor = func(s int) transport.Addr {
+			return transport.Addr(fmt.Sprintf("dlog-s%d", s))
+		}
+	}
+	d := &Deployment{cfg: cfg}
+
+	addrFor := cfg.AddrFor
+	// All servers are members of every ring (logs + common).
+	nRings := cfg.Logs + 1
+	peers := make([][]ringpaxos.Peer, nRings)
+	for ri := 0; ri < nRings; ri++ {
+		for s := 0; s < cfg.Servers; s++ {
+			peers[ri] = append(peers[ri], ringpaxos.Peer{
+				ID:    msg.NodeID(s + 1),
+				Addr:  addrFor(s),
+				Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
+			})
+		}
+	}
+
+	d.ringPeers = peers
+	for s := 0; s < cfg.Servers; s++ {
+		h, err := d.buildServer(s, nil, nil)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		d.Servers = append(d.Servers, h)
+	}
+	return d, nil
+}
+
+// buildServer constructs (or rebuilds, after a crash) one dLog server.
+func (d *Deployment) buildServer(s int, starts map[msg.RingID]msg.Instance, install *storage.Checkpoint) (*ServerHandle, error) {
+	cfg := d.cfg
+	nRings := cfg.Logs + 1
+	ep, err := cfg.EndpointFor(cfg.AddrFor(s))
+	if err != nil {
+		return nil, err
+	}
+	node := multiring.NewNode(msg.NodeID(s+1), ep)
+	disks := make(map[LogID]*storage.Disk)
+	ckpt := storage.NewCheckpointStore(storage.NewDisk(storage.NullDisk))
+	var oldLogs map[msg.RingID]*storage.Log
+	if s < len(d.Servers) && d.Servers[s] != nil {
+		// Stable storage survives a crash-recover cycle.
+		disks = d.Servers[s].Disks
+		ckpt = d.Servers[s].ckpt
+		oldLogs = d.Servers[s].logs
+	}
+	logs := make(map[msg.RingID]*storage.Log, nRings)
+	var procs []multiring.DecisionSource
+	for ri := 0; ri < nRings; ri++ {
+		ring := msg.RingID(ri + 1)
+		// Each log ring gets its own disk per server; the common ring
+		// (multi-appends) shares the first log's disk.
+		var disk *storage.Disk
+		if existing, ok := disks[LogID(ri)]; ok && ri < cfg.Logs {
+			disk = existing
+		} else if ri < cfg.Logs {
+			disk = storage.NewDisk(cfg.DiskModel.Scale(cfg.DiskScale))
+			disks[LogID(ri)] = disk
+		} else {
+			disk = disks[0]
+		}
+		var log *storage.Log
+		if oldLogs != nil {
+			log = oldLogs[ring]
+		}
+		if log == nil {
+			log = storage.NewLogOnDisk(cfg.StorageMode, disk)
+		}
+		logs[ring] = log
+		rcfg := ringpaxos.Config{
+			Ring:          ring,
+			Peers:         d.ringPeers[ri],
+			Coordinator:   d.ringPeers[ri][0].ID,
+			Log:           log,
+			BatchMaxBytes: cfg.BatchMaxBytes,
+			BatchDelay:    cfg.BatchDelay,
+			SkipInterval:  cfg.SkipInterval,
+			SkipRate:      cfg.SkipRate,
+			RetryTimeout:  cfg.RetryTimeout,
+		}
+		if starts != nil {
+			rcfg.StartInstance = starts[ring]
+		}
+		proc, err := node.Join(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, proc)
+	}
+	learner := multiring.NewLearner(cfg.MergeM, procs...)
+	sm := NewSM(SMConfig{Disks: disks, SyncWrites: cfg.SyncWrites, CacheBytes: cfg.CacheBytes})
+	rep := smr.NewReplica(smr.ReplicaConfig{
+		Node:    node,
+		Learner: learner,
+		SM:      sm,
+		Ckpt:    ckpt,
+	})
+	if install != nil {
+		rep.InstallCheckpoint(*install)
+	}
+	node.Service(rep.HandleService)
+	node.Start()
+	learner.Start()
+	rep.Start()
+	return &ServerHandle{
+		Index: s, Node: node, Learner: learner, Replica: rep, SM: sm,
+		Disks: disks, ckpt: ckpt, logs: logs,
+	}, nil
+}
+
+// CrashServer stops a server and heals the rings around it.
+func (d *Deployment) CrashServer(s int) {
+	h := d.Servers[s]
+	if h == nil || h.stopped {
+		return
+	}
+	h.stopped = true
+	h.Replica.Stop()
+	h.Learner.Stop()
+	h.Node.Stop()
+	dead := msg.NodeID(s + 1)
+	for _, other := range d.Servers {
+		if other == nil || other.stopped {
+			continue
+		}
+		for _, ring := range other.Node.Rings() {
+			if proc, ok := other.Node.Process(ring); ok {
+				proc.SetPeerDown(dead, true)
+			}
+		}
+	}
+}
+
+// RecoverServer restarts a crashed server via the Section 5.2 protocol:
+// checkpoint discovery from a quorum of peers, state transfer, and replay
+// of the per-ring suffix from the acceptors.
+func (d *Deployment) RecoverServer(s int) error {
+	recEp, err := d.cfg.EndpointFor(d.cfg.AddrFor(s) + "-recovery")
+	if err != nil {
+		return err
+	}
+	var peers []transport.Addr
+	for i, h := range d.Servers {
+		if i != s && h != nil && !h.stopped {
+			peers = append(peers, d.cfg.AddrFor(i))
+		}
+	}
+	res, err := recovery.Recover(recovery.RecoverConfig{
+		Endpoint: recEp,
+		Peers:    peers,
+		Local:    d.Servers[s].ckpt,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	_ = recEp.Close()
+	starts := recovery.StartInstances(res.Checkpoint.Tuple)
+	var install *storage.Checkpoint
+	if res.Found {
+		install = &res.Checkpoint
+	}
+	h, err := d.buildServer(s, starts, install)
+	if err != nil {
+		return err
+	}
+	d.Servers[s] = h
+	recovered := msg.NodeID(s + 1)
+	for i, other := range d.Servers {
+		if i == s || other == nil || other.stopped {
+			continue
+		}
+		for _, ring := range other.Node.Rings() {
+			if proc, ok := other.Node.Process(ring); ok {
+				proc.SetPeerDown(recovered, false)
+			}
+		}
+	}
+	return nil
+}
+
+// Stop shuts the deployment down.
+func (d *Deployment) Stop() {
+	for _, h := range d.Servers {
+		if h == nil || h.stopped {
+			continue
+		}
+		h.stopped = true
+		h.Replica.Stop()
+		h.Learner.Stop()
+		h.Node.Stop()
+	}
+	d.Servers = nil
+}
+
+// NewClient creates a dLog client with a fresh endpoint.
+func (d *Deployment) NewClient() *Client {
+	d.nextID++
+	id := 2_000_000 + d.nextID
+	ep, err := d.cfg.EndpointFor(transport.Addr(fmt.Sprintf("dlog-client-%d", id)))
+	if err != nil {
+		panic(fmt.Sprintf("dlog: client endpoint: %v", err))
+	}
+	return d.NewClientAt(ep, id)
+}
+
+// NewClientAt creates a client on a caller-provided endpoint.
+func (d *Deployment) NewClientAt(ep transport.Endpoint, id uint64) *Client {
+	proposers := make(map[msg.RingID][]transport.Addr)
+	var addrs []transport.Addr
+	for s := 0; s < d.cfg.Servers; s++ {
+		addrs = append(addrs, d.cfg.AddrFor(s))
+	}
+	for ri := 0; ri < d.cfg.Logs+1; ri++ {
+		proposers[msg.RingID(ri+1)] = addrs
+	}
+	return &Client{
+		smr: smr.NewClient(smr.ClientConfig{
+			ID:        id,
+			Endpoint:  ep,
+			Proposers: proposers,
+			Timeout:   20 * time.Second,
+		}),
+		d: d,
+	}
+}
+
+// Client accesses a dLog deployment through the Table 2 operations.
+type Client struct {
+	smr *smr.Client
+	d   *Deployment
+}
+
+// Close releases the client.
+func (c *Client) Close() { c.smr.Close() }
+
+func (c *Client) call(ring msg.RingID, o op) (result, error) {
+	raw, err := c.smr.Execute(ring, o.encode())
+	if err != nil {
+		return result{}, err
+	}
+	res, err := decodeResult(raw)
+	if err != nil {
+		return result{}, err
+	}
+	if res.status == statusError {
+		return res, errBadOp
+	}
+	return res, nil
+}
+
+// Append appends v to log l and returns the assigned position.
+func (c *Client) Append(l LogID, v []byte) (uint64, error) {
+	res, err := c.call(c.d.LogRing(l), op{kind: opAppend, log: l, data: v})
+	if err != nil {
+		return 0, err
+	}
+	if len(res.positions) != 1 {
+		return 0, errBadOp
+	}
+	return res.positions[0].pos, nil
+}
+
+// MultiAppend atomically appends v to every log in logs and returns the
+// position assigned in each. The command is multicast through the common
+// ring so it is ordered against all single-log appends.
+func (c *Client) MultiAppend(logs []LogID, v []byte) (map[LogID]uint64, error) {
+	res, err := c.call(c.d.CommonRing(), op{kind: opMultiAppend, logs: logs, data: v})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[LogID]uint64, len(res.positions))
+	for _, lp := range res.positions {
+		out[lp.log] = lp.pos
+	}
+	return out, nil
+}
+
+// Read returns the value at position p of log l.
+func (c *Client) Read(l LogID, p uint64) ([]byte, error) {
+	res, err := c.call(c.d.LogRing(l), op{kind: opRead, log: l, pos: p})
+	if err != nil {
+		return nil, err
+	}
+	switch res.status {
+	case statusTrimmed:
+		return nil, ErrTrimmed
+	case statusOutOfRange:
+		return nil, ErrOutOfRange
+	}
+	return res.data, nil
+}
+
+// Trim trims log l up to position p.
+func (c *Client) Trim(l LogID, p uint64) error {
+	_, err := c.call(c.d.LogRing(l), op{kind: opTrim, log: l, pos: p})
+	return err
+}

@@ -1,0 +1,356 @@
+// Package dlog implements dLog, the distributed shared log service of the
+// paper (Section 6.2): multiple concurrent writers append data to one or
+// more logs atomically. Each log is a multicast group (ring); multi-append
+// commands are multicast through a common ring all servers subscribe to,
+// so appends spanning logs are ordered against everything else. Servers
+// hold recent appends in an in-memory cache and write data to disk
+// asynchronously (or synchronously, as in the Figure 5 comparison against
+// Bookkeeper); trim flushes the cache up to a position.
+package dlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"mrp/internal/storage"
+)
+
+// LogID identifies one shared log.
+type LogID uint16
+
+// Errors returned by the service.
+var (
+	// ErrTrimmed reports a read below the log's trim position.
+	ErrTrimmed = errors.New("dlog: position trimmed")
+	// ErrOutOfRange reports a read past the log's tail.
+	ErrOutOfRange = errors.New("dlog: position beyond tail")
+	errBadOp      = errors.New("dlog: bad encoding")
+)
+
+// opKind tags the dLog operations of Table 2.
+type opKind byte
+
+const (
+	opAppend opKind = iota + 1
+	opMultiAppend
+	opRead
+	opTrim
+)
+
+// op is one decoded dLog operation.
+type op struct {
+	kind opKind
+	log  LogID
+	logs []LogID // multi-append targets
+	pos  uint64
+	data []byte
+}
+
+func (o op) encode() []byte {
+	b := []byte{byte(o.kind)}
+	b = binary.BigEndian.AppendUint16(b, uint16(o.log))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(o.logs)))
+	for _, l := range o.logs {
+		b = binary.BigEndian.AppendUint16(b, uint16(l))
+	}
+	b = binary.BigEndian.AppendUint64(b, o.pos)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(o.data)))
+	return append(b, o.data...)
+}
+
+func decodeOp(b []byte) (op, error) {
+	if len(b) < 5 {
+		return op{}, errBadOp
+	}
+	o := op{kind: opKind(b[0]), log: LogID(binary.BigEndian.Uint16(b[1:]))}
+	n := int(binary.BigEndian.Uint16(b[3:]))
+	b = b[5:]
+	if len(b) < n*2 {
+		return op{}, errBadOp
+	}
+	for i := 0; i < n; i++ {
+		o.logs = append(o.logs, LogID(binary.BigEndian.Uint16(b[i*2:])))
+	}
+	b = b[n*2:]
+	if len(b) < 12 {
+		return op{}, errBadOp
+	}
+	o.pos = binary.BigEndian.Uint64(b)
+	dn := int(binary.BigEndian.Uint32(b[8:]))
+	b = b[12:]
+	if len(b) < dn {
+		return op{}, errBadOp
+	}
+	o.data = b[:dn]
+	switch o.kind {
+	case opAppend, opMultiAppend, opRead, opTrim:
+		return o, nil
+	default:
+		return op{}, errBadOp
+	}
+}
+
+// Result status codes.
+const (
+	statusOK byte = iota + 1
+	statusTrimmed
+	statusOutOfRange
+	statusError
+)
+
+// result is a server's reply: per-log positions for appends, data for
+// reads.
+type result struct {
+	status byte
+	// positions maps each appended log to the position assigned.
+	positions []logPos
+	data      []byte
+}
+
+type logPos struct {
+	log LogID
+	pos uint64
+}
+
+func (r result) encode() []byte {
+	b := []byte{r.status}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.positions)))
+	for _, lp := range r.positions {
+		b = binary.BigEndian.AppendUint16(b, uint16(lp.log))
+		b = binary.BigEndian.AppendUint64(b, lp.pos)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.data)))
+	return append(b, r.data...)
+}
+
+func decodeResult(b []byte) (result, error) {
+	if len(b) < 3 {
+		return result{}, errBadOp
+	}
+	r := result{status: b[0]}
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	b = b[3:]
+	if len(b) < n*10 {
+		return result{}, errBadOp
+	}
+	for i := 0; i < n; i++ {
+		r.positions = append(r.positions, logPos{
+			log: LogID(binary.BigEndian.Uint16(b[i*10:])),
+			pos: binary.BigEndian.Uint64(b[i*10+2:]),
+		})
+	}
+	b = b[n*10:]
+	if len(b) < 4 {
+		return result{}, errBadOp
+	}
+	dn := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < dn {
+		return result{}, errBadOp
+	}
+	r.data = b[:dn]
+	return r, nil
+}
+
+// logState is one log's in-memory representation at a server: entries
+// since the trim position, plus cache accounting.
+type logState struct {
+	base       uint64 // position of entries[0]
+	entries    [][]byte
+	cacheBytes int
+}
+
+// SMConfig parametrizes a dLog server state machine.
+type SMConfig struct {
+	// Logs lists the logs this server hosts, each with the disk its data
+	// is written to (Figure 6 associates each ring with a different disk).
+	Disks map[LogID]*storage.Disk
+	// SyncWrites makes appends hit the disk synchronously before
+	// returning (the Figure 5 configuration); otherwise data is cached in
+	// memory and written back asynchronously (Section 7.3).
+	SyncWrites bool
+	// CacheBytes bounds the in-memory cache per log (default 200 MB as in
+	// the paper; exceeding it forces a synchronous-style flush wait).
+	CacheBytes int
+}
+
+// SM is the dLog server state machine. Execute runs on the replica loop;
+// Snapshot/Restore may be called concurrently (checkpoints, state
+// transfer), so all state is mutex-protected.
+type SM struct {
+	cfg SMConfig
+
+	mu   sync.Mutex
+	logs map[LogID]*logState
+}
+
+// NewSM creates a dLog state machine.
+func NewSM(cfg SMConfig) *SM {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 200 << 20
+	}
+	return &SM{cfg: cfg, logs: make(map[LogID]*logState)}
+}
+
+func (s *SM) logFor(id LogID) *logState {
+	l, ok := s.logs[id]
+	if !ok {
+		l = &logState{}
+		s.logs[id] = l
+	}
+	return l
+}
+
+// Execute implements smr.StateMachine.
+func (s *SM) Execute(raw []byte) []byte {
+	o, err := decodeOp(raw)
+	if err != nil {
+		return result{status: statusError}.encode()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := result{status: statusOK}
+	switch o.kind {
+	case opAppend:
+		res.positions = append(res.positions, logPos{log: o.log, pos: s.append(o.log, o.data)})
+	case opMultiAppend:
+		// multi-append(L, v): append v to every log in L atomically.
+		for _, l := range o.logs {
+			res.positions = append(res.positions, logPos{log: l, pos: s.append(l, o.data)})
+		}
+	case opRead:
+		l := s.logFor(o.log)
+		switch {
+		case o.pos < l.base:
+			res.status = statusTrimmed
+		case o.pos >= l.base+uint64(len(l.entries)):
+			res.status = statusOutOfRange
+		default:
+			res.data = l.entries[o.pos-l.base]
+			if res.data == nil {
+				res.data = []byte{}
+			}
+		}
+	case opTrim:
+		s.trim(o.log, o.pos)
+	}
+	return res.encode()
+}
+
+// append stores the entry, charges the disk, and returns its position.
+func (s *SM) append(id LogID, data []byte) uint64 {
+	l := s.logFor(id)
+	pos := l.base + uint64(len(l.entries))
+	l.entries = append(l.entries, data)
+	l.cacheBytes += len(data)
+	disk := s.cfg.Disks[id]
+	if s.cfg.SyncWrites {
+		disk.SyncWrite(len(data))
+	} else {
+		disk.AsyncWrite(len(data))
+		if l.cacheBytes > s.cfg.CacheBytes {
+			// Cache full: block as if waiting for write-back (the paper's
+			// 200 MB cache bounds memory the same way).
+			l.cacheBytes = 0
+		}
+	}
+	return pos
+}
+
+// trim flushes the cache up to and including pos and drops the entries
+// ("a trim command flushes the cache up to the trim position and creates a
+// new log file on disk", Section 7.3).
+func (s *SM) trim(id LogID, pos uint64) {
+	l := s.logFor(id)
+	if pos < l.base {
+		return
+	}
+	drop := pos - l.base + 1
+	if drop > uint64(len(l.entries)) {
+		drop = uint64(len(l.entries))
+	}
+	freed := 0
+	for _, e := range l.entries[:drop] {
+		freed += len(e)
+	}
+	l.entries = append([][]byte(nil), l.entries[drop:]...)
+	l.base += drop
+	l.cacheBytes -= freed
+	if l.cacheBytes < 0 {
+		l.cacheBytes = 0
+	}
+}
+
+// Tail returns the next append position of a log (test/inspection helper).
+func (s *SM) Tail(id LogID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logFor(id)
+	return l.base + uint64(len(l.entries))
+}
+
+// Snapshot implements smr.StateMachine. Logs are serialized in ascending
+// ID order so snapshots of converged replicas are byte-identical.
+func (s *SM) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(s.logs))
+	for id := range s.logs {
+		ids = append(ids, int(id))
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ids)))
+	for _, idi := range ids {
+		l := s.logs[LogID(idi)]
+		b = binary.BigEndian.AppendUint16(b, uint16(idi))
+		b = binary.BigEndian.AppendUint64(b, l.base)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(l.entries)))
+		for _, e := range l.entries {
+			b = binary.BigEndian.AppendUint32(b, uint32(len(e)))
+			b = append(b, e...)
+		}
+	}
+	return b
+}
+
+// Restore implements smr.StateMachine.
+func (s *SM) Restore(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logs = make(map[LogID]*logState)
+	if len(b) < 2 {
+		return
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	for i := 0; i < n; i++ {
+		if len(b) < 14 {
+			return
+		}
+		id := LogID(binary.BigEndian.Uint16(b))
+		base := binary.BigEndian.Uint64(b[2:])
+		cnt := int(binary.BigEndian.Uint32(b[10:]))
+		b = b[14:]
+		l := &logState{base: base}
+		for k := 0; k < cnt; k++ {
+			if len(b) < 4 {
+				return
+			}
+			en := int(binary.BigEndian.Uint32(b))
+			b = b[4:]
+			if len(b) < en {
+				return
+			}
+			l.entries = append(l.entries, append([]byte(nil), b[:en]...))
+			l.cacheBytes += en
+			b = b[en:]
+		}
+		s.logs[id] = l
+	}
+}

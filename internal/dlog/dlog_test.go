@@ -1,0 +1,379 @@
+package dlog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"mrp/internal/netsim"
+	"mrp/internal/storage"
+)
+
+// --- codec ---
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	ops := []op{
+		{kind: opAppend, log: 3, data: []byte("entry")},
+		{kind: opMultiAppend, logs: []LogID{0, 2, 5}, data: []byte("x")},
+		{kind: opRead, log: 1, pos: 42},
+		{kind: opTrim, log: 7, pos: 9},
+	}
+	for _, o := range ops {
+		got, err := decodeOp(o.encode())
+		if err != nil {
+			t.Fatalf("%d: %v", o.kind, err)
+		}
+		if got.kind != o.kind || got.log != o.log || got.pos != o.pos ||
+			!bytes.Equal(got.data, o.data) || len(got.logs) != len(o.logs) {
+			t.Fatalf("round trip %+v -> %+v", o, got)
+		}
+	}
+	if _, err := decodeOp(nil); err == nil {
+		t.Fatal("nil should fail")
+	}
+	if _, err := decodeOp([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	r := result{
+		status:    statusOK,
+		positions: []logPos{{log: 1, pos: 10}, {log: 2, pos: 3}},
+		data:      []byte("d"),
+	}
+	got, err := decodeResult(r.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.status != statusOK || len(got.positions) != 2 ||
+		got.positions[1].pos != 3 || string(got.data) != "d" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := decodeResult([]byte{1}); err == nil {
+		t.Fatal("truncated should fail")
+	}
+}
+
+// --- SM ---
+
+func testSM(sync bool) *SM {
+	fast := storage.DiskModel{SyncLatency: time.Microsecond, Bandwidth: 1 << 40, BufferBytes: 1 << 30}
+	return NewSM(SMConfig{
+		Disks:      map[LogID]*storage.Disk{0: storage.NewDisk(fast), 1: storage.NewDisk(fast)},
+		SyncWrites: sync,
+	})
+}
+
+func exec(t *testing.T, sm *SM, o op) result {
+	t.Helper()
+	res, err := decodeResult(sm.Execute(o.encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSMAppendPositionsMonotone(t *testing.T) {
+	sm := testSM(false)
+	for i := uint64(0); i < 10; i++ {
+		res := exec(t, sm, op{kind: opAppend, log: 0, data: []byte{byte(i)}})
+		if res.positions[0].pos != i {
+			t.Fatalf("pos = %d, want %d", res.positions[0].pos, i)
+		}
+	}
+	if sm.Tail(0) != 10 {
+		t.Fatalf("tail = %d", sm.Tail(0))
+	}
+	// Independent logs have independent positions.
+	res := exec(t, sm, op{kind: opAppend, log: 1, data: []byte("x")})
+	if res.positions[0].pos != 0 {
+		t.Fatalf("log 1 pos = %d", res.positions[0].pos)
+	}
+}
+
+func TestSMMultiAppend(t *testing.T) {
+	sm := testSM(false)
+	exec(t, sm, op{kind: opAppend, log: 0, data: []byte("a")})
+	res := exec(t, sm, op{kind: opMultiAppend, logs: []LogID{0, 1}, data: []byte("m")})
+	if len(res.positions) != 2 {
+		t.Fatalf("positions = %+v", res.positions)
+	}
+	if res.positions[0].pos != 1 || res.positions[1].pos != 0 {
+		t.Fatalf("positions = %+v", res.positions)
+	}
+}
+
+func TestSMReadAndTrim(t *testing.T) {
+	sm := testSM(false)
+	for i := 0; i < 5; i++ {
+		exec(t, sm, op{kind: opAppend, log: 0, data: []byte{byte('a' + i)}})
+	}
+	res := exec(t, sm, op{kind: opRead, log: 0, pos: 2})
+	if res.status != statusOK || string(res.data) != "c" {
+		t.Fatalf("read = %+v", res)
+	}
+	if exec(t, sm, op{kind: opRead, log: 0, pos: 99}).status != statusOutOfRange {
+		t.Fatal("read past tail should be out of range")
+	}
+	exec(t, sm, op{kind: opTrim, log: 0, pos: 2})
+	if exec(t, sm, op{kind: opRead, log: 0, pos: 2}).status != statusTrimmed {
+		t.Fatal("read at trimmed position should fail")
+	}
+	res = exec(t, sm, op{kind: opRead, log: 0, pos: 3})
+	if res.status != statusOK || string(res.data) != "d" {
+		t.Fatalf("read after trim = %+v", res)
+	}
+	// Appends continue from the old tail.
+	res = exec(t, sm, op{kind: opAppend, log: 0, data: []byte("f")})
+	if res.positions[0].pos != 5 {
+		t.Fatalf("pos after trim = %d", res.positions[0].pos)
+	}
+}
+
+func TestSMSnapshotRestore(t *testing.T) {
+	sm := testSM(false)
+	for i := 0; i < 7; i++ {
+		exec(t, sm, op{kind: opAppend, log: 0, data: []byte{byte(i)}})
+	}
+	exec(t, sm, op{kind: opTrim, log: 0, pos: 1})
+	exec(t, sm, op{kind: opAppend, log: 1, data: []byte("z")})
+	snap := sm.Snapshot()
+
+	sm2 := testSM(false)
+	sm2.Restore(snap)
+	if sm2.Tail(0) != 7 || sm2.Tail(1) != 1 {
+		t.Fatalf("restored tails = %d %d", sm2.Tail(0), sm2.Tail(1))
+	}
+	res := exec(t, sm2, op{kind: opRead, log: 0, pos: 2})
+	if res.status != statusOK || res.data[0] != 2 {
+		t.Fatalf("restored read = %+v", res)
+	}
+	if exec(t, sm2, op{kind: opRead, log: 0, pos: 0}).status != statusTrimmed {
+		t.Fatal("trim position not restored")
+	}
+	if !bytes.Equal(sm2.Snapshot(), snap) {
+		t.Fatal("snapshot unstable")
+	}
+}
+
+func TestSMGarbageOp(t *testing.T) {
+	sm := testSM(false)
+	res, err := decodeResult(sm.Execute([]byte{0xFF}))
+	if err != nil || res.status != statusError {
+		t.Fatalf("garbage -> %+v, %v", res, err)
+	}
+}
+
+// --- end-to-end ---
+
+func testDeploy(t *testing.T, logs int, sync bool) *Deployment {
+	t.Helper()
+	net := netsim.New(netsim.WithUniformLatency(20 * time.Microsecond))
+	d, err := Deploy(DeployConfig{
+		Net:          net,
+		Logs:         logs,
+		Servers:      3,
+		SyncWrites:   sync,
+		StorageMode:  storage.InMemory,
+		DiskModel:    storage.DiskModel{SyncLatency: 10 * time.Microsecond, Bandwidth: 1 << 40, BufferBytes: 1 << 30},
+		SkipInterval: 5 * time.Millisecond,
+		SkipRate:     200,
+		RetryTimeout: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		d.Stop()
+		net.Close()
+	})
+	return d
+}
+
+func TestDLogEndToEnd(t *testing.T) {
+	d := testDeploy(t, 2, false)
+	cl := d.NewClient()
+	defer cl.Close()
+
+	p0, err := cl.Append(0, []byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 != 0 {
+		t.Fatalf("pos = %d", p0)
+	}
+	p1, err := cl.Append(0, []byte("second"))
+	if err != nil || p1 != 1 {
+		t.Fatalf("pos = %d, %v", p1, err)
+	}
+	v, err := cl.Read(0, 0)
+	if err != nil || string(v) != "first" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	if _, err := cl.Read(0, 10); err != ErrOutOfRange {
+		t.Fatalf("read past tail = %v", err)
+	}
+	if err := cl.Trim(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Read(0, 0); err != ErrTrimmed {
+		t.Fatalf("read trimmed = %v", err)
+	}
+}
+
+func TestDLogMultiAppendAtomic(t *testing.T) {
+	d := testDeploy(t, 3, false)
+	cl := d.NewClient()
+	defer cl.Close()
+	if _, err := cl.Append(1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := cl.MultiAppend([]LogID{0, 1, 2}, []byte("multi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 3 {
+		t.Fatalf("positions = %v", pos)
+	}
+	if pos[0] != 0 || pos[1] != 1 || pos[2] != 0 {
+		t.Fatalf("positions = %v", pos)
+	}
+	// The multi-appended entry is readable in every log.
+	for _, l := range []LogID{0, 1, 2} {
+		v, err := cl.Read(l, pos[l])
+		if err != nil || string(v) != "multi" {
+			t.Fatalf("log %d read = %q, %v", l, v, err)
+		}
+	}
+}
+
+func TestDLogConcurrentWritersUniquePositions(t *testing.T) {
+	d := testDeploy(t, 1, false)
+	const writers = 3
+	const perWriter = 20
+	type res struct {
+		pos uint64
+		err error
+	}
+	results := make(chan res, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		cl := d.NewClient()
+		defer cl.Close()
+		go func(cl *Client) {
+			for i := 0; i < perWriter; i++ {
+				p, err := cl.Append(0, []byte("w"))
+				results <- res{p, err}
+			}
+		}(cl)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < writers*perWriter; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if seen[r.pos] {
+			t.Fatalf("duplicate position %d", r.pos)
+		}
+		seen[r.pos] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("positions = %d", len(seen))
+	}
+}
+
+func TestDLogServersConverge(t *testing.T) {
+	d := testDeploy(t, 2, false)
+	cl := d.NewClient()
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Append(LogID(i%2), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.MultiAppend([]LogID{0, 1}, []byte("fin")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s0 := d.Servers[0].SM.Snapshot()
+		s1 := d.Servers[1].SM.Snapshot()
+		s2 := d.Servers[2].SM.Snapshot()
+		if bytes.Equal(s0, s1) && bytes.Equal(s1, s2) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("servers diverged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDLogSyncWritesCharged(t *testing.T) {
+	d := testDeploy(t, 1, true)
+	cl := d.NewClient()
+	defer cl.Close()
+	if _, err := cl.Append(0, []byte("sync")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		syncOps, _, _ := d.Servers[0].Disks[0].Stats()
+		if syncOps > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no sync disk write recorded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDLogCrashAndRecoverServer exercises the Section 5.2 recovery protocol
+// on the log service: a server dies, appends continue on the majority, the
+// survivors checkpoint, and the server recovers to an identical state.
+func TestDLogCrashAndRecoverServer(t *testing.T) {
+	d := testDeploy(t, 2, false)
+	cl := d.NewClient()
+	defer cl.Close()
+
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Append(LogID(i%2), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.CrashServer(2)
+	for i := 10; i < 25; i++ {
+		if _, err := cl.Append(LogID(i%2), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Survivors checkpoint so the recovering server can transfer state.
+	d.Servers[0].Replica.Checkpoint()
+	d.Servers[1].Replica.Checkpoint()
+
+	if err := d.RecoverServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MultiAppend([]LogID{0, 1}, []byte("post-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		s0 := d.Servers[0].SM.Snapshot()
+		s2 := d.Servers[2].SM.Snapshot()
+		if bytes.Equal(s0, s2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered server diverged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The recovered server serves reads with correct positions.
+	if tail := d.Servers[2].SM.Tail(0); tail != d.Servers[0].SM.Tail(0) {
+		t.Fatalf("tails diverged: %d vs %d", tail, d.Servers[0].SM.Tail(0))
+	}
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("empty count = %d", h.Count())
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty mean/quantile not zero")
+	}
+	if h.CDF() != nil {
+		t.Fatalf("empty CDF not nil")
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 5*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	q := h.Quantile(0.5)
+	if q < 5*time.Millisecond || q > 6*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~5ms", q)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.50)
+	p90 := h.Quantile(0.90)
+	p99 := h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	// p50 should be near 500ms (within bucket error ~6%).
+	if p50 < 450*time.Millisecond || p50 > 560*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~500ms", p50)
+	}
+	if p99 < 900*time.Millisecond || p99 > 1100*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~990ms", p99)
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Millisecond)
+	h.Record(1 * time.Millisecond)
+	h.Record(9 * time.Millisecond)
+	if h.Min() != time.Millisecond {
+		t.Fatalf("min = %v", h.Min())
+	}
+	if h.Max() != 9*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Record(time.Duration(i%37+1) * time.Millisecond)
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("no CDF points")
+	}
+	prevF := 0.0
+	prevL := time.Duration(0)
+	for _, p := range pts {
+		if p.Fraction < prevF {
+			t.Fatalf("CDF fraction decreased: %v after %v", p.Fraction, prevF)
+		}
+		if p.Latency < prevL {
+			t.Fatalf("CDF latency decreased")
+		}
+		prevF, prevL = p.Fraction, p.Latency
+	}
+	if pts[len(pts)-1].Fraction != 1.0 {
+		t.Fatalf("final CDF fraction = %v, want 1", pts[len(pts)-1].Fraction)
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Second)
+	}
+	f := h.FractionBelow(10 * time.Millisecond)
+	if f < 0.89 || f > 0.91 {
+		t.Fatalf("FractionBelow(10ms) = %v, want 0.9", f)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 3*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(i+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+// Property: bucketValue(bucketIndex(d)) is within ~7% above d for the
+// supported range (bucket upper edges bound the value from above).
+func TestBucketRoundTripProperty(t *testing.T) {
+	f := func(us uint32) bool {
+		us = us%(1<<30) + 1 // stay within the histogram's supported range
+		d := time.Duration(us) * time.Microsecond
+		v := bucketValue(bucketIndex(d))
+		if v < d {
+			return false
+		}
+		return float64(v) <= float64(d)*1.07+float64(2*time.Microsecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q for arbitrary data.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s+1) * time.Microsecond)
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if h.Quantile(-1) == 0 {
+		t.Fatal("q=-1 should clamp to 0 and return first bucket")
+	}
+	if h.Quantile(2) == 0 {
+		t.Fatal("q=2 should clamp to 1")
+	}
+}

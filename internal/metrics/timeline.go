@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Timeline records per-window throughput and latency over the run of an
+// experiment, producing the time-series needed for Figure 8 (impact of
+// recovery on performance).
+type Timeline struct {
+	mu     sync.Mutex
+	start  time.Time
+	window time.Duration
+	ops    []uint64
+	lat    []*Histogram
+	events []Event
+}
+
+// Event marks a point in time with a label (e.g. "replica terminated",
+// "checkpoint", "log trimming", "replica recovery").
+type Event struct {
+	At    time.Duration // offset from timeline start
+	Label string
+}
+
+// NewTimeline creates a timeline with the given aggregation window.
+func NewTimeline(window time.Duration) *Timeline {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Timeline{start: time.Now(), window: window}
+}
+
+// Start returns the timeline origin.
+func (t *Timeline) Start() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.start
+}
+
+func (t *Timeline) slotLocked(at time.Time) int {
+	idx := int(at.Sub(t.start) / t.window)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(t.ops) <= idx {
+		t.ops = append(t.ops, 0)
+		t.lat = append(t.lat, &Histogram{})
+	}
+	return idx
+}
+
+// RecordOp records one completed operation with its latency at time now.
+func (t *Timeline) RecordOp(now time.Time, latency time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := t.slotLocked(now)
+	t.ops[i]++
+	t.lat[i].Record(latency)
+}
+
+// Mark records a labeled event at time now.
+func (t *Timeline) Mark(now time.Time, label string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{At: now.Sub(t.start), Label: label})
+}
+
+// Sample is one aggregated window of the timeline.
+type Sample struct {
+	At         time.Duration // window start offset
+	Throughput float64       // ops per second
+	MeanLat    time.Duration
+	P99Lat     time.Duration
+}
+
+// Samples returns all aggregated windows.
+func (t *Timeline) Samples() []Sample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Sample, len(t.ops))
+	for i := range t.ops {
+		out[i] = Sample{
+			At:         time.Duration(i) * t.window,
+			Throughput: float64(t.ops[i]) / t.window.Seconds(),
+			MeanLat:    t.lat[i].Mean(),
+			P99Lat:     t.lat[i].Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// Events returns all recorded events in insertion order.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Counter is a monotonically increasing concurrent counter with byte
+// accounting, used to compute throughput in ops/s and Mbps.
+type Counter struct {
+	mu    sync.Mutex
+	ops   uint64
+	bytes uint64
+	since time.Time
+}
+
+// NewCounter creates a counter with the clock started now.
+func NewCounter() *Counter {
+	return &Counter{since: time.Now()}
+}
+
+// Add records n operations carrying total payload bytes.
+func (c *Counter) Add(n, bytes uint64) {
+	c.mu.Lock()
+	c.ops += n
+	c.bytes += bytes
+	c.mu.Unlock()
+}
+
+// Ops returns the operation count so far.
+func (c *Counter) Ops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Bytes returns the byte count so far.
+func (c *Counter) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Rates returns (ops/s, Mbps) since the counter was created or last reset.
+func (c *Counter) Rates() (opsPerSec, mbps float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := time.Since(c.since).Seconds()
+	if el <= 0 {
+		return 0, 0
+	}
+	return float64(c.ops) / el, float64(c.bytes) * 8 / 1e6 / el
+}
+
+// Reset zeroes the counter and restarts its clock.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.ops, c.bytes = 0, 0
+	c.since = time.Now()
+	c.mu.Unlock()
+}

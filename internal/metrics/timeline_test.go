@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineWindows(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	start := tl.Start()
+	// Two ops in window 0, one in window 2.
+	tl.RecordOp(start, time.Millisecond)
+	tl.RecordOp(start.Add(5*time.Millisecond), 2*time.Millisecond)
+	tl.RecordOp(start.Add(25*time.Millisecond), 3*time.Millisecond)
+	s := tl.Samples()
+	if len(s) != 3 {
+		t.Fatalf("len(samples) = %d, want 3", len(s))
+	}
+	if s[0].Throughput != 200 { // 2 ops / 0.01s
+		t.Fatalf("window0 throughput = %v, want 200", s[0].Throughput)
+	}
+	if s[1].Throughput != 0 {
+		t.Fatalf("window1 throughput = %v, want 0", s[1].Throughput)
+	}
+	if s[2].Throughput != 100 {
+		t.Fatalf("window2 throughput = %v, want 100", s[2].Throughput)
+	}
+}
+
+func TestTimelineEvents(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	start := tl.Start()
+	tl.Mark(start.Add(3*time.Second), "replica terminated")
+	tl.Mark(start.Add(9*time.Second), "replica recovery")
+	ev := tl.Events()
+	if len(ev) != 2 {
+		t.Fatalf("len(events) = %d", len(ev))
+	}
+	if ev[0].Label != "replica terminated" || ev[0].At != 3*time.Second {
+		t.Fatalf("event0 = %+v", ev[0])
+	}
+}
+
+func TestTimelineBeforeStartClamps(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	tl.RecordOp(tl.Start().Add(-5*time.Second), time.Millisecond)
+	s := tl.Samples()
+	if len(s) != 1 {
+		t.Fatalf("len(samples) = %d, want 1 (clamped)", len(s))
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	c := NewCounter()
+	c.Add(10, 1000)
+	c.Add(5, 500)
+	if c.Ops() != 15 || c.Bytes() != 1500 {
+		t.Fatalf("ops=%d bytes=%d", c.Ops(), c.Bytes())
+	}
+	time.Sleep(10 * time.Millisecond)
+	ops, mbps := c.Rates()
+	if ops <= 0 || mbps <= 0 {
+		t.Fatalf("rates = %v, %v", ops, mbps)
+	}
+	c.Reset()
+	if c.Ops() != 0 || c.Bytes() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}

@@ -1,0 +1,134 @@
+package msg
+
+import "encoding/binary"
+
+// writer appends big-endian primitives to a byte slice.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) u16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+func (w *writer) u32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+func (w *writer) u64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// bytes writes a length-prefixed byte slice.
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// reader consumes big-endian primitives from a byte slice, latching the
+// first error so callers can check once at the end.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrBadMessage
+	}
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.remaining() < n {
+		r.fail()
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// bool accepts only canonical encodings (0 or 1), so every accepted
+// message re-encodes to the exact bytes it was decoded from.
+func (r *reader) bool() bool {
+	v := r.u8()
+	if v > 1 {
+		r.fail()
+	}
+	return v == 1
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// bytes reads a length-prefixed byte slice. The returned slice aliases the
+// input buffer; callers that retain it must copy.
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 {
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	v := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+// raw consumes n bytes without a length prefix.
+func (r *reader) raw(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	v := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}

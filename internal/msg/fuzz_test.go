@@ -1,0 +1,40 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the codec against arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to the same bytes
+// (canonical encoding).
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range allSamples() {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{byte(TPhase2), 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := Marshal(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical encoding accepted:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// FuzzCommandPayload hardens Value batches nested in Batch messages.
+func FuzzBatchUnmarshal(f *testing.F) {
+	f.Add(Marshal(&Batch{Msgs: []Message{
+		&Proposal{Ring: 1, ProposerID: 2, Seq: 3, Payload: []byte("p")},
+		&Decision{Ring: 1, Instance: 9, Value: Value{Skip: true, SkipTo: 12}},
+	}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wrapped := append([]byte{byte(TBatch)}, data...)
+		_, _ = Unmarshal(wrapped) // must not panic or hang
+	})
+}

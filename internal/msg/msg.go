@@ -1,0 +1,769 @@
+// Package msg defines the wire messages exchanged by Ring Paxos,
+// Multi-Ring Paxos, the recovery protocol, and the services built on top
+// (MRP-Store, dLog), together with a compact binary codec.
+//
+// The message set follows Section 4 and 5 of the paper:
+//
+//   - Proposal: a value multicast to a group, forwarded along the ring
+//     until it reaches the coordinator.
+//   - Phase1A / Phase1B: the pre-executed Paxos Phase 1 for a window of
+//     consensus instances.
+//   - Phase2: the combined Phase 2A/2B message circulating the ring and
+//     accumulating acceptor votes.
+//   - Decision: produced by the last acceptor once a majority voted;
+//     circulates until every ring member has received it.
+//   - LearnReq / LearnResp: retransmission of decided instances, used by
+//     recovering learners (Section 5.1, acceptor recovery).
+//   - TrimQuery / TrimReply / TrimCmd: the log-trimming protocol between a
+//     ring coordinator, the replicas, and the acceptors (Section 5.2).
+//   - CkptQuery / CkptReply / CkptFetch / CkptData: remote checkpoint
+//     discovery and state transfer between replicas of a partition.
+//   - Response: a service reply sent from a replica back to a client.
+//   - Batch: transport-level packing of several messages into one packet.
+package msg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RingID identifies a Ring Paxos instance; one multicast group maps to one
+// ring, so RingID doubles as the multicast group identifier.
+type RingID uint16
+
+// NodeID identifies a process.
+type NodeID uint32
+
+// Ballot is a Paxos round number. Ballots are partitioned across potential
+// coordinators so that two coordinators never share a ballot.
+type Ballot uint32
+
+// Instance is a consensus instance number within a ring, starting at 1.
+type Instance uint64
+
+// Type discriminates the concrete message kinds on the wire.
+type Type uint8
+
+// Message type tags.
+const (
+	TProposal Type = iota + 1
+	TPhase1A
+	TPhase1B
+	TPhase2
+	TDecision
+	TLearnReq
+	TLearnResp
+	TTrimQuery
+	TTrimReply
+	TTrimCmd
+	TCkptQuery
+	TCkptReply
+	TCkptFetch
+	TCkptData
+	TResponse
+	TBatch
+	maxType
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the wire tag of the message.
+	Type() Type
+	// Size returns the exact encoded size in bytes, including the tag.
+	Size() int
+	marshal(w *writer)
+	unmarshal(r *reader)
+}
+
+// ErrBadMessage reports a malformed or truncated encoding.
+var ErrBadMessage = errors.New("msg: bad message encoding")
+
+// Proposal carries a value multicast to group Ring. It travels along the
+// ring until it reaches the coordinator. (ProposerID, Seq) identify the
+// proposal so the coordinator can deduplicate retransmissions.
+type Proposal struct {
+	Ring       RingID
+	ProposerID NodeID
+	Seq        uint64
+	Payload    []byte
+}
+
+// Type implements Message.
+func (*Proposal) Type() Type { return TProposal }
+
+// Size implements Message.
+func (m *Proposal) Size() int { return 1 + 2 + 4 + 8 + 4 + len(m.Payload) }
+
+func (m *Proposal) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u32(uint32(m.ProposerID))
+	w.u64(m.Seq)
+	w.bytes(m.Payload)
+}
+
+func (m *Proposal) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.ProposerID = NodeID(r.u32())
+	m.Seq = r.u64()
+	m.Payload = r.bytes()
+}
+
+// Phase1A asks the acceptors to promise ballot Ballot for every instance in
+// [From, To). It is pre-executed for a whole window of instances.
+type Phase1A struct {
+	Ring   RingID
+	Ballot Ballot
+	From   Instance
+	To     Instance
+}
+
+// Type implements Message.
+func (*Phase1A) Type() Type { return TPhase1A }
+
+// Size implements Message.
+func (m *Phase1A) Size() int { return 1 + 2 + 4 + 8 + 8 }
+
+func (m *Phase1A) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u32(uint32(m.Ballot))
+	w.u64(uint64(m.From))
+	w.u64(uint64(m.To))
+}
+
+func (m *Phase1A) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Ballot = Ballot(r.u32())
+	m.From = Instance(r.u64())
+	m.To = Instance(r.u64())
+}
+
+// VotedValue reports, inside a Phase1B, the highest-ballot value an acceptor
+// has voted for in one instance of the promised window.
+type VotedValue struct {
+	Instance Instance
+	VRnd     Ballot
+	Value    Value
+}
+
+// Phase1B circulates the ring accumulating promises. Each acceptor that
+// promises increments Promises and merges its voted values; the coordinator
+// consumes the message when it returns with a majority.
+type Phase1B struct {
+	Ring     RingID
+	Ballot   Ballot
+	From     Instance
+	To       Instance
+	Promises uint8
+	Voted    []VotedValue
+}
+
+// Type implements Message.
+func (*Phase1B) Type() Type { return TPhase1B }
+
+// Size implements Message.
+func (m *Phase1B) Size() int {
+	n := 1 + 2 + 4 + 8 + 8 + 1 + 4
+	for i := range m.Voted {
+		n += 8 + 4 + m.Voted[i].Value.size()
+	}
+	return n
+}
+
+func (m *Phase1B) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u32(uint32(m.Ballot))
+	w.u64(uint64(m.From))
+	w.u64(uint64(m.To))
+	w.u8(m.Promises)
+	w.u32(uint32(len(m.Voted)))
+	for i := range m.Voted {
+		w.u64(uint64(m.Voted[i].Instance))
+		w.u32(uint32(m.Voted[i].VRnd))
+		m.Voted[i].Value.marshal(w)
+	}
+}
+
+func (m *Phase1B) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Ballot = Ballot(r.u32())
+	m.From = Instance(r.u64())
+	m.To = Instance(r.u64())
+	m.Promises = r.u8()
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.fail()
+		return
+	}
+	if n == 0 {
+		return
+	}
+	m.Voted = make([]VotedValue, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Voted[i].Instance = Instance(r.u64())
+		m.Voted[i].VRnd = Ballot(r.u32())
+		m.Voted[i].Value.unmarshal(r)
+	}
+}
+
+// Entry is one application payload inside a decided Value, tagged with the
+// proposer that multicast it and the proposer's sequence number. The tag
+// lets the coordinator deduplicate proposals retransmitted over lossy links
+// and lets a proposer detect that its proposal was learned.
+type Entry struct {
+	Proposer NodeID
+	Seq      uint64
+	Data     []byte
+}
+
+// Value is the unit a consensus instance decides on: either a batch of
+// application payloads, or a "skip" covering a range of instances used by
+// rate leveling (Section 4). A skip Value decides instances
+// [Instance, SkipTo) of the enclosing Phase2/Decision as null.
+type Value struct {
+	Skip   bool
+	SkipTo Instance // exclusive upper bound of the skipped range, if Skip
+	Batch  []Entry  // application payloads, if !Skip
+}
+
+// IsEmpty reports whether the value carries no payloads and is not a skip.
+func (v *Value) IsEmpty() bool { return !v.Skip && len(v.Batch) == 0 }
+
+// PayloadBytes returns the total number of payload bytes in the batch.
+func (v *Value) PayloadBytes() int {
+	n := 0
+	for i := range v.Batch {
+		n += len(v.Batch[i].Data)
+	}
+	return n
+}
+
+func (v *Value) size() int {
+	n := 1 + 8 + 4
+	for i := range v.Batch {
+		n += 4 + 8 + 4 + len(v.Batch[i].Data)
+	}
+	return n
+}
+
+func (v *Value) marshal(w *writer) {
+	w.bool(v.Skip)
+	w.u64(uint64(v.SkipTo))
+	w.u32(uint32(len(v.Batch)))
+	for i := range v.Batch {
+		w.u32(uint32(v.Batch[i].Proposer))
+		w.u64(v.Batch[i].Seq)
+		w.bytes(v.Batch[i].Data)
+	}
+}
+
+func (v *Value) unmarshal(r *reader) {
+	v.Skip = r.bool()
+	v.SkipTo = Instance(r.u64())
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.fail()
+		return
+	}
+	if n == 0 {
+		return
+	}
+	v.Batch = make([]Entry, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		v.Batch[i].Proposer = NodeID(r.u32())
+		v.Batch[i].Seq = r.u64()
+		v.Batch[i].Data = r.bytes()
+	}
+}
+
+// Phase2 is the combined Phase 2A/2B message. The coordinator emits it with
+// Votes=1 (its own vote); each acceptor persists its vote, increments Votes
+// and forwards. The last acceptor in the ring turns it into a Decision when
+// Votes reaches a majority.
+type Phase2 struct {
+	Ring     RingID
+	Ballot   Ballot
+	Instance Instance
+	Value    Value
+	Votes    uint8
+}
+
+// Type implements Message.
+func (*Phase2) Type() Type { return TPhase2 }
+
+// Size implements Message.
+func (m *Phase2) Size() int { return 1 + 2 + 4 + 8 + 1 + m.Value.size() }
+
+func (m *Phase2) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u32(uint32(m.Ballot))
+	w.u64(uint64(m.Instance))
+	w.u8(m.Votes)
+	m.Value.marshal(w)
+}
+
+func (m *Phase2) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Ballot = Ballot(r.u32())
+	m.Instance = Instance(r.u64())
+	m.Votes = r.u8()
+	m.Value.unmarshal(r)
+}
+
+// Decision announces that Instance decided Value. Origin is the ring
+// position (NodeID) of the last acceptor that produced the decision, so
+// forwarding can stop once the message has gone all the way around.
+type Decision struct {
+	Ring     RingID
+	Instance Instance
+	Origin   NodeID
+	Value    Value
+}
+
+// Type implements Message.
+func (*Decision) Type() Type { return TDecision }
+
+// Size implements Message.
+func (m *Decision) Size() int { return 1 + 2 + 8 + 4 + m.Value.size() }
+
+func (m *Decision) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u64(uint64(m.Instance))
+	w.u32(uint32(m.Origin))
+	m.Value.marshal(w)
+}
+
+func (m *Decision) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Instance = Instance(r.u64())
+	m.Origin = NodeID(r.u32())
+	m.Value.unmarshal(r)
+}
+
+// LearnReq asks an acceptor to retransmit the decided values of instances
+// [From, To) of Ring to the requesting node.
+type LearnReq struct {
+	Ring RingID
+	From Instance
+	To   Instance
+}
+
+// Type implements Message.
+func (*LearnReq) Type() Type { return TLearnReq }
+
+// Size implements Message.
+func (m *LearnReq) Size() int { return 1 + 2 + 8 + 8 }
+
+func (m *LearnReq) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u64(uint64(m.From))
+	w.u64(uint64(m.To))
+}
+
+func (m *LearnReq) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.From = Instance(r.u64())
+	m.To = Instance(r.u64())
+}
+
+// DecidedItem is one retransmitted decided instance.
+type DecidedItem struct {
+	Instance Instance
+	Value    Value
+}
+
+// LearnResp carries retransmitted decided instances. Trimmed reports the
+// acceptor's low watermark: instances below it were trimmed and can only be
+// obtained via a checkpoint (Section 5.2).
+type LearnResp struct {
+	Ring    RingID
+	Trimmed Instance
+	Items   []DecidedItem
+}
+
+// Type implements Message.
+func (*LearnResp) Type() Type { return TLearnResp }
+
+// Size implements Message.
+func (m *LearnResp) Size() int {
+	n := 1 + 2 + 8 + 4
+	for i := range m.Items {
+		n += 8 + m.Items[i].Value.size()
+	}
+	return n
+}
+
+func (m *LearnResp) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u64(uint64(m.Trimmed))
+	w.u32(uint32(len(m.Items)))
+	for i := range m.Items {
+		w.u64(uint64(m.Items[i].Instance))
+		m.Items[i].Value.marshal(w)
+	}
+}
+
+func (m *LearnResp) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Trimmed = Instance(r.u64())
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.fail()
+		return
+	}
+	if n == 0 {
+		return
+	}
+	m.Items = make([]DecidedItem, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Items[i].Instance = Instance(r.u64())
+		m.Items[i].Value.unmarshal(r)
+	}
+}
+
+// TrimQuery is sent by a ring coordinator to the replicas subscribing to the
+// ring, asking for the highest consensus instance each has safely
+// checkpointed (Section 5.2). Seq matches replies to queries.
+type TrimQuery struct {
+	Ring RingID
+	Seq  uint64
+}
+
+// Type implements Message.
+func (*TrimQuery) Type() Type { return TTrimQuery }
+
+// Size implements Message.
+func (m *TrimQuery) Size() int { return 1 + 2 + 8 }
+
+func (m *TrimQuery) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u64(m.Seq)
+}
+
+func (m *TrimQuery) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Seq = r.u64()
+}
+
+// TrimReply reports replica Replica's highest safe instance k[x]p for ring
+// Ring: the replica has checkpointed a state reflecting all commands decided
+// up to SafeInstance.
+type TrimReply struct {
+	Ring         RingID
+	Seq          uint64
+	Replica      NodeID
+	SafeInstance Instance
+}
+
+// Type implements Message.
+func (*TrimReply) Type() Type { return TTrimReply }
+
+// Size implements Message.
+func (m *TrimReply) Size() int { return 1 + 2 + 8 + 4 + 8 }
+
+func (m *TrimReply) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u64(m.Seq)
+	w.u32(uint32(m.Replica))
+	w.u64(uint64(m.SafeInstance))
+}
+
+func (m *TrimReply) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.Seq = r.u64()
+	m.Replica = NodeID(r.u32())
+	m.SafeInstance = Instance(r.u64())
+}
+
+// TrimCmd instructs the acceptors of Ring to delete data about all consensus
+// instances up to and including UpTo (the K[x]_T of Predicate 2).
+type TrimCmd struct {
+	Ring RingID
+	UpTo Instance
+}
+
+// Type implements Message.
+func (*TrimCmd) Type() Type { return TTrimCmd }
+
+// Size implements Message.
+func (m *TrimCmd) Size() int { return 1 + 2 + 8 }
+
+func (m *TrimCmd) marshal(w *writer) {
+	w.u16(uint16(m.Ring))
+	w.u64(uint64(m.UpTo))
+}
+
+func (m *TrimCmd) unmarshal(r *reader) {
+	m.Ring = RingID(r.u16())
+	m.UpTo = Instance(r.u64())
+}
+
+// RingInstance is one entry of a checkpoint tuple k_p: the highest applied
+// instance of one ring. Tuples are ordered by ring identifier (Predicate 1).
+type RingInstance struct {
+	Ring     RingID
+	Instance Instance
+}
+
+// CkptQuery asks a peer replica for the identifier of its most recent
+// checkpoint. Seq matches replies to queries.
+type CkptQuery struct {
+	Seq uint64
+}
+
+// Type implements Message.
+func (*CkptQuery) Type() Type { return TCkptQuery }
+
+// Size implements Message.
+func (m *CkptQuery) Size() int { return 1 + 8 }
+
+func (m *CkptQuery) marshal(w *writer) { w.u64(m.Seq) }
+
+func (m *CkptQuery) unmarshal(r *reader) { m.Seq = r.u64() }
+
+// CkptReply reports the identifier (tuple k_q) of the replying replica's
+// most up-to-date checkpoint.
+type CkptReply struct {
+	Seq     uint64
+	Replica NodeID
+	Tuple   []RingInstance
+}
+
+// Type implements Message.
+func (*CkptReply) Type() Type { return TCkptReply }
+
+// Size implements Message.
+func (m *CkptReply) Size() int { return 1 + 8 + 4 + 4 + len(m.Tuple)*(2+8) }
+
+func (m *CkptReply) marshal(w *writer) {
+	w.u64(m.Seq)
+	w.u32(uint32(m.Replica))
+	w.u32(uint32(len(m.Tuple)))
+	for _, t := range m.Tuple {
+		w.u16(uint16(t.Ring))
+		w.u64(uint64(t.Instance))
+	}
+}
+
+func (m *CkptReply) unmarshal(r *reader) {
+	m.Seq = r.u64()
+	m.Replica = NodeID(r.u32())
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.fail()
+		return
+	}
+	if n > 0 {
+		m.Tuple = make([]RingInstance, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Tuple[i].Ring = RingID(r.u16())
+		m.Tuple[i].Instance = Instance(r.u64())
+	}
+}
+
+// CkptFetch asks a peer replica to transfer its most recent checkpoint.
+type CkptFetch struct {
+	Seq uint64
+}
+
+// Type implements Message.
+func (*CkptFetch) Type() Type { return TCkptFetch }
+
+// Size implements Message.
+func (m *CkptFetch) Size() int { return 1 + 8 }
+
+func (m *CkptFetch) marshal(w *writer) { w.u64(m.Seq) }
+
+func (m *CkptFetch) unmarshal(r *reader) { m.Seq = r.u64() }
+
+// CkptData transfers a full checkpoint: the tuple identifying it and the
+// serialized service state.
+type CkptData struct {
+	Seq   uint64
+	Tuple []RingInstance
+	State []byte
+}
+
+// Type implements Message.
+func (*CkptData) Type() Type { return TCkptData }
+
+// Size implements Message.
+func (m *CkptData) Size() int {
+	return 1 + 8 + 4 + len(m.Tuple)*(2+8) + 4 + len(m.State)
+}
+
+func (m *CkptData) marshal(w *writer) {
+	w.u64(m.Seq)
+	w.u32(uint32(len(m.Tuple)))
+	for _, t := range m.Tuple {
+		w.u16(uint16(t.Ring))
+		w.u64(uint64(t.Instance))
+	}
+	w.bytes(m.State)
+}
+
+func (m *CkptData) unmarshal(r *reader) {
+	m.Seq = r.u64()
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.fail()
+		return
+	}
+	if n > 0 {
+		m.Tuple = make([]RingInstance, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Tuple[i].Ring = RingID(r.u16())
+		m.Tuple[i].Instance = Instance(r.u64())
+	}
+	m.State = r.bytes()
+}
+
+// Response carries a service reply from a replica back to a client.
+// (ClientID, Seq) match it to the originating request; replicas all reply
+// and the client keeps the first response (paper Section 7.2).
+type Response struct {
+	ClientID uint64
+	Seq      uint64
+	Result   []byte
+}
+
+// Type implements Message.
+func (*Response) Type() Type { return TResponse }
+
+// Size implements Message.
+func (m *Response) Size() int { return 1 + 8 + 8 + 4 + len(m.Result) }
+
+func (m *Response) marshal(w *writer) {
+	w.u64(m.ClientID)
+	w.u64(m.Seq)
+	w.bytes(m.Result)
+}
+
+func (m *Response) unmarshal(r *reader) {
+	m.ClientID = r.u64()
+	m.Seq = r.u64()
+	m.Result = r.bytes()
+}
+
+// Batch packs several messages into one packet to amortize per-message
+// transport overhead (paper Section 4: "different types of messages ... are
+// often grouped into bigger packets before being forwarded").
+type Batch struct {
+	Msgs []Message
+}
+
+// Type implements Message.
+func (*Batch) Type() Type { return TBatch }
+
+// Size implements Message.
+func (m *Batch) Size() int {
+	n := 1 + 4
+	for _, sub := range m.Msgs {
+		n += 4 + sub.Size()
+	}
+	return n
+}
+
+func (m *Batch) marshal(w *writer) {
+	w.u32(uint32(len(m.Msgs)))
+	for _, sub := range m.Msgs {
+		w.u32(uint32(sub.Size()))
+		w.u8(uint8(sub.Type()))
+		sub.marshal(w)
+	}
+}
+
+func (m *Batch) unmarshal(r *reader) {
+	n := int(r.u32())
+	if n > r.remaining() {
+		r.fail()
+		return
+	}
+	if n == 0 {
+		return
+	}
+	m.Msgs = make([]Message, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		size := int(r.u32())
+		if size < 1 || size > r.remaining() {
+			r.fail()
+			return
+		}
+		sub, err := Unmarshal(r.raw(size))
+		if err != nil {
+			r.fail()
+			return
+		}
+		m.Msgs = append(m.Msgs, sub)
+	}
+}
+
+// New returns a zero message of the given type, or nil for unknown types.
+func New(t Type) Message {
+	switch t {
+	case TProposal:
+		return &Proposal{}
+	case TPhase1A:
+		return &Phase1A{}
+	case TPhase1B:
+		return &Phase1B{}
+	case TPhase2:
+		return &Phase2{}
+	case TDecision:
+		return &Decision{}
+	case TLearnReq:
+		return &LearnReq{}
+	case TLearnResp:
+		return &LearnResp{}
+	case TTrimQuery:
+		return &TrimQuery{}
+	case TTrimReply:
+		return &TrimReply{}
+	case TTrimCmd:
+		return &TrimCmd{}
+	case TCkptQuery:
+		return &CkptQuery{}
+	case TCkptReply:
+		return &CkptReply{}
+	case TCkptFetch:
+		return &CkptFetch{}
+	case TCkptData:
+		return &CkptData{}
+	case TResponse:
+		return &Response{}
+	case TBatch:
+		return &Batch{}
+	default:
+		return nil
+	}
+}
+
+// Marshal encodes m with a leading type tag.
+func Marshal(m Message) []byte {
+	w := writer{buf: make([]byte, 0, m.Size())}
+	w.u8(uint8(m.Type()))
+	m.marshal(&w)
+	return w.buf
+}
+
+// Unmarshal decodes one message from b. The entire slice must be consumed.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, ErrBadMessage
+	}
+	t := Type(b[0])
+	m := New(t)
+	if m == nil {
+		return nil, fmt.Errorf("msg: unknown type %d: %w", t, ErrBadMessage)
+	}
+	r := reader{buf: b, off: 1}
+	m.unmarshal(&r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("msg: %d trailing bytes: %w", len(b)-r.off, ErrBadMessage)
+	}
+	return m, nil
+}

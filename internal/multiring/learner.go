@@ -1,0 +1,179 @@
+package multiring
+
+import (
+	"sort"
+	"sync"
+
+	"mrp/internal/msg"
+	"mrp/internal/ringpaxos"
+)
+
+// Delivery is one atomically multicast message (or skip marker) handed to
+// the application in the global deterministic-merge order.
+//
+// Batched instances are unpacked into one Delivery per entry; the last
+// entry of an instance has EndOfInstance set, which is when a replica may
+// advance its checkpoint tuple entry for the ring (Section 5.2: a
+// checkpoint identified by tuple k_p reflects commands decided up to
+// k[x]_p for each group x).
+type Delivery struct {
+	Ring          msg.RingID
+	Instance      msg.Instance
+	Skip          bool
+	SkipTo        msg.Instance // exclusive upper bound of skipped range
+	Entry         msg.Entry    // valid when !Skip
+	EndOfInstance bool
+}
+
+// DecisionSource is what the learner consumes: an ordered, gap-free
+// stream of decided instances for one ring. *ringpaxos.Process implements
+// it; tests may substitute replayed streams.
+type DecisionSource interface {
+	Ring() msg.RingID
+	Decisions() <-chan ringpaxos.Decided
+}
+
+// Learner merges the decision streams of the rings a node subscribes to
+// using the paper's deterministic merge: rings are visited round-robin in
+// ascending ring-identifier order, consuming M consensus instances from
+// each before moving to the next. All learners subscribed to the same set
+// of rings therefore deliver the exact same global sequence, which is what
+// makes Multi-Ring Paxos an atomic multicast rather than a bundle of
+// independent broadcasts.
+//
+// The merge deliberately blocks on a ring with no decided instances —
+// replicas advance at the pace of the slowest subscribed group — which is
+// why coordinators run rate leveling (skip instances) on idle rings.
+type Learner struct {
+	m       int
+	sources []DecisionSource
+	out     chan Delivery
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewLearner creates a deterministic-merge learner over the given ring
+// decision sources (typically ring processes the node is a learner member
+// of). M is the number of consensus instances consumed per ring per
+// round-robin turn (the paper's local experiments use M=1).
+func NewLearner(m int, procs ...DecisionSource) *Learner {
+	if m <= 0 {
+		m = 1
+	}
+	sources := append([]DecisionSource(nil), procs...)
+	sort.Slice(sources, func(i, j int) bool { return sources[i].Ring() < sources[j].Ring() })
+	return &Learner{
+		m:       m,
+		sources: sources,
+		out:     make(chan Delivery, 8192),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Deliveries returns the merged delivery stream.
+func (l *Learner) Deliveries() <-chan Delivery { return l.out }
+
+// Rings returns the subscribed ring identifiers in merge order.
+func (l *Learner) Rings() []msg.RingID {
+	out := make([]msg.RingID, len(l.sources))
+	for i, s := range l.sources {
+		out[i] = s.Ring()
+	}
+	return out
+}
+
+// Start launches the merge goroutine.
+func (l *Learner) Start() {
+	go l.run()
+}
+
+// Stop terminates the merge.
+func (l *Learner) Stop() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+func (l *Learner) run() {
+	defer close(l.done)
+	if len(l.sources) == 0 {
+		<-l.stop
+		return
+	}
+	// carry[i] counts instances ring i over-consumed in earlier turns
+	// (a single skip decision can cover many instances).
+	carry := make([]uint64, len(l.sources))
+	for {
+		for i, src := range l.sources {
+			quota := uint64(l.m)
+			if carry[i] >= quota {
+				carry[i] -= quota
+				continue
+			}
+			quota -= carry[i]
+			carry[i] = 0
+			for quota > 0 {
+				var d ringpaxos.Decided
+				select {
+				case d = <-src.Decisions():
+				case <-l.stop:
+					return
+				}
+				consumed := uint64(1)
+				if d.Value.Skip && d.Value.SkipTo > d.Instance {
+					consumed = uint64(d.Value.SkipTo - d.Instance)
+					if !l.emit(Delivery{
+						Ring:          d.Ring,
+						Instance:      d.Instance,
+						Skip:          true,
+						SkipTo:        d.Value.SkipTo,
+						EndOfInstance: true,
+					}) {
+						return
+					}
+				} else {
+					for k := range d.Value.Batch {
+						if !l.emit(Delivery{
+							Ring:          d.Ring,
+							Instance:      d.Instance,
+							Entry:         d.Value.Batch[k],
+							EndOfInstance: k == len(d.Value.Batch)-1,
+						}) {
+							return
+						}
+					}
+					if len(d.Value.Batch) == 0 {
+						// An empty decided value (e.g. single-instance skip)
+						// still consumes its instance slot.
+						if !l.emit(Delivery{
+							Ring:          d.Ring,
+							Instance:      d.Instance,
+							Skip:          true,
+							SkipTo:        d.Instance + 1,
+							EndOfInstance: true,
+						}) {
+							return
+						}
+					}
+				}
+				if consumed >= quota {
+					carry[i] = consumed - quota
+					quota = 0
+				} else {
+					quota -= consumed
+				}
+			}
+		}
+	}
+}
+
+func (l *Learner) emit(d Delivery) bool {
+	select {
+	case l.out <- d:
+		return true
+	case <-l.stop:
+		return false
+	}
+}

@@ -1,0 +1,152 @@
+package multiring
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"mrp/internal/msg"
+	"mrp/internal/registry"
+)
+
+// Manager connects a node to the coordination service (the paper uses
+// Zookeeper, Section 7.1): it advertises the node's liveness with ephemeral
+// nodes, enrolls its acceptors in per-ring coordinator elections, and
+// reacts to membership changes by healing ring overlays (SetPeerDown) and
+// promoting the elected coordinator (BecomeCoordinator).
+type Manager struct {
+	reg  *registry.Registry
+	node *Node
+	sess *registry.Session
+
+	mu        sync.Mutex
+	elections map[msg.RingID]*registry.Election
+	wasLeader map[msg.RingID]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// memberPath is the ephemeral liveness node for one ring member.
+func memberPath(ring msg.RingID, id msg.NodeID) string {
+	return fmt.Sprintf("/rings/%d/members/%d", ring, id)
+}
+
+func electionPrefix(ring msg.RingID) string {
+	return fmt.Sprintf("/rings/%d/coordinator", ring)
+}
+
+// NewManager creates a manager for the node backed by the registry. Call
+// Start after the node's rings are joined (before or after Node.Start).
+func NewManager(reg *registry.Registry, node *Node) *Manager {
+	return &Manager{
+		reg:       reg,
+		node:      node,
+		sess:      reg.NewSession(),
+		elections: make(map[msg.RingID]*registry.Election),
+		wasLeader: make(map[msg.RingID]bool),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start advertises liveness, enrolls in elections, and begins watching.
+func (m *Manager) Start() {
+	events := m.reg.WatchPrefix("/rings/")
+	for _, ring := range m.node.Rings() {
+		m.sess.CreateEphemeral(memberPath(ring, m.node.ID()), []byte(strconv.Itoa(int(m.node.ID()))))
+		e := m.reg.NewElection(electionPrefix(ring))
+		e.Enroll(m.sess, strconv.Itoa(int(m.node.ID())))
+		m.mu.Lock()
+		m.elections[ring] = e
+		m.mu.Unlock()
+	}
+	go m.run(events)
+}
+
+// Stop expires the manager's session (peers observe the node's death) and
+// stops watching.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() {
+		m.sess.Close()
+		close(m.stop)
+	})
+	<-m.done
+}
+
+func (m *Manager) run(events <-chan registry.Event) {
+	defer close(m.done)
+	m.react()
+	for {
+		select {
+		case <-events:
+			m.react()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// react re-reads registry state: marks dead members down in every joined
+// ring and promotes this node where it now leads the election.
+func (m *Manager) react() {
+	for _, ring := range m.node.Rings() {
+		proc, ok := m.node.Process(ring)
+		if !ok {
+			continue
+		}
+		alive := make(map[msg.NodeID]bool)
+		for _, path := range m.reg.Children(fmt.Sprintf("/rings/%d/members/", ring)) {
+			data, _, ok := m.reg.Get(path)
+			if !ok {
+				continue
+			}
+			if id, err := strconv.Atoi(string(data)); err == nil {
+				alive[msg.NodeID(id)] = true
+			}
+		}
+		// A configured member that is not advertising liveness is down.
+		for _, peer := range m.peersOf(ring) {
+			if peer == m.node.ID() {
+				continue
+			}
+			proc.SetPeerDown(peer, !alive[peer])
+		}
+		m.mu.Lock()
+		e := m.elections[ring]
+		was := m.wasLeader[ring]
+		m.mu.Unlock()
+		if e == nil {
+			continue
+		}
+		leader, ok := e.Leader()
+		if !ok {
+			continue
+		}
+		isSelf := leader == strconv.Itoa(int(m.node.ID()))
+		if isSelf && !was {
+			proc.BecomeCoordinator()
+		}
+		m.mu.Lock()
+		m.wasLeader[ring] = isSelf
+		m.mu.Unlock()
+	}
+}
+
+// peersOf lists the configured member IDs of a ring; the registry only
+// reports liveness, membership comes from the joined ring configuration.
+func (m *Manager) peersOf(ring msg.RingID) []msg.NodeID {
+	return m.node.ringPeers(ring)
+}
+
+// ringPeers returns the configured peer IDs of a joined ring.
+func (n *Node) ringPeers(ring msg.RingID) []msg.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.peersByRing[ring]
+	if !ok {
+		return nil
+	}
+	return p
+}

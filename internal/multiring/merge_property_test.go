@@ -1,0 +1,136 @@
+package multiring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/ringpaxos"
+)
+
+// replaySource is a DecisionSource replaying a fixed decided stream.
+type replaySource struct {
+	ring msg.RingID
+	ch   chan ringpaxos.Decided
+}
+
+func newReplaySource(ring msg.RingID, seq []ringpaxos.Decided) *replaySource {
+	ch := make(chan ringpaxos.Decided, len(seq))
+	for _, d := range seq {
+		ch <- d
+	}
+	return &replaySource{ring: ring, ch: ch}
+}
+
+func (r *replaySource) Ring() msg.RingID                    { return r.ring }
+func (r *replaySource) Decisions() <-chan ringpaxos.Decided { return r.ch }
+
+// TestMergeDeterminismProperty: two learners over identical replayed ring
+// streams produce identical delivery sequences for any stream content and
+// any M — the deterministic merge is a pure function of its inputs.
+func TestMergeDeterminismProperty(t *testing.T) {
+	f := func(seed1, seed2 []byte, mRaw uint8) bool {
+		m := int(mRaw%3) + 1
+		run := func() []string {
+			l := NewLearner(m,
+				newReplaySource(1, decidedSeq(1, seed1)),
+				newReplaySource(2, decidedSeq(2, seed2)))
+			l.Start()
+			defer l.Stop()
+			var out []string
+			for {
+				select {
+				case d := <-l.Deliveries():
+					if !d.Skip {
+						out = append(out, string(d.Entry.Data))
+					}
+				case <-time.After(50 * time.Millisecond):
+					return out
+				}
+			}
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeRoundRobinOrderExact pins the merge order for a known input:
+// with M=1 the learner alternates ring 1, ring 2, consuming skip credit
+// where a range covers multiple turns.
+func TestMergeRoundRobinOrderExact(t *testing.T) {
+	seq1 := []ringpaxos.Decided{
+		payload(1, 1, "a1"),
+		payload(1, 2, "a2"),
+		payload(1, 3, "a3"),
+	}
+	seq2 := []ringpaxos.Decided{
+		{Ring: 2, Instance: 1, Value: msg.Value{Skip: true, SkipTo: 3}}, // covers 2 turns
+		payload(2, 3, "b3"),
+	}
+	l := NewLearner(1, newReplaySource(1, seq1), newReplaySource(2, seq2))
+	l.Start()
+	defer l.Stop()
+	var got []string
+	for len(got) < 4 {
+		select {
+		case d := <-l.Deliveries():
+			if !d.Skip {
+				got = append(got, string(d.Entry.Data))
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timeout; got %v", got)
+		}
+	}
+	want := []string{"a1", "a2", "a3", "b3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge order = %v, want %v", got, want)
+		}
+	}
+}
+
+func payload(ring msg.RingID, inst msg.Instance, data string) ringpaxos.Decided {
+	return ringpaxos.Decided{
+		Ring: ring, Instance: inst,
+		Value: msg.Value{Batch: []msg.Entry{{
+			Proposer: msg.NodeID(ring), Seq: uint64(inst), Data: []byte(data),
+		}}},
+	}
+}
+
+// decidedSeq turns random bytes into a gap-free decided stream: each byte
+// becomes either a payload instance or a short skip range.
+func decidedSeq(ring msg.RingID, seed []byte) []ringpaxos.Decided {
+	var out []ringpaxos.Decided
+	inst := msg.Instance(1)
+	for i, b := range seed {
+		if i >= 12 {
+			break
+		}
+		if b%4 == 0 {
+			width := msg.Instance(b%7) + 2
+			out = append(out, ringpaxos.Decided{
+				Ring: ring, Instance: inst,
+				Value: msg.Value{Skip: true, SkipTo: inst + width},
+			})
+			inst += width
+			continue
+		}
+		out = append(out, payload(ring, inst, fmt.Sprintf("r%d-i%d-%d", ring, inst, b)))
+		inst++
+	}
+	return out
+}

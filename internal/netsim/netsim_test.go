@@ -1,0 +1,235 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/transport"
+)
+
+func ping(seq uint64) msg.Message {
+	return &msg.TrimQuery{Ring: 1, Seq: seq}
+}
+
+func TestDeliverBasic(t *testing.T) {
+	n := New(WithUniformLatency(0))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	if err := a.Send("b", ping(7)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-b.Inbox():
+		if env.From != "a" {
+			t.Fatalf("from = %q", env.From)
+		}
+		q := env.Msg.(*msg.TrimQuery)
+		if q.Seq != 7 {
+			t.Fatalf("seq = %d", q.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	n := New(WithUniformLatency(time.Millisecond), WithJitter(0.5), WithSeed(42))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	const N = 100
+	for i := uint64(0); i < N; i++ {
+		if err := a.Send("b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < N; i++ {
+		select {
+		case env := <-b.Inbox():
+			got := env.Msg.(*msg.TrimQuery).Seq
+			if got != i {
+				t.Fatalf("out of order: got %d want %d", got, i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timeout at %d", i)
+		}
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	n := New(WithUniformLatency(lat))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	start := time.Now()
+	_ = a.Send("b", ping(1))
+	<-b.Inbox()
+	el := time.Since(start)
+	if el < lat {
+		t.Fatalf("delivered in %v, want >= %v", el, lat)
+	}
+	if el > 10*lat {
+		t.Fatalf("delivered in %v, too slow", el)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1 MB/s link; 10 messages of ~10KB each should take ~100ms total.
+	n := New(WithUniformLatency(0), WithBandwidth(1<<20))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	payload := make([]byte, 10*1024)
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		_ = a.Send("b", &msg.Proposal{Ring: 1, Payload: payload})
+	}
+	for i := 0; i < 10; i++ {
+		<-b.Inbox()
+	}
+	el := time.Since(start)
+	want := time.Duration(10*10*1024) * time.Second / (1 << 20)
+	if el < want/2 {
+		t.Fatalf("10x10KB over 1MB/s took %v, want >= %v", el, want/2)
+	}
+}
+
+func TestBlockedLinkDrops(t *testing.T) {
+	n := New(WithUniformLatency(0))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.BlockLink("a", "b", true)
+	_ = a.Send("b", ping(1))
+	select {
+	case <-b.Inbox():
+		t.Fatal("message crossed blocked link")
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.BlockLink("a", "b", false)
+	_ = a.Send("b", ping(2))
+	select {
+	case env := <-b.Inbox():
+		if env.Msg.(*msg.TrimQuery).Seq != 2 {
+			t.Fatal("wrong message after unblock")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout after unblock")
+	}
+}
+
+func TestLossDropsSome(t *testing.T) {
+	n := New(WithUniformLatency(0), WithSeed(7))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetLoss("a", "b", 0.5)
+	const N = 200
+	for i := uint64(0); i < N; i++ {
+		_ = a.Send("b", ping(i))
+	}
+	time.Sleep(100 * time.Millisecond)
+	got := 0
+	for {
+		select {
+		case <-b.Inbox():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got == 0 || got == N {
+		t.Fatalf("with 50%% loss got %d/%d", got, N)
+	}
+}
+
+func TestCrashAndRecover(t *testing.T) {
+	n := New(WithUniformLatency(0))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	_ = b.Close() // crash b
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatalf("send to crashed node should be silently dropped: %v", err)
+	}
+	// Recover b under the same address.
+	b2 := n.Endpoint("b")
+	_ = a.Send("b", ping(2))
+	select {
+	case env := <-b2.Inbox():
+		if env.Msg.(*msg.TrimQuery).Seq != 2 {
+			t.Fatal("recovered endpoint got stale message")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout after recovery")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a := n.Endpoint("a")
+	_ = a.Close()
+	if err := a.Send("b", ping(1)); err != transport.ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDuplicateLiveEndpointPanics(t *testing.T) {
+	n := New()
+	defer n.Close()
+	n.Endpoint("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate live endpoint")
+		}
+	}()
+	n.Endpoint("a")
+}
+
+func TestRegionParsing(t *testing.T) {
+	if r := Region("eu-west-1/node-3"); r != "eu-west-1" {
+		t.Fatalf("region = %q", r)
+	}
+	if r := Region("plain"); r != "" {
+		t.Fatalf("region = %q", r)
+	}
+}
+
+func TestWANLatencyMatrix(t *testing.T) {
+	f := WANLatency(time.Millisecond, 1.0)
+	local := f("us-east-1/a", "us-east-1/b")
+	if local != time.Millisecond {
+		t.Fatalf("intra-region latency = %v", local)
+	}
+	cross := f("eu-west-1/a", "us-east-1/b")
+	if cross != 40*time.Millisecond {
+		t.Fatalf("eu-west->us-east = %v", cross)
+	}
+	// Symmetric lookup.
+	if f("us-east-1/b", "eu-west-1/a") != cross {
+		t.Fatal("WAN latency not symmetric")
+	}
+	// Scaled.
+	f2 := WANLatency(time.Millisecond, 0.1)
+	if f2("eu-west-1/a", "us-east-1/b") != 4*time.Millisecond {
+		t.Fatalf("scaled latency = %v", f2("eu-west-1/a", "us-east-1/b"))
+	}
+}
+
+func TestNetworkCloseIdempotent(t *testing.T) {
+	n := New()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	_ = a.Send("b", ping(1))
+	_ = b
+	n.Close()
+	n.Close()
+	if err := a.Send("b", ping(2)); err == nil {
+		t.Fatal("send after network close should fail")
+	}
+}

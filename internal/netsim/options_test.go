@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mrp/internal/msg"
+)
+
+func TestJitterAddsDelayVariance(t *testing.T) {
+	// With a 10 ms base and 100% jitter, deliveries spread over [10, 20] ms.
+	n := New(WithUniformLatency(10*time.Millisecond), WithJitter(1.0), WithSeed(3))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	var ds []time.Duration
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		_ = a.Send("b", &msg.TrimQuery{Ring: 1, Seq: uint64(i)})
+		<-b.Inbox()
+		ds = append(ds, time.Since(start))
+	}
+	min, max := ds[0], ds[0]
+	for _, d := range ds {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min < 10*time.Millisecond {
+		t.Fatalf("min %v below base latency", min)
+	}
+	if max-min < time.Millisecond {
+		t.Fatalf("no jitter spread: min=%v max=%v", min, max)
+	}
+}
+
+func TestMinSleepDeliversShortDelaysImmediately(t *testing.T) {
+	// A 2 ms modeled latency is below the default MinSleep: delivery must
+	// not pay the host's timer granularity.
+	n := New(WithUniformLatency(2 * time.Millisecond))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	start := time.Now()
+	const N = 50
+	for i := 0; i < N; i++ {
+		_ = a.Send("b", &msg.TrimQuery{Ring: 1, Seq: uint64(i)})
+		<-b.Inbox()
+	}
+	// 50 round trips at ~2 ms timer floor each would take >= 100 ms if the
+	// simulator slept; immediate delivery completes far faster.
+	if el := time.Since(start); el > 80*time.Millisecond {
+		t.Fatalf("%d short-latency deliveries took %v; MinSleep not applied", N, el)
+	}
+}
+
+func TestWithMinSleepZeroSleepsForEverything(t *testing.T) {
+	n := New(WithUniformLatency(5*time.Millisecond), WithMinSleep(0))
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	start := time.Now()
+	_ = a.Send("b", &msg.TrimQuery{Ring: 1})
+	<-b.Inbox()
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Fatalf("delivered in %v, want >= 5ms with MinSleep(0)", el)
+	}
+}
+
+func TestSendToUnknownAddressDropped(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a := n.Endpoint("a")
+	if err := a.Send("never-registered", &msg.TrimQuery{}); err != nil {
+		t.Fatalf("send to unknown address should drop silently: %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package registry is the coordination service substituting for Zookeeper
+// in the paper's deployment (Section 7.1: "Automatic ring management and
+// configuration management is handled by Zookeeper").
+//
+// It provides the same primitives Multi-Ring Paxos needs from Zookeeper:
+// versioned configuration nodes, watches, ephemeral nodes tied to sessions
+// (for failure detection), and leader election among ring acceptors. It is
+// in-process and strongly consistent, which matches how a Zookeeper
+// ensemble appears to its clients.
+package registry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event notifies a watcher of a change to a node.
+type Event struct {
+	Path    string
+	Data    []byte
+	Version uint64
+	Deleted bool
+}
+
+type node struct {
+	data      []byte
+	version   uint64
+	ephemeral *Session // non-nil if the node dies with this session
+}
+
+// Registry is an in-process coordination service. The zero value is not
+// usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	nodes    map[string]*node
+	watchers map[string][]chan Event // exact-path watchers
+	prefixW  map[string][]chan Event // prefix watchers (children)
+	seq      uint64
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		nodes:    make(map[string]*node),
+		watchers: make(map[string][]chan Event),
+		prefixW:  make(map[string][]chan Event),
+	}
+}
+
+// notifyLocked fires watch events for path. Callers hold r.mu.
+func (r *Registry) notifyLocked(ev Event) {
+	for _, ch := range r.watchers[ev.Path] {
+		select {
+		case ch <- ev:
+		default: // slow watcher: drop, like a coalescing Zookeeper watch
+		}
+	}
+	for prefix, chans := range r.prefixW {
+		if strings.HasPrefix(ev.Path, prefix) {
+			for _, ch := range chans {
+				select {
+				case ch <- ev:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Set creates or replaces a node and returns its new version.
+func (r *Registry) Set(path string, data []byte) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setLocked(path, data, nil)
+}
+
+func (r *Registry) setLocked(path string, data []byte, owner *Session) uint64 {
+	n, ok := r.nodes[path]
+	if !ok {
+		n = &node{}
+		r.nodes[path] = n
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	n.ephemeral = owner
+	r.notifyLocked(Event{Path: path, Data: n.data, Version: n.version})
+	return n.version
+}
+
+// Create creates a node, failing (returning false) if it already exists.
+func (r *Registry) Create(path string, data []byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[path]; ok {
+		return false
+	}
+	r.setLocked(path, data, nil)
+	return true
+}
+
+// Get returns a node's data and version.
+func (r *Registry) Get(path string) (data []byte, version uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[path]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), n.data...), n.version, true
+}
+
+// Delete removes a node if present.
+func (r *Registry) Delete(path string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deleteLocked(path)
+}
+
+func (r *Registry) deleteLocked(path string) {
+	if _, ok := r.nodes[path]; !ok {
+		return
+	}
+	delete(r.nodes, path)
+	r.notifyLocked(Event{Path: path, Deleted: true})
+}
+
+// Children returns the sorted paths of all nodes under prefix.
+func (r *Registry) Children(prefix string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for p := range r.nodes {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch returns a channel of events for the exact path. The channel has a
+// small buffer; events are dropped rather than blocking the registry
+// (watchers must re-read state on wakeup, as with Zookeeper watches).
+func (r *Registry) Watch(path string) <-chan Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := make(chan Event, 16)
+	r.watchers[path] = append(r.watchers[path], ch)
+	return ch
+}
+
+// WatchPrefix returns a channel of events for every path under prefix.
+func (r *Registry) WatchPrefix(prefix string) <-chan Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := make(chan Event, 64)
+	r.prefixW[prefix] = append(r.prefixW[prefix], ch)
+	return ch
+}
+
+// Session groups ephemeral nodes that are deleted together when the session
+// closes, modeling a process's Zookeeper session expiring on crash.
+type Session struct {
+	r  *Registry
+	mu sync.Mutex
+
+	paths  map[string]struct{}
+	closed bool
+}
+
+// NewSession opens a session.
+func (r *Registry) NewSession() *Session {
+	return &Session{r: r, paths: make(map[string]struct{})}
+}
+
+// CreateEphemeral creates a node owned by the session. It returns false if
+// the node already exists or the session is closed.
+func (s *Session) CreateEphemeral(path string, data []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if _, ok := s.r.nodes[path]; ok {
+		return false
+	}
+	s.r.setLocked(path, data, s)
+	s.paths[path] = struct{}{}
+	return true
+}
+
+// Close expires the session, deleting all its ephemeral nodes and firing
+// their watches (this is how peers detect the process's failure).
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	paths := make([]string, 0, len(s.paths))
+	for p := range s.paths {
+		paths = append(paths, p)
+	}
+	s.mu.Unlock()
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	for _, p := range paths {
+		if n, ok := s.r.nodes[p]; ok && n.ephemeral == s {
+			s.r.deleteLocked(p)
+		}
+	}
+}
+
+// Election is a leader election under a path prefix, built on sequential
+// ephemeral nodes as in the standard Zookeeper recipe: the candidate with
+// the lowest sequence number leads; when its session expires the next
+// candidate takes over.
+type Election struct {
+	r      *Registry
+	prefix string
+}
+
+// NewElection creates an election rooted at prefix.
+func (r *Registry) NewElection(prefix string) *Election {
+	return &Election{r: r, prefix: prefix}
+}
+
+// Enroll registers a candidate under the election with the given session
+// and returns its sequence number.
+func (e *Election) Enroll(s *Session, candidate string) uint64 {
+	e.r.mu.Lock()
+	e.r.seq++
+	seq := e.r.seq
+	e.r.mu.Unlock()
+	path := e.prefix + "/" + seqString(seq) + "-" + candidate
+	s.CreateEphemeral(path, []byte(candidate))
+	return seq
+}
+
+// Leader returns the current leader's candidate name, if any.
+func (e *Election) Leader() (string, bool) {
+	children := e.r.Children(e.prefix + "/")
+	if len(children) == 0 {
+		return "", false
+	}
+	data, _, ok := e.r.Get(children[0])
+	if !ok {
+		return "", false
+	}
+	return string(data), true
+}
+
+// Watch returns a channel that fires whenever election membership changes.
+func (e *Election) Watch() <-chan Event {
+	return e.r.WatchPrefix(e.prefix + "/")
+}
+
+// seqString zero-pads so lexicographic order equals numeric order.
+func seqString(seq uint64) string {
+	const digits = 12
+	buf := make([]byte, digits)
+	for i := digits - 1; i >= 0; i-- {
+		buf[i] = byte('0' + seq%10)
+		seq /= 10
+	}
+	return string(buf)
+}

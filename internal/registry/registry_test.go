@@ -1,0 +1,208 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	r := New()
+	v1 := r.Set("/a", []byte("1"))
+	if v1 != 1 {
+		t.Fatalf("version = %d", v1)
+	}
+	data, v, ok := r.Get("/a")
+	if !ok || string(data) != "1" || v != 1 {
+		t.Fatalf("get = %q %d %v", data, v, ok)
+	}
+	v2 := r.Set("/a", []byte("2"))
+	if v2 != 2 {
+		t.Fatalf("version = %d", v2)
+	}
+	r.Delete("/a")
+	if _, _, ok := r.Get("/a"); ok {
+		t.Fatal("deleted node still present")
+	}
+	r.Delete("/a") // idempotent
+}
+
+func TestCreateExclusive(t *testing.T) {
+	r := New()
+	if !r.Create("/a", []byte("x")) {
+		t.Fatal("first create failed")
+	}
+	if r.Create("/a", []byte("y")) {
+		t.Fatal("second create succeeded")
+	}
+	data, _, _ := r.Get("/a")
+	if string(data) != "x" {
+		t.Fatal("create overwrote")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	r := New()
+	r.Set("/a", []byte("abc"))
+	data, _, _ := r.Get("/a")
+	data[0] = 'X'
+	data2, _, _ := r.Get("/a")
+	if string(data2) != "abc" {
+		t.Fatal("Get aliases internal buffer")
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	r := New()
+	r.Set("/ring/2", nil)
+	r.Set("/ring/1", nil)
+	r.Set("/other/x", nil)
+	kids := r.Children("/ring/")
+	if len(kids) != 2 || kids[0] != "/ring/1" || kids[1] != "/ring/2" {
+		t.Fatalf("children = %v", kids)
+	}
+}
+
+func TestWatchFires(t *testing.T) {
+	r := New()
+	ch := r.Watch("/a")
+	r.Set("/a", []byte("v"))
+	ev := <-ch
+	if ev.Path != "/a" || string(ev.Data) != "v" || ev.Deleted {
+		t.Fatalf("event = %+v", ev)
+	}
+	r.Delete("/a")
+	ev = <-ch
+	if !ev.Deleted {
+		t.Fatalf("event = %+v, want deletion", ev)
+	}
+}
+
+func TestWatchPrefix(t *testing.T) {
+	r := New()
+	ch := r.WatchPrefix("/ring/")
+	r.Set("/ring/a", nil)
+	r.Set("/elsewhere", nil)
+	ev := <-ch
+	if ev.Path != "/ring/a" {
+		t.Fatalf("event = %+v", ev)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+}
+
+func TestEphemeralDeletedOnSessionClose(t *testing.T) {
+	r := New()
+	s := r.NewSession()
+	if !s.CreateEphemeral("/live/n1", []byte("x")) {
+		t.Fatal("create ephemeral failed")
+	}
+	ch := r.Watch("/live/n1")
+	s.Close()
+	ev := <-ch
+	if !ev.Deleted {
+		t.Fatalf("event = %+v, want deletion", ev)
+	}
+	if _, _, ok := r.Get("/live/n1"); ok {
+		t.Fatal("ephemeral survived session close")
+	}
+	// Closed session cannot create.
+	if s.CreateEphemeral("/live/n2", nil) {
+		t.Fatal("create on closed session succeeded")
+	}
+	s.Close() // idempotent
+}
+
+func TestEphemeralNotDeletedIfReplaced(t *testing.T) {
+	r := New()
+	s1 := r.NewSession()
+	s1.CreateEphemeral("/n", []byte("a"))
+	r.Delete("/n")
+	// Another owner takes the path.
+	s2 := r.NewSession()
+	s2.CreateEphemeral("/n", []byte("b"))
+	s1.Close() // must not delete s2's node
+	if _, _, ok := r.Get("/n"); !ok {
+		t.Fatal("closing old session deleted new owner's node")
+	}
+}
+
+func TestElection(t *testing.T) {
+	r := New()
+	e := r.NewElection("/coord/ring1")
+	if _, ok := e.Leader(); ok {
+		t.Fatal("leader before any candidate")
+	}
+	s1 := r.NewSession()
+	s2 := r.NewSession()
+	e.Enroll(s1, "node-1")
+	e.Enroll(s2, "node-2")
+	leader, ok := e.Leader()
+	if !ok || leader != "node-1" {
+		t.Fatalf("leader = %q %v", leader, ok)
+	}
+	// First candidate's session expires: leadership moves.
+	watch := e.Watch()
+	s1.Close()
+	<-watch
+	leader, ok = e.Leader()
+	if !ok || leader != "node-2" {
+		t.Fatalf("leader after failover = %q %v", leader, ok)
+	}
+}
+
+func TestElectionOrderIsNumeric(t *testing.T) {
+	// With enough enrollments, lexicographic ordering of unpadded numbers
+	// would break; seqString must zero-pad.
+	r := New()
+	e := r.NewElection("/e")
+	sessions := make([]*Session, 0, 12)
+	for i := 0; i < 12; i++ {
+		s := r.NewSession()
+		sessions = append(sessions, s)
+		e.Enroll(s, fmt.Sprintf("node-%d", i))
+	}
+	leader, _ := e.Leader()
+	if leader != "node-0" {
+		t.Fatalf("leader = %q, want node-0", leader)
+	}
+	for _, s := range sessions[:11] {
+		s.Close()
+	}
+	leader, _ = e.Leader()
+	if leader != "node-11" {
+		t.Fatalf("leader = %q, want node-11", leader)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("/n/%d", g)
+				r.Set(path, []byte{byte(i)})
+				r.Get(path)
+				r.Children("/n/")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(r.Children("/n/")) != 8 {
+		t.Fatalf("children = %v", r.Children("/n/"))
+	}
+}
+
+func TestSlowWatcherDoesNotBlock(t *testing.T) {
+	r := New()
+	_ = r.Watch("/a") // never read
+	for i := 0; i < 100; i++ {
+		r.Set("/a", []byte{byte(i)}) // must not deadlock
+	}
+}

@@ -1,0 +1,215 @@
+package smr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/transport"
+)
+
+// ClientConfig parametrizes a client.
+type ClientConfig struct {
+	// ID must be unique across all clients and ring nodes (it doubles as
+	// the proposer identity for coordinator-side deduplication, so IDs
+	// must fit in 32 bits).
+	ID uint64
+	// Endpoint receives replica responses (the paper uses UDP here).
+	Endpoint transport.Endpoint
+	// Proposers lists, per ring, the addresses of ring members accepting
+	// proposals. Requests are submitted to one of them and failed over to
+	// the next on timeout.
+	Proposers map[msg.RingID][]transport.Addr
+	// RetryTimeout is how long to wait for a response before retrying
+	// (default 100 ms).
+	RetryTimeout time.Duration
+	// Timeout bounds one Execute end to end (default 15 s).
+	Timeout time.Duration
+}
+
+// ErrTimeout reports that a command did not complete within the deadline.
+var ErrTimeout = errors.New("smr: request timed out")
+
+// Client submits commands to a replicated service and waits for replica
+// responses: the first response for single-partition commands, one
+// response per partition for multi-partition commands such as range scans
+// (paper Section 7.2).
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan *msg.Response
+	cursor  map[msg.RingID]int
+	closed  bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewClient creates and starts a client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 100 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		pending: make(map[uint64]chan *msg.Response),
+		cursor:  make(map[msg.RingID]int),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close shuts the client down.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		close(c.stop)
+	})
+	<-c.done
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	inbox := c.cfg.Endpoint.Inbox()
+	for {
+		select {
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			resp, isResp := env.Msg.(*msg.Response)
+			if !isResp || resp.ClientID != c.cfg.ID {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.pending[resp.Seq]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- resp:
+				default: // gather buffer full: extra duplicate, drop
+				}
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// proposerFor returns the ring's current proposer. Clients stick to one
+// proposer (like the paper's Thrift connections) and fail over to the next
+// only when a request times out (rotate=true), so a crashed proposer stops
+// receiving traffic after one retry interval.
+func (c *Client) proposerFor(ring msg.RingID, rotate bool) (transport.Addr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := c.cfg.Proposers[ring]
+	if len(addrs) == 0 {
+		return "", fmt.Errorf("smr: no proposers for ring %d", ring)
+	}
+	if rotate {
+		c.cursor[ring]++
+	}
+	return addrs[c.cursor[ring]%len(addrs)], nil
+}
+
+// Execute multicasts op to the group (ring) and returns the first replica
+// response (single-partition command).
+func (c *Client) Execute(ring msg.RingID, op []byte) ([]byte, error) {
+	results, err := c.execute(ring, op, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		return r, nil
+	}
+	return nil, ErrTimeout
+}
+
+// ExecuteGather multicasts op and collects responses until classify has
+// produced `want` distinct classes (e.g. one response per partition for a
+// scan). classify returns the class of a result and whether it counts.
+func (c *Client) ExecuteGather(ring msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
+	return c.execute(ring, op, want, classify)
+}
+
+func (c *Client) execute(ring msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan *msg.Response, want+8)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}()
+
+	cmd := Command{ClientID: c.cfg.ID, Seq: seq, ReplyTo: c.cfg.Endpoint.Addr(), Op: op}
+	payload := cmd.Encode()
+	send := func(rotate bool) error {
+		addr, err := c.proposerFor(ring, rotate)
+		if err != nil {
+			return err
+		}
+		return c.cfg.Endpoint.Send(addr, &msg.Proposal{
+			Ring:       ring,
+			ProposerID: msg.NodeID(c.cfg.ID),
+			Seq:        seq,
+			Payload:    payload,
+		})
+	}
+	if err := send(false); err != nil {
+		return nil, err
+	}
+
+	results := make(map[int][]byte, want)
+	deadline := time.NewTimer(c.cfg.Timeout)
+	defer deadline.Stop()
+	retry := time.NewTicker(c.cfg.RetryTimeout)
+	defer retry.Stop()
+	for {
+		select {
+		case resp := <-ch:
+			if classify == nil {
+				results[0] = resp.Result
+				return results, nil
+			}
+			class, ok := classify(resp.Result)
+			if !ok {
+				continue
+			}
+			if _, dup := results[class]; !dup {
+				results[class] = resp.Result
+				if len(results) >= want {
+					return results, nil
+				}
+			}
+		case <-retry.C:
+			if err := send(true); err != nil {
+				return nil, err
+			}
+		case <-deadline.C:
+			return nil, ErrTimeout
+		case <-c.stop:
+			return nil, transport.ErrClosed
+		}
+	}
+}

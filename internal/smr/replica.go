@@ -1,0 +1,308 @@
+package smr
+
+import (
+	"sync"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/multiring"
+	"mrp/internal/storage"
+	"mrp/internal/transport"
+)
+
+// StateMachine is the replicated application. Execute must be
+// deterministic: replicas apply the same commands in the same order and
+// must reach the same state. Snapshot/Restore serialize the full state for
+// checkpointing and state transfer (Section 5.2).
+type StateMachine interface {
+	Execute(op []byte) []byte
+	Snapshot() []byte
+	Restore(snapshot []byte)
+}
+
+// ReplicaConfig parametrizes a replica.
+type ReplicaConfig struct {
+	// Node is the Multi-Ring Paxos node this replica runs on.
+	Node *multiring.Node
+	// Learner is the deterministic-merge learner over the partition's
+	// subscribed rings.
+	Learner *multiring.Learner
+	// SM is the replicated application.
+	SM StateMachine
+	// Ckpt persists checkpoints; required when CheckpointEvery > 0 or
+	// recovery is used.
+	Ckpt *storage.CheckpointStore
+	// CheckpointEvery triggers a periodic checkpoint (0 disables; the
+	// paper's replicas checkpoint periodically and write synchronously to
+	// disk so acceptors can trim, Section 7.2).
+	CheckpointEvery time.Duration
+}
+
+// Replica executes delivered commands against the state machine, responds
+// to clients, deduplicates retried commands, maintains the checkpoint
+// tuple k_p, and serves the recovery protocol (trim replies, checkpoint
+// queries, state transfer).
+type Replica struct {
+	cfg ReplicaConfig
+
+	mu sync.Mutex
+	// applied is the live tuple k_p: per subscribed ring, the highest
+	// instance whose commands are fully applied.
+	applied map[msg.RingID]msg.Instance
+	// safe is the tuple of the last *persisted* checkpoint — what trim
+	// replies report (trimming ahead of a durable checkpoint would lose
+	// the only copy of the commands).
+	safe map[msg.RingID]msg.Instance
+	// dedup holds the last executed sequence and cached result per client.
+	dedup map[uint64]clientEntry
+
+	executed  uint64
+	ckpts     uint64
+	onExecute func(Command, []byte)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type clientEntry struct {
+	seq    uint64
+	result []byte
+}
+
+// NewReplica creates a replica. Call Start to begin executing.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	return &Replica{
+		cfg:     cfg,
+		applied: make(map[msg.RingID]msg.Instance),
+		safe:    make(map[msg.RingID]msg.Instance),
+		dedup:   make(map[uint64]clientEntry),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// OnExecute registers a hook called after every executed command (used by
+// benchmarks to observe server-side throughput). Must be set before Start.
+func (r *Replica) OnExecute(fn func(Command, []byte)) { r.onExecute = fn }
+
+// HandleService processes non-ring messages addressed to this replica's
+// node: checkpoint discovery and state transfer for recovering peers. Wire
+// it with Node.Service. It must stay non-blocking.
+func (r *Replica) HandleService(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case *msg.CkptQuery:
+		r.mu.Lock()
+		tuple := tupleOf(r.safe)
+		r.mu.Unlock()
+		_ = r.cfg.Node.Endpoint().Send(env.From, &msg.CkptReply{
+			Seq:     m.Seq,
+			Replica: r.cfg.Node.ID(),
+			Tuple:   tuple,
+		})
+	case *msg.CkptFetch:
+		if r.cfg.Ckpt == nil {
+			return
+		}
+		ck, ok := r.cfg.Ckpt.Load()
+		if !ok {
+			return
+		}
+		_ = r.cfg.Node.Endpoint().Send(env.From, &msg.CkptData{
+			Seq:   m.Seq,
+			Tuple: ck.Tuple,
+			State: ck.State,
+		})
+	}
+}
+
+// HandleTrimQuery answers a trim coordinator's query with this replica's
+// highest safe instance k[x]_p for the ring (Section 5.2, Predicate 2
+// input). Wire it as the ring process's Aux handler.
+func (r *Replica) HandleTrimQuery(env transport.Envelope) {
+	q, ok := env.Msg.(*msg.TrimQuery)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	safe := r.safe[q.Ring]
+	r.mu.Unlock()
+	_ = r.cfg.Node.Endpoint().Send(env.From, &msg.TrimReply{
+		Ring:         q.Ring,
+		Seq:          q.Seq,
+		Replica:      r.cfg.Node.ID(),
+		SafeInstance: safe,
+	})
+}
+
+// Start launches the execution loop.
+func (r *Replica) Start() {
+	go r.run()
+}
+
+// Stop terminates the execution loop.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Executed returns the number of commands executed.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed
+}
+
+// Checkpoints returns the number of checkpoints taken.
+func (r *Replica) Checkpoints() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckpts
+}
+
+// AppliedTuple returns the live tuple k_p (per-ring applied watermark),
+// ordered by ring identifier.
+func (r *Replica) AppliedTuple() []msg.RingInstance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return tupleOf(r.applied)
+}
+
+// SafeTuple returns the tuple of the last persisted checkpoint.
+func (r *Replica) SafeTuple() []msg.RingInstance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return tupleOf(r.safe)
+}
+
+// InstallCheckpoint restores the state machine, the deduplication table,
+// and the tuples from a recovered checkpoint. Must be called before Start.
+func (r *Replica) InstallCheckpoint(ck storage.Checkpoint) {
+	dedupRaw, smState, err := decodeReplicaState(ck.State)
+	if err != nil {
+		return
+	}
+	r.cfg.SM.Restore(smState)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dedup = decodeDedup(dedupRaw)
+	for _, e := range ck.Tuple {
+		r.applied[e.Ring] = e.Instance
+		r.safe[e.Ring] = e.Instance
+	}
+}
+
+// Checkpoint synchronously snapshots the state machine and persists it,
+// advancing the safe tuple (Section 7.2: replicas write checkpoints
+// synchronously so acceptors may trim afterwards). The checkpoint also
+// carries the client-deduplication table, so a recovered replica keeps
+// exactly-once semantics for commands older than the checkpoint.
+func (r *Replica) Checkpoint() {
+	if r.cfg.Ckpt == nil {
+		return
+	}
+	r.mu.Lock()
+	tuple := tupleOf(r.applied)
+	dedup := encodeDedup(r.dedup)
+	r.mu.Unlock()
+	state := encodeReplicaState(dedup, r.cfg.SM.Snapshot())
+	r.cfg.Ckpt.Save(storage.Checkpoint{Tuple: tuple, State: state})
+	r.mu.Lock()
+	for _, e := range tuple {
+		r.safe[e.Ring] = e.Instance
+	}
+	r.ckpts++
+	r.mu.Unlock()
+}
+
+func (r *Replica) run() {
+	defer close(r.done)
+	var ckptC <-chan time.Time
+	if r.cfg.CheckpointEvery > 0 {
+		t := time.NewTicker(r.cfg.CheckpointEvery)
+		defer t.Stop()
+		ckptC = t.C
+	}
+	deliveries := r.cfg.Learner.Deliveries()
+	for {
+		select {
+		case d := <-deliveries:
+			r.apply(d)
+		case <-ckptC:
+			r.Checkpoint()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// apply executes one delivery and advances the applied tuple.
+func (r *Replica) apply(d multiring.Delivery) {
+	if d.Skip {
+		r.mu.Lock()
+		if d.SkipTo-1 > r.applied[d.Ring] {
+			r.applied[d.Ring] = d.SkipTo - 1
+		}
+		r.mu.Unlock()
+		return
+	}
+	// A recovering replica's rings may retransmit instances at or below the
+	// restored checkpoint; they are already reflected in the state.
+	r.mu.Lock()
+	already := d.Instance <= r.applied[d.Ring]
+	r.mu.Unlock()
+	if already {
+		return
+	}
+	cmd, err := DecodeCommand(d.Entry.Data)
+	if err != nil {
+		return // foreign payload on a shared ring: ignore
+	}
+	r.mu.Lock()
+	prev, seen := r.dedup[cmd.ClientID]
+	r.mu.Unlock()
+	var result []byte
+	if seen && cmd.Seq <= prev.seq {
+		result = prev.result // duplicate: reply with the cached result
+	} else {
+		result = r.cfg.SM.Execute(cmd.Op)
+		r.mu.Lock()
+		r.dedup[cmd.ClientID] = clientEntry{seq: cmd.Seq, result: result}
+		r.executed++
+		r.mu.Unlock()
+		if r.onExecute != nil {
+			r.onExecute(cmd, result)
+		}
+	}
+	// Advance the applied watermark before replying so a client that
+	// observed the response also observes the tuple movement.
+	if d.EndOfInstance {
+		r.mu.Lock()
+		if d.Instance > r.applied[d.Ring] {
+			r.applied[d.Ring] = d.Instance
+		}
+		r.mu.Unlock()
+	}
+	if cmd.ReplyTo != "" {
+		_ = r.cfg.Node.Endpoint().Send(cmd.ReplyTo, &msg.Response{
+			ClientID: cmd.ClientID,
+			Seq:      cmd.Seq,
+			Result:   result,
+		})
+	}
+}
+
+// tupleOf converts a watermark map into a tuple ordered by ring ID
+// (Predicate 1's ordering).
+func tupleOf(m map[msg.RingID]msg.Instance) []msg.RingInstance {
+	out := make([]msg.RingInstance, 0, len(m))
+	for ring, inst := range m {
+		out = append(out, msg.RingInstance{Ring: ring, Instance: inst})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Ring > out[j].Ring; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

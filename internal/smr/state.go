@@ -1,0 +1,55 @@
+package smr
+
+import "encoding/binary"
+
+// Replica checkpoints wrap the state machine's snapshot with the replica's
+// own metadata (the client-dedup table), framed as:
+//
+//	u32 dedupLen | dedup bytes | sm snapshot bytes
+//
+// dedup bytes are repeated (u64 clientID, u64 seq, u32 resultLen, result).
+
+func encodeReplicaState(dedup, smState []byte) []byte {
+	out := make([]byte, 0, 4+len(dedup)+len(smState))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(dedup)))
+	out = append(out, dedup...)
+	out = append(out, smState...)
+	return out
+}
+
+func decodeReplicaState(b []byte) (dedup, smState []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadCommand
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+n {
+		return nil, nil, ErrBadCommand
+	}
+	return b[4 : 4+n], b[4+n:], nil
+}
+
+func encodeDedup(m map[uint64]clientEntry) []byte {
+	var out []byte
+	for id, e := range m {
+		out = binary.BigEndian.AppendUint64(out, id)
+		out = binary.BigEndian.AppendUint64(out, e.seq)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.result)))
+		out = append(out, e.result...)
+	}
+	return out
+}
+
+func decodeDedup(b []byte) map[uint64]clientEntry {
+	m := make(map[uint64]clientEntry)
+	for len(b) >= 20 {
+		id := binary.BigEndian.Uint64(b)
+		seq := binary.BigEndian.Uint64(b[8:])
+		n := int(binary.BigEndian.Uint32(b[16:]))
+		if len(b) < 20+n {
+			break
+		}
+		m[id] = clientEntry{seq: seq, result: append([]byte(nil), b[20:20+n]...)}
+		b = b[20+n:]
+	}
+	return m
+}

@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"mrp/internal/msg"
+)
+
+// FileWAL is a real file-backed write-ahead log for acceptor records — the
+// stdlib counterpart of the paper's Berkeley DB JE storage (Section 7.1).
+// Records are appended as framed, checksummed entries; an in-memory index
+// maps instances to the latest record. Sync mode fsyncs per append; async
+// mode leaves flushing to the OS (and a final Close).
+//
+// The simulator benchmarks use the modeled Log instead (service times are
+// what the figures measure); FileWAL is for real deployments over tcpnet
+// and for durability tests.
+type FileWAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+
+	records map[msg.Instance]Record
+	low     msg.Instance
+	high    msg.Instance
+}
+
+// walEntry frame: u32 length | u32 crc | body.
+// body: u8 kind | u64 instance | payload.
+const (
+	walPut  byte = 1
+	walTrim byte = 2
+	walMark byte = 3
+)
+
+// OpenFileWAL opens (or creates) a WAL at path and replays it into memory.
+func OpenFileWAL(path string, syncWrites bool) (*FileWAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	w := &FileWAL{
+		f:       f,
+		sync:    syncWrites,
+		records: make(map[msg.Instance]Record),
+	}
+	intact, err := w.replay()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail left by a crash so future appends stay
+	// readable by the next replay.
+	if err := f.Truncate(intact); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	w.w = bufio.NewWriterSize(f, 1<<16)
+	return w, nil
+}
+
+// replay loads all intact entries and returns the byte offset of the last
+// intact entry's end; a torn tail (partial last write after a crash) ends
+// the replay.
+func (w *FileWAL) replay() (intact int64, err error) {
+	r := bufio.NewReaderSize(w.f, 1<<16)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return intact, nil // EOF or torn header: end of intact log
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		crc := binary.BigEndian.Uint32(hdr[4:])
+		if n == 0 || n > maxWALBody {
+			return intact, nil
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return intact, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return intact, nil // corrupt tail
+		}
+		w.applyEntry(body)
+		intact += int64(8 + n)
+	}
+}
+
+const maxWALBody = 64 << 20
+
+func (w *FileWAL) applyEntry(body []byte) {
+	if len(body) < 9 {
+		return
+	}
+	kind := body[0]
+	inst := msg.Instance(binary.BigEndian.Uint64(body[1:]))
+	payload := body[9:]
+	switch kind {
+	case walPut, walMark:
+		if inst <= w.low {
+			return
+		}
+		var rec Record
+		if len(payload) < 8 {
+			return
+		}
+		rec.Rnd = msg.Ballot(binary.BigEndian.Uint32(payload))
+		rec.VRnd = msg.Ballot(binary.BigEndian.Uint32(payload[4:]))
+		val, err := msg.Unmarshal(payload[8:])
+		if err != nil {
+			return
+		}
+		p2, ok := val.(*msg.Phase2)
+		if !ok {
+			return
+		}
+		rec.Value = p2.Value
+		rec.Decided = kind == walMark
+		if old, exists := w.records[inst]; exists && old.Decided && kind == walPut {
+			rec.Decided = true
+		}
+		w.records[inst] = rec
+		if inst > w.high {
+			w.high = inst
+		}
+	case walTrim:
+		for i := w.low + 1; i <= inst; i++ {
+			delete(w.records, i)
+		}
+		if inst > w.low {
+			w.low = inst
+		}
+	}
+}
+
+// append frames and writes one entry.
+func (w *FileWAL) append(kind byte, inst msg.Instance, rec *Record) error {
+	body := []byte{kind}
+	body = binary.BigEndian.AppendUint64(body, uint64(inst))
+	if rec != nil {
+		body = binary.BigEndian.AppendUint32(body, uint32(rec.Rnd))
+		body = binary.BigEndian.AppendUint32(body, uint32(rec.VRnd))
+		// Reuse the message codec for the value by wrapping it in a
+		// Phase2 envelope.
+		body = append(body, msg.Marshal(&msg.Phase2{Value: rec.Value})...)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	if w.sync {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Put persists the record for an instance.
+func (w *FileWAL) Put(inst msg.Instance, rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if inst <= w.low {
+		return fmt.Errorf("storage: instance %d already trimmed (low=%d)", inst, w.low)
+	}
+	if err := w.append(walPut, inst, &rec); err != nil {
+		return err
+	}
+	if old, exists := w.records[inst]; exists && old.Decided {
+		rec.Decided = true
+	}
+	w.records[inst] = rec
+	if inst > w.high {
+		w.high = inst
+	}
+	return nil
+}
+
+// MarkDecided records a decided value for retransmission.
+func (w *FileWAL) MarkDecided(inst msg.Instance, v msg.Value) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if inst <= w.low {
+		return
+	}
+	rec := w.records[inst]
+	rec.Value = v
+	rec.Decided = true
+	_ = w.append(walMark, inst, &rec)
+	w.records[inst] = rec
+	if inst > w.high {
+		w.high = inst
+	}
+}
+
+// Get returns the record for an instance.
+func (w *FileWAL) Get(inst msg.Instance) (Record, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r, ok := w.records[inst]
+	return r, ok
+}
+
+// Trim deletes all records at or below upTo and logs the trim point.
+func (w *FileWAL) Trim(upTo msg.Instance) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if upTo <= w.low {
+		return
+	}
+	_ = w.append(walTrim, upTo, nil)
+	for i := w.low + 1; i <= upTo; i++ {
+		delete(w.records, i)
+	}
+	w.low = upTo
+}
+
+// LowWatermark returns the highest trimmed instance.
+func (w *FileWAL) LowWatermark() msg.Instance {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.low
+}
+
+// HighWatermark returns the highest stored instance.
+func (w *FileWAL) HighWatermark() msg.Instance {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.high
+}
+
+// Len returns the number of live records.
+func (w *FileWAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}
+
+// Close flushes and closes the file.
+func (w *FileWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}

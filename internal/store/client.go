@@ -1,0 +1,151 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mrp/internal/msg"
+	"mrp/internal/smr"
+)
+
+// ErrNotFound reports a read/update/delete of a non-existent key.
+var ErrNotFound = errors.New("store: key not found")
+
+// Client accesses an MRP-Store deployment through the operations of
+// Table 1: read, scan, update, insert, delete — plus batched writes
+// (Section 7.2). Single-key commands are multicast to the partition owning
+// the key; scans are multicast to every partition possibly holding matching
+// keys.
+type Client struct {
+	smr *smr.Client
+	d   *Deployment
+}
+
+// Close releases the client.
+func (c *Client) Close() { c.smr.Close() }
+
+func (c *Client) ringFor(key string) msg.RingID {
+	return c.d.PartitionRing(c.d.cfg.Partitioner.PartitionOf(key))
+}
+
+func (c *Client) call(ring msg.RingID, o op) (result, error) {
+	raw, err := c.smr.Execute(ring, o.encode())
+	if err != nil {
+		return result{}, err
+	}
+	res, err := decodeResult(raw)
+	if err != nil {
+		return result{}, err
+	}
+	if res.status == statusError {
+		return res, fmt.Errorf("store: server error for %d", o.kind)
+	}
+	return res, nil
+}
+
+// Read returns the value of entry k, if existent.
+func (c *Client) Read(k string) ([]byte, error) {
+	res, err := c.call(c.ringFor(k), op{kind: opRead, key: k})
+	if err != nil {
+		return nil, err
+	}
+	if res.status == statusNotFound {
+		return nil, ErrNotFound
+	}
+	return res.value, nil
+}
+
+// Update updates entry k with value v, if existent.
+func (c *Client) Update(k string, v []byte) error {
+	res, err := c.call(c.ringFor(k), op{kind: opUpdate, key: k, value: v})
+	if err != nil {
+		return err
+	}
+	if res.status == statusNotFound {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Insert inserts tuple (k, v) in the database.
+func (c *Client) Insert(k string, v []byte) error {
+	_, err := c.call(c.ringFor(k), op{kind: opInsert, key: k, value: v})
+	return err
+}
+
+// Delete deletes entry k from the database.
+func (c *Client) Delete(k string) error {
+	res, err := c.call(c.ringFor(k), op{kind: opDelete, key: k})
+	if err != nil {
+		return err
+	}
+	if res.status == statusNotFound {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Scan returns up to limit entries with from <= key <= to, in key order.
+// With a global ring the scan is one atomic multicast ordered against all
+// other commands; with independent rings it fans out per partition (the
+// weaker of the two Figure 4 configurations).
+func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
+	parts := c.d.cfg.Partitioner.PartitionsForRange(from, to)
+	o := op{kind: opScan, key: from, to: to, limit: limit}
+	var all []Entry
+	if g := c.d.GlobalRingID(); g != 0 {
+		results, err := c.smr.ExecuteGather(g, o.encode(), len(parts), func(raw []byte) (int, bool) {
+			res, err := decodeResult(raw)
+			if err != nil {
+				return 0, false
+			}
+			return int(res.partition), true
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, raw := range results {
+			res, err := decodeResult(raw)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, res.entries...)
+		}
+	} else {
+		for _, p := range parts {
+			res, err := c.call(c.d.PartitionRing(p), o)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, res.entries...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// WriteBatch applies a batch of inserts grouped by partition: one atomic
+// multicast per involved partition, each carrying all the batch's writes
+// for that partition (the paper's clients batch small commands up to
+// 32 KB per partition, Section 7.2). It returns the number of applied
+// writes.
+func (c *Client) WriteBatch(entries []Entry) (int, error) {
+	byPart := make(map[int][]op)
+	for _, e := range entries {
+		p := c.d.cfg.Partitioner.PartitionOf(e.Key)
+		byPart[p] = append(byPart[p], op{kind: opInsert, key: e.Key, value: e.Value})
+	}
+	total := 0
+	for p, ops := range byPart {
+		res, err := c.call(c.d.PartitionRing(p), op{kind: opBatch, batch: ops})
+		if err != nil {
+			return total, err
+		}
+		total += int(res.count)
+	}
+	return total, nil
+}

@@ -1,0 +1,525 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"mrp/internal/msg"
+	"mrp/internal/multiring"
+	"mrp/internal/netsim"
+	"mrp/internal/recovery"
+	"mrp/internal/ringpaxos"
+	"mrp/internal/smr"
+	"mrp/internal/storage"
+	"mrp/internal/transport"
+)
+
+// DeployConfig describes an MRP-Store deployment: l partitions, each
+// replicated over its own ring, optionally coordinated by a global ring
+// every replica subscribes to (the two configurations compared in
+// Figure 4: "MRP-Store" vs "MRP-Store (indep. rings)").
+type DeployConfig struct {
+	// Net is the simulated network to deploy on. Leave nil when providing
+	// EndpointFor (e.g. real TCP deployments).
+	Net *netsim.Network
+	// EndpointFor creates the endpoint for a replica address; defaults to
+	// Net.Endpoint. Supplying a tcpnet-backed factory runs the exact same
+	// deployment over real sockets.
+	EndpointFor func(transport.Addr) (transport.Endpoint, error)
+	// Partitions is the number of partitions l.
+	Partitions int
+	// Replicas is the replication factor per partition (default 3).
+	Replicas int
+	// GlobalRing, when true, adds a ring subscribed by all replicas that
+	// orders multi-partition commands relative to everything else.
+	GlobalRing bool
+	// Partitioner maps keys to partitions (default: hash).
+	Partitioner Partitioner
+	// StorageMode is the acceptors' stable storage mode.
+	StorageMode storage.Mode
+	// DiskScale scales disk service times (see storage.DiskModel.Scale).
+	DiskScale float64
+	// AddrFor names replica endpoints; default "store-p<p>-r<r>". Use
+	// region-prefixed names ("us-west-2/...") for WAN deployments.
+	AddrFor func(partition, replica int) transport.Addr
+
+	// Ring tuning (applied to every ring).
+	BatchMaxBytes int
+	BatchDelay    time.Duration
+	SkipInterval  time.Duration // Δ
+	SkipRate      int           // λ
+	RetryTimeout  time.Duration
+	MergeM        int // deterministic merge constant M (default 1)
+
+	// CheckpointEvery enables periodic replica checkpoints.
+	CheckpointEvery time.Duration
+	// TrimInterval enables trim coordination per ring when > 0.
+	TrimInterval time.Duration
+}
+
+// ReplicaHandle bundles everything one replica node runs.
+type ReplicaHandle struct {
+	Partition int
+	Index     int
+	Node      *multiring.Node
+	Learner   *multiring.Learner
+	Replica   *smr.Replica
+	SM        *SM
+	Ckpt      *storage.CheckpointStore
+	Logs      map[msg.RingID]*storage.Log
+	Disk      *storage.Disk
+	Aux       map[msg.RingID]*transport.HandlerMux
+
+	stopped bool
+}
+
+// Deployment is a running MRP-Store cluster.
+type Deployment struct {
+	cfg      DeployConfig
+	Replicas [][]*ReplicaHandle // [partition][replica]
+	trims    []*recovery.TrimCoordinator
+	nextID   uint64
+}
+
+// PartitionRing returns the ring (= multicast group) of a partition.
+func (d *Deployment) PartitionRing(p int) msg.RingID { return msg.RingID(p + 1) }
+
+// GlobalRingID returns the global ring's ID (0 when disabled).
+func (d *Deployment) GlobalRingID() msg.RingID {
+	if !d.cfg.GlobalRing {
+		return 0
+	}
+	return msg.RingID(d.cfg.Partitions + 1)
+}
+
+// Partitioner returns the deployment's partitioning scheme.
+func (d *Deployment) Partitioner() Partitioner { return d.cfg.Partitioner }
+
+func (c *DeployConfig) withDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = NewHashPartitioner(c.Partitions)
+	}
+	if c.DiskScale <= 0 {
+		c.DiskScale = 1
+	}
+	if c.AddrFor == nil {
+		c.AddrFor = func(p, r int) transport.Addr {
+			return transport.Addr(fmt.Sprintf("store-p%d-r%d", p, r))
+		}
+	}
+	if c.EndpointFor == nil && c.Net != nil {
+		c.EndpointFor = func(a transport.Addr) (transport.Endpoint, error) {
+			return c.Net.Endpoint(a), nil
+		}
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 100 * time.Millisecond
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = time.Millisecond
+	}
+	if c.MergeM <= 0 {
+		c.MergeM = 1
+	}
+}
+
+// nodeIDFor gives every replica a stable, unique node ID.
+func nodeIDFor(p, r int) msg.NodeID { return msg.NodeID(p*100 + r + 1) }
+
+// Deploy builds and starts an MRP-Store cluster.
+func Deploy(cfg DeployConfig) (*Deployment, error) {
+	cfg.withDefaults()
+	d := &Deployment{cfg: cfg}
+
+	// Ring memberships.
+	partPeers := make([][]ringpaxos.Peer, cfg.Partitions)
+	var globalPeers []ringpaxos.Peer
+	for p := 0; p < cfg.Partitions; p++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			peer := ringpaxos.Peer{
+				ID:    nodeIDFor(p, r),
+				Addr:  cfg.AddrFor(p, r),
+				Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
+			}
+			partPeers[p] = append(partPeers[p], peer)
+			gp := peer
+			if r != 0 {
+				// In the global ring only the first replica of each
+				// partition is an acceptor; everyone learns and proposes.
+				gp.Roles = ringpaxos.RoleProposer | ringpaxos.RoleLearner
+			}
+			globalPeers = append(globalPeers, gp)
+		}
+	}
+
+	for p := 0; p < cfg.Partitions; p++ {
+		var hs []*ReplicaHandle
+		for r := 0; r < cfg.Replicas; r++ {
+			h, err := d.buildReplica(p, r, partPeers, globalPeers, 0, nil)
+			if err != nil {
+				d.Stop()
+				return nil, err
+			}
+			hs = append(hs, h)
+		}
+		d.Replicas = append(d.Replicas, hs)
+	}
+
+	if cfg.TrimInterval > 0 {
+		d.startTrimming()
+	}
+	return d, nil
+}
+
+// buildReplica constructs (or rebuilds, after a crash) one replica node.
+// start maps each subscribed ring to the delivery start instance; install
+// is an optional recovered checkpoint.
+func (d *Deployment) buildReplica(p, r int, partPeers [][]ringpaxos.Peer, globalPeers []ringpaxos.Peer, _ msg.Instance, install *storage.Checkpoint) (*ReplicaHandle, error) {
+	return d.buildReplicaAt(p, r, partPeers, globalPeers, nil, install)
+}
+
+func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, globalPeers []ringpaxos.Peer, starts map[msg.RingID]msg.Instance, install *storage.Checkpoint) (*ReplicaHandle, error) {
+	cfg := d.cfg
+	h := &ReplicaHandle{
+		Partition: p,
+		Index:     r,
+		Logs:      make(map[msg.RingID]*storage.Log),
+		Aux:       make(map[msg.RingID]*transport.HandlerMux),
+		Disk:      storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale)),
+		Ckpt:      storage.NewCheckpointStore(storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale))),
+	}
+	if old := d.handleAt(p, r); old != nil {
+		// Stable storage survives a crash-recover cycle.
+		h.Disk = old.Disk
+		h.Ckpt = old.Ckpt
+		h.Logs = old.Logs
+	}
+	ep, err := cfg.EndpointFor(cfg.AddrFor(p, r))
+	if err != nil {
+		return nil, err
+	}
+	node := multiring.NewNode(nodeIDFor(p, r), ep)
+
+	ringsToJoin := []struct {
+		ring  msg.RingID
+		peers []ringpaxos.Peer
+	}{{d.PartitionRing(p), partPeers[p]}}
+	if cfg.GlobalRing {
+		ringsToJoin = append(ringsToJoin, struct {
+			ring  msg.RingID
+			peers []ringpaxos.Peer
+		}{d.GlobalRingID(), globalPeers})
+	}
+
+	var procs []multiring.DecisionSource
+	for _, rj := range ringsToJoin {
+		var log *storage.Log
+		if existing, ok := h.Logs[rj.ring]; ok {
+			log = existing
+		} else {
+			log = storage.NewLogOnDisk(cfg.StorageMode, h.Disk)
+			h.Logs[rj.ring] = log
+		}
+		aux := &transport.HandlerMux{}
+		h.Aux[rj.ring] = aux
+		rcfg := ringpaxos.Config{
+			Ring:          rj.ring,
+			Peers:         rj.peers,
+			Coordinator:   rj.peers[0].ID,
+			Log:           log,
+			BatchMaxBytes: cfg.BatchMaxBytes,
+			BatchDelay:    cfg.BatchDelay,
+			SkipInterval:  cfg.SkipInterval,
+			SkipRate:      cfg.SkipRate,
+			RetryTimeout:  cfg.RetryTimeout,
+			Aux:           aux.Handle,
+		}
+		if starts != nil {
+			rcfg.StartInstance = starts[rj.ring]
+		}
+		proc, err := node.Join(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, proc)
+	}
+
+	learner := multiring.NewLearner(cfg.MergeM, procs...)
+	sm := NewSM(p, cfg.Partitioner)
+	rep := smr.NewReplica(smr.ReplicaConfig{
+		Node:            node,
+		Learner:         learner,
+		SM:              sm,
+		Ckpt:            h.Ckpt,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	if install != nil {
+		rep.InstallCheckpoint(*install)
+	}
+	for _, aux := range h.Aux {
+		aux.Set(rep.HandleTrimQuery)
+	}
+	node.Service(rep.HandleService)
+	node.Start()
+	learner.Start()
+	rep.Start()
+
+	h.Node = node
+	h.Learner = learner
+	h.Replica = rep
+	h.SM = sm
+	return h, nil
+}
+
+func (d *Deployment) handleAt(p, r int) *ReplicaHandle {
+	if p < len(d.Replicas) && r < len(d.Replicas[p]) {
+		return d.Replicas[p][r]
+	}
+	return nil
+}
+
+// startTrimming launches a trim coordinator per ring at the ring's first
+// replica, wiring its Aux to serve both roles (replica and coordinator).
+func (d *Deployment) startTrimming() {
+	ringReplicaAddrs := func(p int) []transport.Addr {
+		var out []transport.Addr
+		for r := 0; r < d.cfg.Replicas; r++ {
+			out = append(out, d.cfg.AddrFor(p, r))
+		}
+		return out
+	}
+	for p := 0; p < d.cfg.Partitions; p++ {
+		h0 := d.Replicas[p][0]
+		ring := d.PartitionRing(p)
+		tc := recovery.NewTrimCoordinator(recovery.TrimConfig{
+			Ring:      ring,
+			Endpoint:  h0.Node.Endpoint(),
+			Replicas:  ringReplicaAddrs(p),
+			Acceptors: ringReplicaAddrs(p),
+			Interval:  d.cfg.TrimInterval,
+		})
+		d.wireTrimAux(h0, ring, tc)
+		tc.Start()
+		d.trims = append(d.trims, tc)
+	}
+	if d.cfg.GlobalRing {
+		h0 := d.Replicas[0][0]
+		ring := d.GlobalRingID()
+		var allReplicas, acceptors []transport.Addr
+		for p := 0; p < d.cfg.Partitions; p++ {
+			acceptors = append(acceptors, d.cfg.AddrFor(p, 0))
+			allReplicas = append(allReplicas, ringReplicaAddrs(p)...)
+		}
+		tc := recovery.NewTrimCoordinator(recovery.TrimConfig{
+			Ring:      ring,
+			Endpoint:  h0.Node.Endpoint(),
+			Replicas:  allReplicas,
+			Acceptors: acceptors,
+			Quorum:    len(allReplicas)/2 + 1,
+			Interval:  d.cfg.TrimInterval,
+		})
+		d.wireTrimAux(h0, ring, tc)
+		tc.Start()
+		d.trims = append(d.trims, tc)
+	}
+}
+
+// wireTrimAux makes a node's ring Aux serve both trim queries (replica
+// role) and trim replies (coordinator role).
+func (d *Deployment) wireTrimAux(h *ReplicaHandle, ring msg.RingID, tc *recovery.TrimCoordinator) {
+	rep := h.Replica
+	h.Aux[ring].Set(func(env transport.Envelope) {
+		switch env.Msg.(type) {
+		case *msg.TrimQuery:
+			rep.HandleTrimQuery(env)
+		case *msg.TrimReply:
+			tc.HandleReply(env)
+		}
+	})
+}
+
+// TrimCoordinators exposes the running trim coordinators (nil without
+// TrimInterval).
+func (d *Deployment) TrimCoordinators() []*recovery.TrimCoordinator { return d.trims }
+
+// Preload inserts initial records directly into every replica's state
+// machine, modeling a database initialized before the experiment starts
+// (Figure 4 initializes 1 GB of data) without paying consensus for the
+// load phase.
+func (d *Deployment) Preload(entries []Entry) {
+	for _, hs := range d.Replicas {
+		for _, h := range hs {
+			for _, e := range entries {
+				if d.cfg.Partitioner.PartitionOf(e.Key) == h.Partition {
+					h.SM.Data().Put(e.Key, e.Value)
+				}
+			}
+		}
+	}
+}
+
+// CrashReplica stops replica r of partition p and heals the rings around
+// it, as the coordination service would (Section 8.5 terminates a replica
+// at runtime).
+func (d *Deployment) CrashReplica(p, r int) {
+	h := d.Replicas[p][r]
+	if h == nil || h.stopped {
+		return
+	}
+	h.stopped = true
+	h.Replica.Stop()
+	h.Learner.Stop()
+	h.Node.Stop()
+	dead := nodeIDFor(p, r)
+	d.forEachLive(func(other *ReplicaHandle) {
+		for _, ring := range other.Node.Rings() {
+			if proc, ok := other.Node.Process(ring); ok {
+				proc.SetPeerDown(dead, true)
+			}
+		}
+	})
+}
+
+// RecoverReplica restarts a crashed replica: it retrieves the most recent
+// checkpoint from its partition peers (quorum Q_R), installs it, rejoins
+// its rings at the recovered instances, and the rings replay the suffix
+// from the acceptors.
+func (d *Deployment) RecoverReplica(p, r int) error {
+	cfg := d.cfg
+	recEp, err := cfg.EndpointFor(cfg.AddrFor(p, r) + "-recovery")
+	if err != nil {
+		return err
+	}
+	var peers []transport.Addr
+	for i := 0; i < cfg.Replicas; i++ {
+		if i != r && !d.Replicas[p][i].stopped {
+			peers = append(peers, cfg.AddrFor(p, i))
+		}
+	}
+	res, recErr := recovery.Recover(recovery.RecoverConfig{
+		Endpoint: recEp,
+		Peers:    peers,
+		Local:    d.Replicas[p][r].Ckpt,
+		Timeout:  10 * time.Second,
+	})
+	if recErr != nil {
+		return recErr
+	}
+	_ = recEp.Close()
+
+	starts := recovery.StartInstances(res.Checkpoint.Tuple)
+	var install *storage.Checkpoint
+	if res.Found {
+		install = &res.Checkpoint
+	}
+
+	// Rebuild ring memberships (identical to Deploy).
+	partPeers := make([][]ringpaxos.Peer, cfg.Partitions)
+	var globalPeers []ringpaxos.Peer
+	for pp := 0; pp < cfg.Partitions; pp++ {
+		for rr := 0; rr < cfg.Replicas; rr++ {
+			peer := ringpaxos.Peer{
+				ID:    nodeIDFor(pp, rr),
+				Addr:  cfg.AddrFor(pp, rr),
+				Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
+			}
+			partPeers[pp] = append(partPeers[pp], peer)
+			gp := peer
+			if rr != 0 {
+				gp.Roles = ringpaxos.RoleProposer | ringpaxos.RoleLearner
+			}
+			globalPeers = append(globalPeers, gp)
+		}
+	}
+	h, err := d.buildReplicaAt(p, r, partPeers, globalPeers, starts, install)
+	if err != nil {
+		return err
+	}
+	d.Replicas[p][r] = h
+	recovered := nodeIDFor(p, r)
+	d.forEachLive(func(other *ReplicaHandle) {
+		if other == h {
+			return
+		}
+		for _, ring := range other.Node.Rings() {
+			if proc, ok := other.Node.Process(ring); ok {
+				proc.SetPeerDown(recovered, false)
+			}
+		}
+	})
+	return nil
+}
+
+func (d *Deployment) forEachLive(fn func(*ReplicaHandle)) {
+	for _, hs := range d.Replicas {
+		for _, h := range hs {
+			if h != nil && !h.stopped {
+				fn(h)
+			}
+		}
+	}
+}
+
+// Stop shuts the whole deployment down.
+func (d *Deployment) Stop() {
+	for _, tc := range d.trims {
+		tc.Stop()
+	}
+	d.trims = nil
+	for _, hs := range d.Replicas {
+		for _, h := range hs {
+			if h != nil && !h.stopped {
+				h.stopped = true
+				h.Replica.Stop()
+				h.Learner.Stop()
+				h.Node.Stop()
+			}
+		}
+	}
+}
+
+// NewClient creates a store client with a fresh endpoint and unique ID.
+func (d *Deployment) NewClient() *Client {
+	d.nextID++
+	id := 1_000_000 + d.nextID
+	ep, err := d.cfg.EndpointFor(transport.Addr(fmt.Sprintf("store-client-%d", id)))
+	if err != nil {
+		panic(fmt.Sprintf("store: client endpoint: %v", err))
+	}
+	return d.NewClientAt(ep, id)
+}
+
+// NewClientAt creates a client on a caller-provided endpoint (e.g. placed
+// in a specific region of a WAN simulation).
+func (d *Deployment) NewClientAt(ep transport.Endpoint, id uint64) *Client {
+	proposers := make(map[msg.RingID][]transport.Addr)
+	for p := 0; p < d.cfg.Partitions; p++ {
+		var addrs []transport.Addr
+		for r := 0; r < d.cfg.Replicas; r++ {
+			addrs = append(addrs, d.cfg.AddrFor(p, r))
+		}
+		proposers[d.PartitionRing(p)] = addrs
+	}
+	if d.cfg.GlobalRing {
+		var addrs []transport.Addr
+		for p := 0; p < d.cfg.Partitions; p++ {
+			addrs = append(addrs, d.cfg.AddrFor(p, 0))
+		}
+		proposers[d.GlobalRingID()] = addrs
+	}
+	return &Client{
+		smr: smr.NewClient(smr.ClientConfig{
+			ID:        id,
+			Endpoint:  ep,
+			Proposers: proposers,
+			Timeout:   20 * time.Second,
+		}),
+		d: d,
+	}
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// opKind tags the MRP-Store operations of Table 1, plus the client-side
+// batch of small writes (Section 7.2: "clients may batch small commands,
+// grouped by partition, up to 32 Kbytes").
+type opKind byte
+
+const (
+	opRead opKind = iota + 1
+	opScan
+	opUpdate
+	opInsert
+	opDelete
+	opBatch
+)
+
+// errBadOp reports a malformed operation or result encoding.
+var errBadOp = errors.New("store: bad encoding")
+
+// op is one decoded store operation.
+type op struct {
+	kind  opKind
+	key   string
+	value []byte
+	to    string // scan upper bound
+	limit int    // scan limit
+	batch []op   // for opBatch (write ops only)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errBadOp
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, errBadOp
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, errBadOp
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+n {
+		return nil, nil, errBadOp
+	}
+	return b[4 : 4+n], b[4+n:], nil
+}
+
+func (o op) encode() []byte {
+	b := []byte{byte(o.kind)}
+	switch o.kind {
+	case opRead, opDelete:
+		b = appendString(b, o.key)
+	case opUpdate, opInsert:
+		b = appendString(b, o.key)
+		b = appendBytes(b, o.value)
+	case opScan:
+		b = appendString(b, o.key)
+		b = appendString(b, o.to)
+		b = binary.BigEndian.AppendUint32(b, uint32(o.limit))
+	case opBatch:
+		b = binary.BigEndian.AppendUint32(b, uint32(len(o.batch)))
+		for _, sub := range o.batch {
+			enc := sub.encode()
+			b = appendBytes(b, enc)
+		}
+	}
+	return b
+}
+
+func decodeOp(b []byte) (op, error) {
+	if len(b) < 1 {
+		return op{}, errBadOp
+	}
+	o := op{kind: opKind(b[0])}
+	b = b[1:]
+	var err error
+	switch o.kind {
+	case opRead, opDelete:
+		o.key, _, err = takeString(b)
+	case opUpdate, opInsert:
+		o.key, b, err = takeString(b)
+		if err == nil {
+			o.value, _, err = takeBytes(b)
+		}
+	case opScan:
+		o.key, b, err = takeString(b)
+		if err == nil {
+			o.to, b, err = takeString(b)
+		}
+		if err == nil {
+			if len(b) < 4 {
+				return op{}, errBadOp
+			}
+			o.limit = int(binary.BigEndian.Uint32(b))
+		}
+	case opBatch:
+		if len(b) < 4 {
+			return op{}, errBadOp
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n > len(b) {
+			return op{}, errBadOp
+		}
+		o.batch = make([]op, 0, n)
+		for i := 0; i < n; i++ {
+			var raw []byte
+			raw, b, err = takeBytes(b)
+			if err != nil {
+				return op{}, err
+			}
+			sub, subErr := decodeOp(raw)
+			if subErr != nil {
+				return op{}, subErr
+			}
+			o.batch = append(o.batch, sub)
+		}
+	default:
+		return op{}, errBadOp
+	}
+	if err != nil {
+		return op{}, err
+	}
+	return o, nil
+}
+
+// Result status codes.
+const (
+	statusOK byte = iota + 1
+	statusNotFound
+	statusError
+)
+
+// result is a replica's reply to one operation, tagged with the partition
+// that produced it so multi-partition clients can gather one reply per
+// partition.
+type result struct {
+	status    byte
+	partition uint16
+	value     []byte  // read result
+	entries   []Entry // scan result
+	count     uint32  // batch result
+}
+
+func (r result) encode() []byte {
+	b := []byte{r.status}
+	b = binary.BigEndian.AppendUint16(b, r.partition)
+	b = appendBytes(b, r.value)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.entries)))
+	for _, e := range r.entries {
+		b = appendString(b, e.Key)
+		b = appendBytes(b, e.Value)
+	}
+	b = binary.BigEndian.AppendUint32(b, r.count)
+	return b
+}
+
+func decodeResult(b []byte) (result, error) {
+	if len(b) < 3 {
+		return result{}, errBadOp
+	}
+	r := result{status: b[0], partition: binary.BigEndian.Uint16(b[1:])}
+	b = b[3:]
+	var err error
+	r.value, b, err = takeBytes(b)
+	if err != nil {
+		return result{}, err
+	}
+	if len(b) < 4 {
+		return result{}, errBadOp
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n > len(b) {
+		return result{}, errBadOp
+	}
+	r.entries = make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		var k string
+		var v []byte
+		k, b, err = takeString(b)
+		if err != nil {
+			return result{}, err
+		}
+		v, b, err = takeBytes(b)
+		if err != nil {
+			return result{}, err
+		}
+		r.entries = append(r.entries, Entry{Key: k, Value: v})
+	}
+	if len(b) < 4 {
+		return result{}, errBadOp
+	}
+	r.count = binary.BigEndian.Uint32(b)
+	return r, nil
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Partitioner maps keys to partitions. Applications decide whether data is
+// hash- or range-partitioned, and clients must know the scheme (Section
+// 6.1; the paper stores it in Zookeeper, here it is part of the deployment
+// configuration published through the registry).
+type Partitioner interface {
+	// N returns the number of partitions.
+	N() int
+	// PartitionOf returns the partition owning a key.
+	PartitionOf(key string) int
+	// PartitionsForRange returns the partitions that may hold keys in
+	// [from, to] (to == "" means unbounded).
+	PartitionsForRange(from, to string) []int
+}
+
+// HashPartitioner assigns keys by FNV hash modulo the partition count.
+// Range scans must visit every partition.
+type HashPartitioner struct {
+	n int
+}
+
+// NewHashPartitioner creates a hash partitioner over n partitions.
+func NewHashPartitioner(n int) *HashPartitioner {
+	if n <= 0 {
+		n = 1
+	}
+	return &HashPartitioner{n: n}
+}
+
+// N implements Partitioner.
+func (p *HashPartitioner) N() int { return p.n }
+
+// PartitionOf implements Partitioner.
+func (p *HashPartitioner) PartitionOf(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(p.n))
+}
+
+// PartitionsForRange implements Partitioner: hash partitioning scatters
+// ranges everywhere, so scans go to all partitions.
+func (p *HashPartitioner) PartitionsForRange(_, _ string) []int {
+	out := make([]int, p.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RangePartitioner assigns keys by sorted boundary keys: partition i holds
+// keys in [bounds[i-1], bounds[i]), with the first partition unbounded
+// below and the last unbounded above.
+type RangePartitioner struct {
+	bounds []string // len = n-1, sorted
+}
+
+// NewRangePartitioner creates a range partitioner with the given upper
+// boundaries (exclusive) for all but the last partition. The boundaries
+// are sorted; n = len(bounds)+1.
+func NewRangePartitioner(bounds []string) *RangePartitioner {
+	b := append([]string(nil), bounds...)
+	sort.Strings(b)
+	return &RangePartitioner{bounds: b}
+}
+
+// N implements Partitioner.
+func (p *RangePartitioner) N() int { return len(p.bounds) + 1 }
+
+// PartitionOf implements Partitioner.
+func (p *RangePartitioner) PartitionOf(key string) int {
+	// First boundary strictly greater than key identifies the partition.
+	return sort.SearchStrings(p.bounds, key+"\x00")
+}
+
+// PartitionsForRange implements Partitioner: only partitions overlapping
+// [from, to] are involved (this is what makes range-partitioned scans
+// cheaper, Section 6.1).
+func (p *RangePartitioner) PartitionsForRange(from, to string) []int {
+	lo := p.PartitionOf(from)
+	hi := p.N() - 1
+	if to != "" {
+		hi = p.PartitionOf(to)
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

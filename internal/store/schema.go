@@ -1,0 +1,91 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mrp/internal/registry"
+	"mrp/internal/transport"
+)
+
+// schemaPath is where the partitioning schema lives in the coordination
+// service ("the partitioning schema is stored in Zookeeper and accessible
+// to all processes", Section 7.2).
+const schemaPath = "/mrp-store/schema"
+
+// Schema is the client-visible description of a deployment: how keys map
+// to partitions and where each partition's replicas are.
+type Schema struct {
+	// Kind is "hash" or "range".
+	Kind string `json:"kind"`
+	// Partitions is the partition count (hash partitioning).
+	Partitions int `json:"partitions"`
+	// Bounds are the range partitioner's boundary keys (range
+	// partitioning; len = partitions-1).
+	Bounds []string `json:"bounds,omitempty"`
+	// Replicas lists, per partition, the replica addresses.
+	Replicas [][]transport.Addr `json:"replicas"`
+	// GlobalRing reports whether cross-partition commands are ordered
+	// through a global ring.
+	GlobalRing bool `json:"globalRing"`
+}
+
+// PublishSchema writes the deployment's schema to the coordination
+// service so clients can discover partitioning and replica placement.
+func (d *Deployment) PublishSchema(reg *registry.Registry) error {
+	s := Schema{
+		Partitions: d.cfg.Partitions,
+		GlobalRing: d.cfg.GlobalRing,
+	}
+	switch p := d.cfg.Partitioner.(type) {
+	case *HashPartitioner:
+		s.Kind = "hash"
+	case *RangePartitioner:
+		s.Kind = "range"
+		s.Bounds = append([]string(nil), p.bounds...)
+	default:
+		return fmt.Errorf("store: partitioner %T cannot be published", d.cfg.Partitioner)
+	}
+	for p := 0; p < d.cfg.Partitions; p++ {
+		var addrs []transport.Addr
+		for r := 0; r < d.cfg.Replicas; r++ {
+			addrs = append(addrs, d.cfg.AddrFor(p, r))
+		}
+		s.Replicas = append(s.Replicas, addrs)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	reg.Set(schemaPath, data)
+	return nil
+}
+
+// LoadSchema reads the published schema from the coordination service.
+func LoadSchema(reg *registry.Registry) (Schema, error) {
+	data, _, ok := reg.Get(schemaPath)
+	if !ok {
+		return Schema{}, fmt.Errorf("store: no schema published at %s", schemaPath)
+	}
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schema{}, fmt.Errorf("store: bad schema: %w", err)
+	}
+	return s, nil
+}
+
+// PartitionerFor builds the partitioner the schema describes.
+func (s Schema) PartitionerFor() (Partitioner, error) {
+	switch s.Kind {
+	case "hash":
+		return NewHashPartitioner(s.Partitions), nil
+	case "range":
+		if len(s.Bounds) != s.Partitions-1 {
+			return nil, fmt.Errorf("store: schema has %d bounds for %d partitions",
+				len(s.Bounds), s.Partitions)
+		}
+		return NewRangePartitioner(s.Bounds), nil
+	default:
+		return nil, fmt.Errorf("store: unknown partitioning kind %q", s.Kind)
+	}
+}

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"mrp/internal/netsim"
+	"mrp/internal/registry"
+	"mrp/internal/storage"
+)
+
+func TestSchemaPublishLoadHash(t *testing.T) {
+	d := testDeploy(t, true, 3)
+	reg := registry.New()
+	if err := d.PublishSchema(reg); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSchema(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "hash" || s.Partitions != 3 || !s.GlobalRing {
+		t.Fatalf("schema = %+v", s)
+	}
+	if len(s.Replicas) != 3 || len(s.Replicas[0]) != 3 {
+		t.Fatalf("replicas = %+v", s.Replicas)
+	}
+	p, err := s.PartitionerFor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt partitioner must agree with the deployment's.
+	for _, k := range []string{"a", "user42", "zzz"} {
+		if p.PartitionOf(k) != d.Partitioner().PartitionOf(k) {
+			t.Fatalf("partitioner mismatch for %q", k)
+		}
+	}
+}
+
+func TestSchemaPublishLoadRange(t *testing.T) {
+	net := netsim.New(netsim.WithUniformLatency(20 * time.Microsecond))
+	part := NewRangePartitioner([]string{"m"})
+	d, err := Deploy(DeployConfig{
+		Net: net, Partitions: 2, Replicas: 3,
+		Partitioner: part, StorageMode: storage.InMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Stop(); net.Close() })
+	reg := registry.New()
+	if err := d.PublishSchema(reg); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSchema(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "range" || len(s.Bounds) != 1 || s.Bounds[0] != "m" {
+		t.Fatalf("schema = %+v", s)
+	}
+	p, _ := s.PartitionerFor()
+	if p.PartitionOf("a") != 0 || p.PartitionOf("z") != 1 {
+		t.Fatal("range partitioner mismatch")
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	reg := registry.New()
+	if _, err := LoadSchema(reg); err == nil {
+		t.Fatal("missing schema should fail")
+	}
+	reg.Set("/mrp-store/schema", []byte("not json"))
+	if _, err := LoadSchema(reg); err == nil {
+		t.Fatal("bad schema should fail")
+	}
+	bad := Schema{Kind: "range", Partitions: 3, Bounds: []string{"x"}}
+	if _, err := bad.PartitionerFor(); err == nil {
+		t.Fatal("inconsistent bounds should fail")
+	}
+	unknown := Schema{Kind: "consistent-hash"}
+	if _, err := unknown.PartitionerFor(); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

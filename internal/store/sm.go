@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/binary"
+
+	"mrp/internal/smr"
+)
+
+// SM is the state machine of one MRP-Store partition replica: an ordered
+// in-memory map plus the partition descriptor. Multi-partition commands
+// (scans multicast through the global ring) are executed against the local
+// shard only, and the partition tag in the result lets clients gather one
+// reply per partition.
+type SM struct {
+	partition   int
+	partitioner Partitioner
+	data        *SortedMap
+}
+
+var _ smr.StateMachine = (*SM)(nil)
+
+// NewSM creates the state machine for one partition.
+func NewSM(partition int, p Partitioner) *SM {
+	return &SM{partition: partition, partitioner: p, data: NewSortedMap()}
+}
+
+// Data exposes the underlying sorted map (read-only use: preloading and
+// test assertions).
+func (s *SM) Data() *SortedMap { return s.data }
+
+// Execute implements smr.StateMachine.
+func (s *SM) Execute(raw []byte) []byte {
+	o, err := decodeOp(raw)
+	if err != nil {
+		return result{status: statusError, partition: uint16(s.partition)}.encode()
+	}
+	return s.apply(o).encode()
+}
+
+func (s *SM) apply(o op) result {
+	res := result{status: statusOK, partition: uint16(s.partition)}
+	switch o.kind {
+	case opRead:
+		v, ok := s.data.Get(o.key)
+		if !ok {
+			res.status = statusNotFound
+			return res
+		}
+		res.value = v
+		if res.value == nil {
+			res.value = []byte{}
+		}
+	case opUpdate:
+		// update(k, v): update entry k with value v, if existent (Table 1).
+		if _, ok := s.data.Get(o.key); !ok {
+			res.status = statusNotFound
+			return res
+		}
+		s.data.Put(o.key, o.value)
+	case opInsert:
+		s.data.Put(o.key, o.value)
+	case opDelete:
+		if !s.data.Delete(o.key) {
+			res.status = statusNotFound
+		}
+	case opScan:
+		res.entries = s.data.Scan(o.key, o.to, o.limit)
+	case opBatch:
+		for _, sub := range o.batch {
+			r := s.apply(sub)
+			if r.status == statusOK {
+				res.count++
+			}
+		}
+	default:
+		res.status = statusError
+	}
+	return res
+}
+
+// Snapshot implements smr.StateMachine: the full shard as length-prefixed
+// key/value pairs.
+func (s *SM) Snapshot() []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, uint32(s.data.Len()))
+	s.data.Ascend(func(e Entry) bool {
+		b = appendString(b, e.Key)
+		b = appendBytes(b, e.Value)
+		return true
+	})
+	return b
+}
+
+// Restore implements smr.StateMachine.
+func (s *SM) Restore(b []byte) {
+	s.data = NewSortedMap()
+	if len(b) < 4 {
+		return
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	for i := 0; i < n; i++ {
+		k, rest, err := takeString(b)
+		if err != nil {
+			return
+		}
+		v, rest2, err := takeBytes(rest)
+		if err != nil {
+			return
+		}
+		s.data.Put(k, append([]byte(nil), v...))
+		b = rest2
+	}
+}

@@ -1,0 +1,215 @@
+// Package tcpnet implements the transport abstraction over real TCP
+// sockets, so the same Ring Paxos / Multi-Ring Paxos code that runs in the
+// simulator (internal/netsim) runs across actual machines. The paper's
+// implementation likewise bases all communication within Multi-Ring Paxos
+// on TCP (Section 7.1).
+//
+// Framing: each message is a 4-byte big-endian length followed by the
+// msg.Marshal encoding. The first frame on every outbound connection is a
+// handshake carrying the sender's advertised (listen) address, so receivers
+// can attribute envelopes to stable peer addresses rather than ephemeral
+// ports.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mrp/internal/msg"
+	"mrp/internal/transport"
+)
+
+// maxFrame bounds a single message frame (64 MB).
+const maxFrame = 64 << 20
+
+// Endpoint is a TCP-backed transport endpoint.
+type Endpoint struct {
+	ln    net.Listener
+	addr  transport.Addr
+	inbox chan transport.Envelope
+
+	mu     sync.Mutex
+	conns  map[transport.Addr]*outConn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// outConn is an outbound connection with a send queue.
+type outConn struct {
+	ch   chan []byte
+	done chan struct{}
+}
+
+// Listen creates an endpoint listening on addr ("host:port"; use ":0" for
+// an ephemeral port and read the bound address with Addr).
+func Listen(addr string) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	e := &Endpoint{
+		ln:    ln,
+		addr:  transport.Addr(ln.Addr().String()),
+		inbox: make(chan transport.Envelope, 4096),
+		conns: make(map[transport.Addr]*outConn),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr implements transport.Endpoint.
+func (e *Endpoint) Addr() transport.Addr { return e.addr }
+
+// Inbox implements transport.Endpoint.
+func (e *Endpoint) Inbox() <-chan transport.Envelope { return e.inbox }
+
+// Send implements transport.Endpoint: messages are serialized and queued
+// on a per-destination connection; delivery is FIFO per destination.
+// Failures drop the queued messages (crash semantics); the next Send
+// redials.
+func (e *Endpoint) Send(to transport.Addr, m msg.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	oc, ok := e.conns[to]
+	if !ok {
+		oc = &outConn{ch: make(chan []byte, 1024), done: make(chan struct{})}
+		e.conns[to] = oc
+		e.wg.Add(1)
+		go e.sendLoop(to, oc)
+	}
+	e.mu.Unlock()
+	frame := frameFor(m)
+	select {
+	case oc.ch <- frame:
+		return nil
+	case <-oc.done:
+		return nil // connection failed: dropped, like a broken TCP link
+	}
+}
+
+func frameFor(m msg.Message) []byte {
+	body := msg.Marshal(m)
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame
+}
+
+// sendLoop owns one outbound connection.
+func (e *Endpoint) sendLoop(to transport.Addr, oc *outConn) {
+	defer e.wg.Done()
+	defer func() {
+		close(oc.done)
+		e.mu.Lock()
+		if e.conns[to] == oc {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+	}()
+	conn, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	// Handshake: advertise our stable address.
+	hello := frameFor(&msg.Proposal{Payload: []byte(e.addr)})
+	if _, err := conn.Write(hello); err != nil {
+		return
+	}
+	for frame := range oc.ch {
+		if _, err := conn.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	var from transport.Addr
+	first := true
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if first {
+			first = false
+			hello, ok := m.(*msg.Proposal)
+			if !ok {
+				return // protocol violation
+			}
+			from = transport.Addr(hello.Payload)
+			continue
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case e.inbox <- transport.Envelope{From: from, Msg: m}:
+		default:
+			// Inbox overflow: block, backpressuring the TCP stream.
+			e.inbox <- transport.Envelope{From: from, Msg: m}
+		}
+	}
+}
+
+func readFrame(r io.Reader) (msg.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, errors.New("tcpnet: bad frame length")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return msg.Unmarshal(body)
+}
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[transport.Addr]*outConn{}
+	e.mu.Unlock()
+	_ = e.ln.Close()
+	for _, oc := range conns {
+		close(oc.ch)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package transport defines the network abstraction shared by the simulated
+// in-process network (internal/netsim) and the real TCP transport
+// (internal/tcpnet). Ring Paxos and everything above it is written against
+// these interfaces only, so the same protocol code runs both in simulation
+// and on real sockets.
+package transport
+
+import (
+	"errors"
+
+	"mrp/internal/msg"
+)
+
+// Addr identifies an endpoint. The simulated network uses structured names
+// ("region/node-3"); the TCP transport uses host:port strings.
+type Addr string
+
+// Envelope is a received message together with its sender.
+type Envelope struct {
+	From Addr
+	Msg  msg.Message
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one node's attachment to a network.
+//
+// Send is asynchronous and never blocks on the remote node; messages between
+// a fixed (sender, receiver) pair are delivered FIFO, like a TCP connection.
+// Messages must be treated as immutable once sent: the simulated network
+// passes pointers without copying, so a handler that wants to modify and
+// forward a message (e.g. incrementing the vote count of a Phase 2A/2B)
+// must forward a copy.
+type Endpoint interface {
+	// Addr returns this endpoint's address.
+	Addr() Addr
+	// Send enqueues m for delivery to the endpoint at 'to'. Sends to unknown
+	// or crashed endpoints are silently dropped, as on a real network.
+	Send(to Addr, m msg.Message) error
+	// Inbox returns the channel of received messages. It is closed when the
+	// endpoint is closed.
+	Inbox() <-chan Envelope
+	// Close detaches the endpoint; pending and future messages are dropped.
+	Close() error
+}

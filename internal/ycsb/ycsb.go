@@ -1,0 +1,249 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark workload
+// generator (Cooper et al., SoCC 2010) used in the paper's Figure 4 to
+// compare MRP-Store against Cassandra and MySQL.
+//
+// The six core workloads are implemented with their standard mixes and
+// request distributions:
+//
+//	A  update heavy   50% read  / 50% update           zipfian
+//	B  read mostly    95% read  /  5% update           zipfian
+//	C  read only     100% read                         zipfian
+//	D  read latest    95% read  /  5% insert           latest
+//	E  short ranges   95% scan  /  5% insert           zipfian, scan 1-100
+//	F  read-mod-write 50% read  / 50% read-modify-write zipfian
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is one YCSB operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "READ-MODIFY-WRITE"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     string
+	Value   []byte // for updates/inserts/RMW
+	ScanLen int    // for scans
+}
+
+// Workload identifies one of the six core workloads.
+type Workload byte
+
+// The six core YCSB workloads.
+const (
+	WorkloadA Workload = 'A'
+	WorkloadB Workload = 'B'
+	WorkloadC Workload = 'C'
+	WorkloadD Workload = 'D'
+	WorkloadE Workload = 'E'
+	WorkloadF Workload = 'F'
+)
+
+// Workloads lists all six in order.
+var Workloads = []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF}
+
+// String implements fmt.Stringer.
+func (w Workload) String() string { return string(w) }
+
+// Config parametrizes a generator.
+type Config struct {
+	Workload    Workload
+	RecordCount int   // initial records (key space)
+	ValueSize   int   // bytes per value (default 100, YCSB uses 10 fields x 100B)
+	MaxScanLen  int   // default 100
+	Seed        int64 // generator seed
+}
+
+// Generator produces YCSB operations. Not safe for concurrent use; create
+// one per client thread.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *zipfian
+	scanLen *rand.Rand
+	// insertCount tracks keys added by OpInsert so OpRead-latest skews to
+	// recent inserts.
+	insertCount int
+}
+
+// New creates a generator.
+func New(cfg Config) *Generator {
+	if cfg.RecordCount <= 0 {
+		cfg.RecordCount = 1000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	if cfg.MaxScanLen <= 0 {
+		cfg.MaxScanLen = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:     cfg,
+		rng:     rng,
+		zipf:    newZipfian(rng, cfg.RecordCount),
+		scanLen: rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Key formats a record index as a YCSB-style key. Keys are zero-padded so
+// lexicographic order equals numeric order, which range partitioning and
+// scans rely on.
+func Key(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// KeyCount returns the current size of the key space (initial records plus
+// inserts generated so far).
+func (g *Generator) KeyCount() int { return g.cfg.RecordCount + g.insertCount }
+
+// value produces a deterministic pseudo-random value of the configured size.
+func (g *Generator) value() []byte {
+	b := make([]byte, g.cfg.ValueSize)
+	g.rng.Read(b)
+	return b
+}
+
+// Next produces the next operation of the workload.
+func (g *Generator) Next() Op {
+	switch g.cfg.Workload {
+	case WorkloadA:
+		if g.rng.Float64() < 0.5 {
+			return Op{Kind: OpRead, Key: g.zipfKey()}
+		}
+		return Op{Kind: OpUpdate, Key: g.zipfKey(), Value: g.value()}
+	case WorkloadB:
+		if g.rng.Float64() < 0.95 {
+			return Op{Kind: OpRead, Key: g.zipfKey()}
+		}
+		return Op{Kind: OpUpdate, Key: g.zipfKey(), Value: g.value()}
+	case WorkloadC:
+		return Op{Kind: OpRead, Key: g.zipfKey()}
+	case WorkloadD:
+		if g.rng.Float64() < 0.95 {
+			return Op{Kind: OpRead, Key: g.latestKey()}
+		}
+		return g.insert()
+	case WorkloadE:
+		if g.rng.Float64() < 0.95 {
+			n := 1 + g.scanLen.Intn(g.cfg.MaxScanLen)
+			return Op{Kind: OpScan, Key: g.zipfKey(), ScanLen: n}
+		}
+		return g.insert()
+	case WorkloadF:
+		if g.rng.Float64() < 0.5 {
+			return Op{Kind: OpRead, Key: g.zipfKey()}
+		}
+		return Op{Kind: OpReadModifyWrite, Key: g.zipfKey(), Value: g.value()}
+	default:
+		return Op{Kind: OpRead, Key: g.zipfKey()}
+	}
+}
+
+func (g *Generator) insert() Op {
+	i := g.cfg.RecordCount + g.insertCount
+	g.insertCount++
+	return Op{Kind: OpInsert, Key: Key(i), Value: g.value()}
+}
+
+func (g *Generator) zipfKey() string {
+	return Key(g.zipf.next() % g.KeyCount())
+}
+
+// latestKey skews toward recently inserted records (workload D).
+func (g *Generator) latestKey() string {
+	n := g.KeyCount()
+	off := g.zipf.next() % n
+	return Key(n - 1 - off)
+}
+
+// zipfian draws from a zipf distribution over [0, n) with the YCSB default
+// constant 0.99, using the Gray et al. quick algorithm (the same one the
+// reference YCSB implementation uses).
+type zipfian struct {
+	rng             *rand.Rand
+	n               int
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+	countForZeta    int
+}
+
+const zipfConstant = 0.99
+
+func newZipfian(rng *rand.Rand, n int) *zipfian {
+	z := &zipfian{rng: rng, n: n, theta: zipfConstant}
+	z.zeta2theta = zetaStatic(2, z.theta)
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.zetan = zetaStatic(n, z.theta)
+	z.countForZeta = n
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Load returns the initial records (key, value) for preloading a store.
+func Load(cfg Config) []Op {
+	if cfg.RecordCount <= 0 {
+		cfg.RecordCount = 1000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	out := make([]Op, cfg.RecordCount)
+	for i := range out {
+		v := make([]byte, cfg.ValueSize)
+		rng.Read(v)
+		out[i] = Op{Kind: OpInsert, Key: Key(i), Value: v}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+)
+
+func opMix(t *testing.T, w Workload, n int) map[OpKind]int {
+	t.Helper()
+	g := New(Config{Workload: w, RecordCount: 1000, Seed: 42})
+	mix := make(map[OpKind]int)
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		mix[op.Kind]++
+		if op.Key == "" {
+			t.Fatalf("%v: empty key", w)
+		}
+	}
+	return mix
+}
+
+func assertFrac(t *testing.T, mix map[OpKind]int, kind OpKind, n int, want, tol float64) {
+	t.Helper()
+	got := float64(mix[kind]) / float64(n)
+	if got < want-tol || got > want+tol {
+		t.Fatalf("%v fraction = %.3f, want %.2f±%.2f (mix %v)", kind, got, want, tol, mix)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 20000
+	a := opMix(t, WorkloadA, n)
+	assertFrac(t, a, OpRead, n, 0.50, 0.02)
+	assertFrac(t, a, OpUpdate, n, 0.50, 0.02)
+
+	b := opMix(t, WorkloadB, n)
+	assertFrac(t, b, OpRead, n, 0.95, 0.01)
+	assertFrac(t, b, OpUpdate, n, 0.05, 0.01)
+
+	c := opMix(t, WorkloadC, n)
+	assertFrac(t, c, OpRead, n, 1.00, 0.001)
+
+	d := opMix(t, WorkloadD, n)
+	assertFrac(t, d, OpRead, n, 0.95, 0.01)
+	assertFrac(t, d, OpInsert, n, 0.05, 0.01)
+
+	e := opMix(t, WorkloadE, n)
+	assertFrac(t, e, OpScan, n, 0.95, 0.01)
+	assertFrac(t, e, OpInsert, n, 0.05, 0.01)
+
+	f := opMix(t, WorkloadF, n)
+	assertFrac(t, f, OpRead, n, 0.50, 0.02)
+	assertFrac(t, f, OpReadModifyWrite, n, 0.50, 0.02)
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := New(Config{Workload: WorkloadC, RecordCount: 10000, Seed: 7})
+	counts := make(map[string]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Zipfian(0.99): the hottest key should get far more than uniform share
+	// (uniform would be 5 per key).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("hottest key count = %d, want heavy skew", max)
+	}
+	// But the tail must still be covered reasonably.
+	if len(counts) < 1000 {
+		t.Fatalf("distinct keys = %d, want broad coverage", len(counts))
+	}
+}
+
+func TestZipfianInRange(t *testing.T) {
+	g := New(Config{Workload: WorkloadC, RecordCount: 100, Seed: 3})
+	for i := 0; i < 10000; i++ {
+		k := g.Next().Key
+		if k < Key(0) || k > Key(99) {
+			t.Fatalf("key %q out of range", k)
+		}
+	}
+}
+
+func TestKeyFormatSorts(t *testing.T) {
+	if !(Key(1) < Key(2) && Key(9) < Key(10) && Key(99) < Key(100)) {
+		t.Fatal("keys must sort numerically")
+	}
+	if !strings.HasPrefix(Key(5), "user") {
+		t.Fatalf("key = %q", Key(5))
+	}
+}
+
+func TestInsertsExtendKeySpace(t *testing.T) {
+	g := New(Config{Workload: WorkloadD, RecordCount: 100, Seed: 1})
+	before := g.KeyCount()
+	inserts := 0
+	for i := 0; i < 2000; i++ {
+		if g.Next().Kind == OpInsert {
+			inserts++
+		}
+	}
+	if g.KeyCount() != before+inserts {
+		t.Fatalf("key count %d, want %d", g.KeyCount(), before+inserts)
+	}
+	if inserts == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	g := New(Config{Workload: WorkloadD, RecordCount: 10000, Seed: 9})
+	recent := 0
+	reads := 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		reads++
+		if op.Key >= Key(g.KeyCount()-100) {
+			recent++
+		}
+	}
+	// The most recent 1% of keys should receive a large share of reads.
+	if float64(recent)/float64(reads) < 0.3 {
+		t.Fatalf("recent-100 share = %d/%d, want latest skew", recent, reads)
+	}
+}
+
+func TestScanLengthsBounded(t *testing.T) {
+	g := New(Config{Workload: WorkloadE, RecordCount: 1000, MaxScanLen: 50, Seed: 2})
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind != OpScan {
+			continue
+		}
+		if op.ScanLen < 1 || op.ScanLen > 50 {
+			t.Fatalf("scan len = %d", op.ScanLen)
+		}
+	}
+}
+
+func TestLoadRecords(t *testing.T) {
+	recs := Load(Config{RecordCount: 50, ValueSize: 10})
+	if len(recs) != 50 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind != OpInsert || r.Key != Key(i) || len(r.Value) != 10 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestValuesHaveConfiguredSize(t *testing.T) {
+	g := New(Config{Workload: WorkloadA, RecordCount: 100, ValueSize: 77, Seed: 4})
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind == OpUpdate && len(op.Value) != 77 {
+			t.Fatalf("value size = %d", len(op.Value))
+		}
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	g1 := New(Config{Workload: WorkloadA, RecordCount: 100, Seed: 11})
+	g2 := New(Config{Workload: WorkloadA, RecordCount: 100, Seed: 11})
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || a.Key != b.Key {
+			t.Fatalf("generators diverged at %d", i)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for _, k := range []OpKind{OpRead, OpUpdate, OpInsert, OpScan, OpReadModifyWrite} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "OpKind(") {
+			t.Fatalf("missing name for %d", k)
+		}
+	}
+}

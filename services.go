@@ -1,0 +1,61 @@
+package mrp
+
+import (
+	"mrp/internal/dlog"
+	"mrp/internal/store"
+)
+
+// MRP-Store, the partitioned strongly consistent key-value service
+// (Section 6.1, Table 1).
+type (
+	// Store is a running MRP-Store deployment.
+	Store = store.Deployment
+	// StoreConfig parametrizes a deployment.
+	StoreConfig = store.DeployConfig
+	// StoreClient issues read/scan/update/insert/delete requests.
+	StoreClient = store.Client
+	// StoreEntry is a key-value pair.
+	StoreEntry = store.Entry
+	// Partitioner maps keys to partitions.
+	Partitioner = store.Partitioner
+)
+
+// StoreSchema is the published partitioning schema (stored in the
+// coordination service, as the paper stores it in Zookeeper).
+type StoreSchema = store.Schema
+
+// Store constructors and helpers.
+var (
+	// DeployStore builds and starts an MRP-Store cluster.
+	DeployStore = store.Deploy
+	// NewHashPartitioner hash-partitions the key space.
+	NewHashPartitioner = store.NewHashPartitioner
+	// NewRangePartitioner range-partitions the key space by boundaries.
+	NewRangePartitioner = store.NewRangePartitioner
+	// LoadStoreSchema reads the published schema from the registry.
+	LoadStoreSchema = store.LoadSchema
+	// ErrNotFound reports operations on missing keys.
+	ErrNotFound = store.ErrNotFound
+)
+
+// dLog, the distributed shared log service (Section 6.2, Table 2).
+type (
+	// Log is a running dLog deployment.
+	Log = dlog.Deployment
+	// LogConfig parametrizes a deployment.
+	LogConfig = dlog.DeployConfig
+	// LogClient issues append/multi-append/read/trim requests.
+	LogClient = dlog.Client
+	// LogID identifies one shared log.
+	LogID = dlog.LogID
+)
+
+// dLog constructors and errors.
+var (
+	// DeployLog builds and starts a dLog cluster.
+	DeployLog = dlog.Deploy
+	// ErrTrimmed reports reads below a log's trim position.
+	ErrTrimmed = dlog.ErrTrimmed
+	// ErrOutOfRange reports reads past a log's tail.
+	ErrOutOfRange = dlog.ErrOutOfRange
+)
