@@ -53,7 +53,8 @@ func main() {
 	run("7", func(w io.Writer, o bench.Options) { bench.RenderFig7(w, bench.Fig7(o)) })
 	run("8", func(w io.Writer, o bench.Options) { bench.RenderFig8(w, bench.Fig8(o)) })
 	run("ablations", func(w io.Writer, o bench.Options) {
-		rows := append(bench.AblationBatching(o), bench.AblationSkip(o)...)
+		rows := append(bench.AblationBatching(o), bench.AblationTransportBatch(o)...)
+		rows = append(rows, bench.AblationSkip(o)...)
 		bench.RenderAblations(w, rows)
 	})
 }

@@ -1,0 +1,3 @@
+module mrp
+
+go 1.24

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrp/internal/msg"
@@ -39,7 +40,7 @@ type BookkeeperConfig struct {
 type Bookkeeper struct {
 	cfg     BookkeeperConfig
 	bookies []*bookie
-	nextID  uint64
+	nextID  atomic.Uint64
 }
 
 // bookie journals entries in large synchronous chunks.
@@ -156,8 +157,7 @@ func (bk *Bookkeeper) Stop() {
 // NewClient creates an append client. Each append goes to the whole
 // ensemble and completes after AckQuorum bookies acknowledge.
 func (bk *Bookkeeper) NewClient() *BookkeeperClient {
-	bk.nextID++
-	id := 5_000_000 + bk.nextID
+	id := 5_000_000 + bk.nextID.Add(1)
 	ep := bk.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("bk-client-%d", id)))
 	var addrs []transport.Addr
 	for i := 0; i < bk.cfg.Bookies; i++ {

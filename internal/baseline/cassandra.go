@@ -3,6 +3,7 @@ package baseline
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mrp/internal/msg"
@@ -34,7 +35,7 @@ type Cassandra struct {
 	cfg     CassandraConfig
 	servers [][]*cassServer // [partition][replica]
 	part    *store.HashPartitioner
-	nextID  uint64
+	nextID  atomic.Uint64
 }
 
 type cassServer struct {
@@ -135,8 +136,7 @@ func (c *Cassandra) Stop() {
 // NewClient creates a client. Clients route by key hash to a coordinator
 // replica of the owning partition.
 func (c *Cassandra) NewClient() *CassandraClient {
-	c.nextID++
-	id := 3_000_000 + c.nextID
+	id := 3_000_000 + c.nextID.Add(1)
 	ep := c.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("cass-client-%d", id)))
 	proposers := make(map[msg.RingID][]transport.Addr)
 	for p := 0; p < c.cfg.Partitions; p++ {

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mrp/internal/msg"
@@ -32,7 +33,7 @@ type MySQLConfig struct {
 type MySQL struct {
 	cfg    MySQLConfig
 	srv    *mysqlServer
-	nextID uint64
+	nextID atomic.Uint64
 }
 
 type mysqlServer struct {
@@ -113,8 +114,7 @@ func (m *MySQL) Stop() { m.srv.stop() }
 
 // NewClient creates a client.
 func (m *MySQL) NewClient() *MySQLClient {
-	m.nextID++
-	id := 4_000_000 + m.nextID
+	id := 4_000_000 + m.nextID.Add(1)
 	ep := m.cfg.Net.Endpoint(transport.Addr(fmt.Sprintf("mysql-client-%d", id)))
 	return &MySQLClient{
 		smr: smr.NewClient(smr.ClientConfig{

@@ -29,6 +29,23 @@ func AblationBatching(opts Options) []AblationRow {
 	}
 }
 
+// AblationTransportBatch measures transport-level write coalescing
+// (transport.BatchPolicy) on small in-memory requests — the regime where
+// per-packet overhead, not storage, bounds throughput. Unlike ring-level
+// batching it groups whole protocol messages (Phase2, Decision, forwarded
+// Proposals) into one packet per backlog, the "bigger packets before being
+// forwarded" of the paper's Section 4.
+func AblationTransportBatch(opts Options) []AblationRow {
+	off := fig3Run(opts, storage.InMemory, 512, 0, false)
+	on := fig3Run(opts, storage.InMemory, 512, 0, true)
+	return []AblationRow{
+		{Name: "transport batch", Variant: "off (1 packet/message)",
+			OpsPerSec: off.ThroughputMbps * 1e6 / 8 / 512, MeanLat: off.MeanLatency},
+		{Name: "transport batch", Variant: "on (coalesced packets)",
+			OpsPerSec: on.ThroughputMbps * 1e6 / 8 / 512, MeanLat: on.MeanLatency},
+	}
+}
+
 // AblationSkip measures rate leveling's effect on a two-ring learner with
 // one idle ring: with skips the busy ring flows; without, the merge stalls
 // (multicast delivery approaches zero).

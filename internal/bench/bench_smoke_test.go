@@ -100,6 +100,9 @@ func TestFig7Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		t.Skip("WAN scaling threshold is timing-sensitive under the race detector")
+	}
 	opts := tiny()
 	opts.PointSeconds = 0.8 // WAN batches need a few round trips
 	r1 := fig7Point(opts, 1)
@@ -116,6 +119,9 @@ func TestFig7Smoke(t *testing.T) {
 func TestFig8Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("compressed recovery timeline is timing-sensitive under the race detector")
 	}
 	opts := tiny()
 	opts.PointSeconds = 0.6 // total timeline = 6s

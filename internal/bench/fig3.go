@@ -70,6 +70,14 @@ func fig3Point(opts Options, mode storage.Mode, size int) Fig3Row {
 // fig3PointBatched is fig3Point with configurable coordinator batching
 // (used by the batching ablation).
 func fig3PointBatched(opts Options, mode storage.Mode, size, batchBytes int) Fig3Row {
+	return fig3Run(opts, mode, size, batchBytes, false)
+}
+
+// fig3Run is the general driver: ring-level batching via batchBytes,
+// transport-level write coalescing via transportBatch. The Figure 3
+// baseline runs with both off, as in the paper ("batching is disabled");
+// the ablations turn each on separately.
+func fig3Run(opts Options, mode storage.Mode, size, batchBytes int, transportBatch bool) Fig3Row {
 	const (
 		nodes   = 3
 		threads = 10 // "Proposers have 10 threads" (Section 8.3.1)
@@ -77,6 +85,7 @@ func fig3PointBatched(opts Options, mode storage.Mode, size, batchBytes int) Fig
 	net := netsim.New(
 		netsim.WithUniformLatency(50*time.Microsecond), // 0.1 ms RTT switch
 		netsim.WithBandwidth(10<<30/8),                 // 10 Gbps NICs
+		netsim.WithBatch(transport.BatchPolicy{Disabled: !transportBatch}),
 	)
 	defer net.Close()
 

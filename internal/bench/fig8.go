@@ -68,7 +68,10 @@ func Fig8(opts Options) Fig8Result {
 		tl.Mark(time.Now(), "3:acceptor log trimming")
 	})
 
-	// Track checkpoints by polling replica counters.
+	// Track checkpoints by polling replica counters. Handles are read
+	// through ReplicaAt: the recovery injection below replaces one
+	// concurrently.
+	replicaCount := len(d.Replicas[0])
 	stopPoll := make(chan struct{})
 	var pollWG sync.WaitGroup
 	pollWG.Add(1)
@@ -81,8 +84,8 @@ func Fig8(opts Options) Fig8Result {
 			select {
 			case <-t.C:
 				var sum uint64
-				for _, h := range d.Replicas[0] {
-					if h != nil {
+				for r := 0; r < replicaCount; r++ {
+					if h := d.ReplicaAt(0, r); h != nil {
 						sum += h.Replica.Checkpoints()
 					}
 				}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the binary was built with the race detector,
+// whose 5-20x slowdown makes wall-clock throughput thresholds meaningless.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package dlog
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mrp/internal/msg"
@@ -73,7 +74,7 @@ type Deployment struct {
 	cfg       DeployConfig
 	Servers   []*ServerHandle
 	ringPeers [][]ringpaxos.Peer
-	nextID    uint64
+	nextID    atomic.Uint64
 }
 
 // LogRing returns the ring of one log.
@@ -309,8 +310,7 @@ func (d *Deployment) Stop() {
 
 // NewClient creates a dLog client with a fresh endpoint.
 func (d *Deployment) NewClient() *Client {
-	d.nextID++
-	id := 2_000_000 + d.nextID
+	id := 2_000_000 + d.nextID.Add(1)
 	ep, err := d.cfg.EndpointFor(transport.Addr(fmt.Sprintf("dlog-client-%d", id)))
 	if err != nil {
 		panic(fmt.Sprintf("dlog: client endpoint: %v", err))

@@ -1,0 +1,80 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleMsgs() []Message {
+	return []Message{
+		&TrimQuery{Ring: 1, Seq: 7},
+		&Proposal{Ring: 2, ProposerID: 3, Seq: 9, Payload: []byte("payload")},
+		&Phase2{Ring: 1, Ballot: 4, Instance: 11, Votes: 2,
+			Value: Value{Batch: []Entry{{Proposer: 3, Seq: 9, Data: []byte("v")}}}},
+		&Decision{Ring: 1, Instance: 11, Origin: 2,
+			Value: Value{Batch: []Entry{{Proposer: 3, Seq: 9, Data: []byte("v")}}}},
+	}
+}
+
+func TestMarshalToMatchesMarshal(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		want := Marshal(m)
+		got := MarshalTo(nil, m)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%T: MarshalTo != Marshal", m)
+		}
+		// Appending to a non-empty prefix extends in place.
+		prefix := []byte{0xde, 0xad}
+		got = MarshalTo(prefix, m)
+		if !bytes.Equal(got[:2], prefix) || !bytes.Equal(got[2:], want) {
+			t.Fatalf("%T: MarshalTo with prefix corrupted encoding", m)
+		}
+		if len(want) != m.Size() {
+			t.Fatalf("%T: Size() = %d, encoded %d", m, m.Size(), len(want))
+		}
+	}
+}
+
+func TestAppendBatchMatchesBatchMarshal(t *testing.T) {
+	msgs := sampleMsgs()
+	b := &Batch{Msgs: msgs}
+	want := Marshal(b)
+	got := AppendBatch(nil, msgs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendBatch != Marshal(&Batch{...}):\n got %x\nwant %x", got, want)
+	}
+	if BatchSize(msgs) != b.Size() {
+		t.Fatalf("BatchSize = %d, Batch.Size = %d", BatchSize(msgs), b.Size())
+	}
+	// Round trip through the decoder.
+	dec, err := Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, ok := dec.(*Batch)
+	if !ok || len(db.Msgs) != len(msgs) {
+		t.Fatalf("decoded %T with %d msgs", dec, len(db.Msgs))
+	}
+	for i := range msgs {
+		if !bytes.Equal(Marshal(db.Msgs[i]), Marshal(msgs[i])) {
+			t.Fatalf("sub-message %d does not round trip", i)
+		}
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	if len(*b) != 0 {
+		t.Fatalf("fresh buffer has length %d", len(*b))
+	}
+	*b = MarshalTo(*b, &TrimQuery{Ring: 1, Seq: 2})
+	PutBuffer(b)
+	b2 := GetBuffer()
+	if len(*b2) != 0 {
+		t.Fatalf("recycled buffer not reset: length %d", len(*b2))
+	}
+	PutBuffer(b2)
+	// Oversized buffers are dropped, not pooled.
+	huge := make([]byte, 0, maxPooledBuf+1)
+	PutBuffer(&huge)
+}

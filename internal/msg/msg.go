@@ -20,11 +20,14 @@
 //     discovery and state transfer between replicas of a partition.
 //   - Response: a service reply sent from a replica back to a client.
 //   - Batch: transport-level packing of several messages into one packet.
+//     Both transports (internal/tcpnet, internal/netsim) coalesce queued
+//     writes into Batch packets; see transport.BatchPolicy.
 package msg
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // RingID identifies a Ring Paxos instance; one multicast group maps to one
@@ -741,10 +744,72 @@ func New(t Type) Message {
 
 // Marshal encodes m with a leading type tag.
 func Marshal(m Message) []byte {
-	w := writer{buf: make([]byte, 0, m.Size())}
+	return MarshalTo(make([]byte, 0, m.Size()), m)
+}
+
+// MarshalTo appends the encoding of m (leading type tag included) to dst and
+// returns the extended slice. With a dst of sufficient capacity it performs
+// no allocation; pair it with GetBuffer/PutBuffer to reuse encode buffers
+// across messages on a transport's hot send path.
+func MarshalTo(dst []byte, m Message) []byte {
+	w := writer{buf: dst}
 	w.u8(uint8(m.Type()))
 	m.marshal(&w)
 	return w.buf
+}
+
+// AppendBatch appends the encoding of a Batch containing msgs to dst without
+// constructing a Batch value, and returns the extended slice. The result is
+// byte-identical to MarshalTo(dst, &Batch{Msgs: msgs}).
+func AppendBatch(dst []byte, msgs []Message) []byte {
+	w := writer{buf: dst}
+	w.u8(uint8(TBatch))
+	w.u32(uint32(len(msgs)))
+	for _, sub := range msgs {
+		w.u32(uint32(sub.Size()))
+		w.u8(uint8(sub.Type()))
+		sub.marshal(&w)
+	}
+	return w.buf
+}
+
+// BatchSize returns the encoded size of a Batch containing msgs, i.e. what
+// (&Batch{Msgs: msgs}).Size() would report, without building the value.
+func BatchSize(msgs []Message) int {
+	n := 1 + 4
+	for _, sub := range msgs {
+		n += 4 + sub.Size()
+	}
+	return n
+}
+
+// bufPool recycles encode buffers for MarshalTo-based hot paths.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool, so one
+// oversized message does not pin a huge allocation forever.
+const maxPooledBuf = 1 << 20
+
+// GetBuffer returns a reusable encode buffer of zero length. Return it with
+// PutBuffer when the encoded bytes are no longer referenced.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must not
+// retain any slice of it afterwards.
+func PutBuffer(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
 }
 
 // Unmarshal decodes one message from b. The entire slice must be consumed.

@@ -9,10 +9,17 @@
 // function of link latency and bandwidth, both of which are modeled here.
 //
 // Delivery model: each ordered (sender, receiver) pair is a link with a
-// dedicated delivery goroutine. A message of size s sent at time t arrives
+// dedicated delivery goroutine. A packet of size s sent at time t arrives
 // at max(t, linkFree) + s/bandwidth + latency; linkFree advances by the
-// serialization time, so a burst of large messages queues behind itself
+// serialization time, so a burst of large packets queues behind itself
 // exactly as it would on a NIC. Messages on one link are delivered FIFO.
+//
+// Write coalescing: unless disabled by WithBatch, each sender runs a
+// per-destination coalescing loop mirroring the TCP transport
+// (internal/tcpnet): the queue backlog becomes one simulated packet whose
+// bandwidth cost is the encoded msg.Batch size, so simulation and real
+// sockets stay behaviorally aligned. Delivered envelopes always carry
+// individual messages, exactly as tcpnet unpacks batches before its inbox.
 //
 // Messages are passed by pointer without copying; see transport.Endpoint
 // for the immutability convention.
@@ -63,6 +70,15 @@ func WithInboxSize(size int) Option {
 	return func(n *Network) { n.inboxSize = size }
 }
 
+// WithBatch sets the write-coalescing policy applied by every endpoint's
+// per-destination sender, mirroring tcpnet.WithBatch. The default is the
+// zero transport.BatchPolicy: coalescing enabled with default bounds. Pass
+// transport.BatchPolicy{Disabled: true} to model one packet per message
+// (the paper's Figure 3 baseline).
+func WithBatch(p transport.BatchPolicy) Option {
+	return func(n *Network) { n.batch = p }
+}
+
 // WithMinSleep sets the shortest delay the simulator actually sleeps for.
 // Delays below it are delivered immediately: OS timer granularity (often
 // 1-4 ms in containers) makes shorter sleeps both inaccurate and far more
@@ -79,6 +95,7 @@ type Network struct {
 	jitter    float64
 	inboxSize int
 	minSleep  time.Duration
+	batch     transport.BatchPolicy
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -108,6 +125,7 @@ func New(opts ...Option) *Network {
 	for _, o := range opts {
 		o(n)
 	}
+	n.batch = n.batch.WithDefaults()
 	return n
 }
 
@@ -205,8 +223,8 @@ func (n *Network) linkFor(from, to transport.Addr) *link {
 
 type timedMsg struct {
 	arriveAt time.Time
-	env      transport.Envelope
-	ep       *Endpoint // receiver instance resolved at send time (TCP-like:
+	envs     []transport.Envelope // one coalesced packet, delivered in order
+	ep       *Endpoint            // receiver instance resolved at send time (TCP-like:
 	// messages in flight to a crashed process are lost, never delivered to
 	// its recovered reincarnation)
 }
@@ -227,9 +245,9 @@ func (l *link) stop() {
 	l.stopOnce.Do(func() { close(l.done) })
 }
 
-// enqueue computes the arrival time for a message of the given size and
-// queues it for delivery to the given endpoint instance.
-func (l *link) enqueue(env transport.Envelope, ep *Endpoint, size int, latency time.Duration) {
+// enqueue computes the arrival time for a packet of the given encoded size
+// and queues its envelopes for delivery to the given endpoint instance.
+func (l *link) enqueue(envs []transport.Envelope, ep *Endpoint, size int, latency time.Duration) {
 	now := time.Now()
 	var tx time.Duration
 	if l.net.bandwidth > 0 {
@@ -245,7 +263,7 @@ func (l *link) enqueue(env transport.Envelope, ep *Endpoint, size int, latency t
 	l.mu.Unlock()
 	arrive := depart.Add(latency)
 	select {
-	case l.ch <- timedMsg{arriveAt: arrive, env: env, ep: ep}:
+	case l.ch <- timedMsg{arriveAt: arrive, envs: envs, ep: ep}:
 	case <-l.done:
 	}
 }
@@ -263,7 +281,9 @@ func (l *link) run() {
 					return
 				}
 			}
-			tm.ep.deliver(tm.env)
+			for _, env := range tm.envs {
+				tm.ep.deliver(env)
+			}
 		case <-l.done:
 			return
 		}
@@ -279,7 +299,16 @@ type Endpoint struct {
 
 	mu       sync.Mutex
 	closed   bool
-	inflight sync.WaitGroup // delivering goroutines currently sending
+	senders  map[transport.Addr]chan queuedMsg // per-destination coalescers
+	inflight sync.WaitGroup                    // delivering goroutines currently sending
+}
+
+// queuedMsg is one message waiting in a per-destination coalescing queue,
+// with its receiver instance and latency resolved at Send time.
+type queuedMsg struct {
+	env transport.Envelope
+	ep  *Endpoint
+	lat time.Duration
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -326,9 +355,84 @@ func (e *Endpoint) Send(to transport.Addr, m msg.Message) error {
 		lat += time.Duration(n.rng.Float64() * n.jitter * float64(lat))
 	}
 	n.mu.Unlock()
-	l := n.linkFor(e.addr, to)
-	l.enqueue(transport.Envelope{From: e.addr, Msg: m}, dst, m.Size(), lat)
-	return nil
+	env := transport.Envelope{From: e.addr, Msg: m}
+	if n.batch.Disabled {
+		l := n.linkFor(e.addr, to)
+		l.enqueue([]transport.Envelope{env}, dst, m.Size(), lat)
+		return nil
+	}
+	select {
+	case e.senderFor(to) <- queuedMsg{env: env, ep: dst, lat: lat}:
+		return nil
+	case <-e.done:
+		return transport.ErrClosed
+	}
+}
+
+// senderFor returns (creating if needed) the coalescing queue for one
+// destination.
+func (e *Endpoint) senderFor(to transport.Addr) chan queuedMsg {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.senders == nil {
+		e.senders = make(map[transport.Addr]chan queuedMsg)
+	}
+	ch, ok := e.senders[to]
+	if !ok {
+		ch = make(chan queuedMsg, 1024)
+		e.senders[to] = ch
+		go e.coalesceLoop(to, ch)
+	}
+	return ch
+}
+
+// coalesceLoop models transport-level write coalescing for one destination,
+// mirroring tcpnet's sendLoop: the queue backlog present when a message is
+// dequeued becomes one simulated packet whose bandwidth cost is the encoded
+// msg.Batch size. Coalescing never delays a message — an empty queue sends
+// immediately. A backlog message bound for a different receiver incarnation
+// (the destination crashed and recovered mid-queue) flushes the current
+// packet first, preserving per-incarnation delivery.
+func (e *Endpoint) coalesceLoop(to transport.Addr, ch chan queuedMsg) {
+	l := e.net.linkFor(e.addr, to)
+	maxBytes := e.net.batch.MaxBytes
+	maxCount := e.net.batch.MaxCount
+	var carry *queuedMsg
+	for {
+		var q queuedMsg
+		if carry != nil {
+			q, carry = *carry, nil
+		} else {
+			select {
+			case q = <-ch:
+			case <-e.done:
+				return
+			}
+		}
+		envs := []transport.Envelope{q.env}
+		// Track the would-be msg.Batch encoding exactly as tcpnet does:
+		// the empty-batch envelope from BatchSize, plus a 4-byte size
+		// prefix per packed message (matching Batch.marshal).
+		size := msg.BatchSize(nil) + 4 + q.env.Msg.Size()
+	drain:
+		for len(envs) < maxCount {
+			select {
+			case q2 := <-ch:
+				if q2.ep != q.ep || size+4+q2.env.Msg.Size() > maxBytes {
+					carry = &q2
+					break drain
+				}
+				envs = append(envs, q2.env)
+				size += 4 + q2.env.Msg.Size()
+			default:
+				break drain
+			}
+		}
+		if len(envs) == 1 {
+			size = q.env.Msg.Size() // sent alone: no batch envelope on the wire
+		}
+		l.enqueue(envs, q.ep, size, q.lat)
+	}
 }
 
 // deliver pushes an envelope into the inbox, dropping it if the endpoint is

@@ -84,6 +84,13 @@ type Config struct {
 	// BatchMaxBytes caps how many payload bytes the coordinator groups
 	// into one consensus instance; 0 disables batching (one proposal per
 	// instance, as in the Figure 3 baseline).
+	//
+	// This is ring-level batching: several proposals decided as one
+	// consensus instance, paying one stable-storage write. It is
+	// independent of transport-level write coalescing
+	// (transport.BatchPolicy), which packs already-formed protocol
+	// messages into one network packet and is configured on the endpoint
+	// (tcpnet.WithBatch / netsim.WithBatch), not here.
 	BatchMaxBytes int
 	// BatchDelay is how long the coordinator waits to fill a batch.
 	BatchDelay time.Duration

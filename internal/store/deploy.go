@@ -2,6 +2,8 @@ package store
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrp/internal/msg"
@@ -78,7 +80,11 @@ type Deployment struct {
 	cfg      DeployConfig
 	Replicas [][]*ReplicaHandle // [partition][replica]
 	trims    []*recovery.TrimCoordinator
-	nextID   uint64
+	nextID   atomic.Uint64
+
+	// mu guards replacement of Replicas entries (RecoverReplica) against
+	// concurrent inspection via ReplicaAt while an experiment is running.
+	mu sync.RWMutex
 }
 
 // PartitionRing returns the ring (= multicast group) of a partition.
@@ -277,6 +283,15 @@ func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, glob
 	return h, nil
 }
 
+// ReplicaAt returns replica r of partition p (nil when out of range),
+// safely against a concurrent RecoverReplica replacing the handle. Use it
+// instead of indexing Replicas while failure injection is running.
+func (d *Deployment) ReplicaAt(p, r int) *ReplicaHandle {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.handleAt(p, r)
+}
+
 func (d *Deployment) handleAt(p, r int) *ReplicaHandle {
 	if p < len(d.Replicas) && r < len(d.Replicas[p]) {
 		return d.Replicas[p][r]
@@ -441,7 +456,9 @@ func (d *Deployment) RecoverReplica(p, r int) error {
 	if err != nil {
 		return err
 	}
+	d.mu.Lock()
 	d.Replicas[p][r] = h
+	d.mu.Unlock()
 	recovered := nodeIDFor(p, r)
 	d.forEachLive(func(other *ReplicaHandle) {
 		if other == h {
@@ -486,8 +503,7 @@ func (d *Deployment) Stop() {
 
 // NewClient creates a store client with a fresh endpoint and unique ID.
 func (d *Deployment) NewClient() *Client {
-	d.nextID++
-	id := 1_000_000 + d.nextID
+	id := 1_000_000 + d.nextID.Add(1)
 	ep, err := d.cfg.EndpointFor(transport.Addr(fmt.Sprintf("store-client-%d", id)))
 	if err != nil {
 		panic(fmt.Sprintf("store: client endpoint: %v", err))

@@ -4,14 +4,22 @@
 // implementation likewise bases all communication within Multi-Ring Paxos
 // on TCP (Section 7.1).
 //
-// Framing: each message is a 4-byte big-endian length followed by the
-// msg.Marshal encoding. The first frame on every outbound connection is a
-// handshake carrying the sender's advertised (listen) address, so receivers
-// can attribute envelopes to stable peer addresses rather than ephemeral
-// ports.
+// Framing: each frame is a 4-byte big-endian length followed by the
+// msg.Marshal encoding of one message. The first frame on every outbound
+// connection is a handshake carrying the sender's advertised (listen)
+// address, so receivers can attribute envelopes to stable peer addresses
+// rather than ephemeral ports.
+//
+// Write coalescing: unless disabled by the endpoint's transport.BatchPolicy,
+// the send loop drains its per-destination queue and packs the backlog into
+// a single msg.Batch frame, so a burst of small protocol messages costs one
+// frame and one syscall instead of one each (paper Section 4). Batches are
+// unpacked on the receive side: the inbox always carries individual
+// messages, whether or not the peer coalesces.
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,33 +31,49 @@ import (
 	"mrp/internal/transport"
 )
 
-// maxFrame bounds a single message frame (64 MB).
+// maxFrame bounds a single frame (64 MB). Send rejects messages that cannot
+// fit one frame with ErrMessageTooLarge, since the receiver would kill the
+// connection on an oversized header.
 const maxFrame = 64 << 20
+
+// ErrMessageTooLarge reports a message whose encoding exceeds maxFrame.
+var ErrMessageTooLarge = errors.New("tcpnet: message exceeds max frame size")
 
 // Endpoint is a TCP-backed transport endpoint.
 type Endpoint struct {
 	ln    net.Listener
 	addr  transport.Addr
 	inbox chan transport.Envelope
+	batch transport.BatchPolicy
 
 	mu     sync.Mutex
 	conns  map[transport.Addr]*outConn
 	closed bool
+	done   chan struct{}
 
 	wg sync.WaitGroup
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
 
+// Option configures an Endpoint.
+type Option func(*Endpoint)
+
+// WithBatch sets the endpoint's write-coalescing policy. The default is the
+// zero transport.BatchPolicy: coalescing enabled with default bounds.
+func WithBatch(p transport.BatchPolicy) Option {
+	return func(e *Endpoint) { e.batch = p }
+}
+
 // outConn is an outbound connection with a send queue.
 type outConn struct {
-	ch   chan []byte
+	ch   chan msg.Message
 	done chan struct{}
 }
 
 // Listen creates an endpoint listening on addr ("host:port"; use ":0" for
 // an ephemeral port and read the bound address with Addr).
-func Listen(addr string) (*Endpoint, error) {
+func Listen(addr string, opts ...Option) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: %w", err)
@@ -59,7 +83,12 @@ func Listen(addr string) (*Endpoint, error) {
 		addr:  transport.Addr(ln.Addr().String()),
 		inbox: make(chan transport.Envelope, 4096),
 		conns: make(map[transport.Addr]*outConn),
+		done:  make(chan struct{}),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.batch = e.batch.WithDefaults()
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
@@ -71,11 +100,17 @@ func (e *Endpoint) Addr() transport.Addr { return e.addr }
 // Inbox implements transport.Endpoint.
 func (e *Endpoint) Inbox() <-chan transport.Envelope { return e.inbox }
 
-// Send implements transport.Endpoint: messages are serialized and queued
-// on a per-destination connection; delivery is FIFO per destination.
-// Failures drop the queued messages (crash semantics); the next Send
-// redials.
+// Send implements transport.Endpoint: messages are queued on a
+// per-destination connection and serialized by its send loop; delivery is
+// FIFO per destination. Failures drop the queued messages (crash
+// semantics); the next Send redials.
 func (e *Endpoint) Send(to transport.Addr, m msg.Message) error {
+	if m.Size() > maxFrame {
+		// Reject here so the failure surfaces at the call site instead of
+		// a silent drop in the send loop (e.g. an oversized CkptData would
+		// otherwise stall recovery with no error anywhere).
+		return ErrMessageTooLarge
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -83,30 +118,59 @@ func (e *Endpoint) Send(to transport.Addr, m msg.Message) error {
 	}
 	oc, ok := e.conns[to]
 	if !ok {
-		oc = &outConn{ch: make(chan []byte, 1024), done: make(chan struct{})}
+		oc = &outConn{ch: make(chan msg.Message, 1024), done: make(chan struct{})}
 		e.conns[to] = oc
 		e.wg.Add(1)
 		go e.sendLoop(to, oc)
 	}
 	e.mu.Unlock()
-	frame := frameFor(m)
 	select {
-	case oc.ch <- frame:
+	case oc.ch <- m:
 		return nil
 	case <-oc.done:
 		return nil // connection failed: dropped, like a broken TCP link
+	case <-e.done:
+		return transport.ErrClosed
 	}
 }
 
-func frameFor(m msg.Message) []byte {
-	body := msg.Marshal(m)
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-	return frame
+// appendFrame appends the length-prefixed encoding of m to dst.
+func appendFrame(dst []byte, m msg.Message) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Size()))
+	return msg.MarshalTo(dst, m)
 }
 
-// sendLoop owns one outbound connection.
+// appendBatchFrame appends one length-prefixed msg.Batch frame packing msgs.
+func appendBatchFrame(dst []byte, msgs []msg.Message) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(msg.BatchSize(msgs)))
+	return msg.AppendBatch(dst, msgs)
+}
+
+// collectBatch drains ch without blocking, appending to batch (which already
+// holds its first message) until the policy's count bound, the byte budget,
+// or an empty queue stops it. size is the encoded msg.Batch size of the
+// current batch. It returns the extended batch and the message that
+// overflowed the budget (to lead the next batch), if any.
+func collectBatch(ch <-chan msg.Message, batch []msg.Message, size, maxCount, maxBytes int) (out []msg.Message, carry msg.Message) {
+	for len(batch) < maxCount {
+		select {
+		case m := <-ch:
+			if size+4+m.Size() > maxBytes {
+				return batch, m
+			}
+			batch = append(batch, m)
+			size += 4 + m.Size()
+		default:
+			return batch, nil
+		}
+	}
+	return batch, nil
+}
+
+// sendLoop owns one outbound connection: it drains the queue, coalesces the
+// backlog into Batch frames, and writes through a buffered writer that is
+// flushed only when the queue is empty, so consecutive frames share
+// syscalls. The encode buffer is pooled and reused across frames.
 func (e *Endpoint) sendLoop(to transport.Addr, oc *outConn) {
 	defer e.wg.Done()
 	defer func() {
@@ -122,14 +186,59 @@ func (e *Endpoint) sendLoop(to transport.Addr, oc *outConn) {
 		return
 	}
 	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	buf := msg.GetBuffer()
+	defer msg.PutBuffer(buf)
 	// Handshake: advertise our stable address.
-	hello := frameFor(&msg.Proposal{Payload: []byte(e.addr)})
-	if _, err := conn.Write(hello); err != nil {
+	*buf = appendFrame((*buf)[:0], &msg.Proposal{Payload: []byte(e.addr)})
+	if _, err := bw.Write(*buf); err != nil {
 		return
 	}
-	for frame := range oc.ch {
-		if _, err := conn.Write(frame); err != nil {
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	maxBytes := e.batch.MaxBytes
+	if maxBytes > maxFrame {
+		maxBytes = maxFrame
+	}
+	var (
+		pending []msg.Message
+		carry   msg.Message
+	)
+	for {
+		var m msg.Message
+		if carry != nil {
+			m, carry = carry, nil
+		} else {
+			select {
+			case m = <-oc.ch:
+			case <-e.done:
+				return
+			}
+		}
+		pending = append(pending[:0], m)
+		if !e.batch.Disabled {
+			pending, carry = collectBatch(oc.ch, pending, msg.BatchSize(pending), e.batch.MaxCount, maxBytes)
+		}
+		*buf = (*buf)[:0]
+		if len(pending) > 1 {
+			*buf = appendBatchFrame(*buf, pending)
+		} else {
+			// Single messages fit maxFrame by construction: Send rejects
+			// oversized ones before they reach the queue.
+			*buf = appendFrame(*buf, pending[0])
+		}
+		if _, err := bw.Write(*buf); err != nil {
 			return
+		}
+		// With coalescing disabled every message must pay its own packet:
+		// flush per frame rather than amortizing syscalls across a backlog,
+		// so the unbatched baseline measures what it claims to.
+		if e.batch.Disabled || (carry == nil && len(oc.ch) == 0) {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -165,18 +274,31 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 			from = transport.Addr(hello.Payload)
 			continue
 		}
-		e.mu.Lock()
-		closed := e.closed
-		e.mu.Unlock()
-		if closed {
+		// Unpack transport-level batches: the inbox carries individual
+		// messages whether or not the peer coalesces.
+		if b, ok := m.(*msg.Batch); ok {
+			for _, sub := range b.Msgs {
+				if !e.deliver(transport.Envelope{From: from, Msg: sub}) {
+					return
+				}
+			}
+			continue
+		}
+		if !e.deliver(transport.Envelope{From: from, Msg: m}) {
 			return
 		}
-		select {
-		case e.inbox <- transport.Envelope{From: from, Msg: m}:
-		default:
-			// Inbox overflow: block, backpressuring the TCP stream.
-			e.inbox <- transport.Envelope{From: from, Msg: m}
-		}
+	}
+}
+
+// deliver pushes one envelope into the inbox; a full inbox blocks,
+// backpressuring the TCP stream. It reports false when the endpoint closes,
+// so a blocked readLoop unwinds instead of leaking on the inbox send.
+func (e *Endpoint) deliver(env transport.Envelope) bool {
+	select {
+	case e.inbox <- env:
+		return true
+	case <-e.done:
+		return false
 	}
 }
 
@@ -204,12 +326,12 @@ func (e *Endpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	conns := e.conns
 	e.conns = map[transport.Addr]*outConn{}
 	e.mu.Unlock()
+	// Closing done (never oc.ch: a concurrent Send may be mid-enqueue)
+	// releases sendLoops waiting on their queues and readLoops blocked on a
+	// full inbox; queued messages are dropped, per the transport contract.
+	close(e.done)
 	_ = e.ln.Close()
-	for _, oc := range conns {
-		close(oc.ch)
-	}
 	return nil
 }

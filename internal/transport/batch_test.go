@@ -1,0 +1,18 @@
+package transport
+
+import "testing"
+
+func TestBatchPolicyDefaults(t *testing.T) {
+	p := BatchPolicy{}.WithDefaults()
+	if p.Disabled {
+		t.Fatal("zero policy must enable coalescing")
+	}
+	if p.MaxBytes != DefaultBatchBytes || p.MaxCount != DefaultBatchCount {
+		t.Fatalf("defaults = %+v", p)
+	}
+	// Explicit values survive.
+	q := BatchPolicy{Disabled: true, MaxBytes: 7, MaxCount: 3}.WithDefaults()
+	if !q.Disabled || q.MaxBytes != 7 || q.MaxCount != 3 {
+		t.Fatalf("explicit values clobbered: %+v", q)
+	}
+}

@@ -24,6 +24,44 @@ type Envelope struct {
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// BatchPolicy controls transport-level write coalescing: when a sender's
+// per-destination queue holds more than one message, the transport packs the
+// backlog into a single msg.Batch and writes it as one packet, amortizing
+// per-message framing, syscall, and bandwidth-serialization overhead (paper
+// Section 4: "different types of messages ... are often grouped into bigger
+// packets before being forwarded").
+//
+// The zero value enables coalescing with default bounds. Coalescing never
+// delays a message: a batch is exactly the backlog present when the sender
+// loop dequeues, so an idle queue still sends immediately.
+type BatchPolicy struct {
+	// Disabled turns coalescing off: every message travels in its own
+	// packet (the paper's Figure 3 baseline behavior).
+	Disabled bool
+	// MaxBytes caps the encoded size of one coalesced packet. Messages
+	// beyond the cap start the next batch. Default 256 KB.
+	MaxBytes int
+	// MaxCount caps how many messages one batch may carry. Default 128.
+	MaxCount int
+}
+
+// Default coalescing bounds.
+const (
+	DefaultBatchBytes = 256 << 10
+	DefaultBatchCount = 128
+)
+
+// WithDefaults returns p with zero fields replaced by defaults.
+func (p BatchPolicy) WithDefaults() BatchPolicy {
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = DefaultBatchBytes
+	}
+	if p.MaxCount <= 0 {
+		p.MaxCount = DefaultBatchCount
+	}
+	return p
+}
+
 // Endpoint is one node's attachment to a network.
 //
 // Send is asynchronous and never blocks on the remote node; messages between

@@ -63,6 +63,12 @@ type (
 	SimNetwork = netsim.Network
 	// SimOption configures a SimNetwork.
 	SimOption = netsim.Option
+	// BatchPolicy configures transport-level write coalescing: both
+	// transports pack a sender's queue backlog into one packet unless
+	// Disabled is set.
+	BatchPolicy = transport.BatchPolicy
+	// TCPOption configures a TCP endpoint created with ListenTCP.
+	TCPOption = tcpnet.Option
 )
 
 // Simulated-network constructors and options.
@@ -77,8 +83,12 @@ var (
 	WithBandwidth = netsim.WithBandwidth
 	// WANLatency builds the four-region EC2 latency matrix of the paper.
 	WANLatency = netsim.WANLatency
+	// WithSimBatch sets the simulated network's write-coalescing policy.
+	WithSimBatch = netsim.WithBatch
 	// ListenTCP creates a real TCP endpoint ("host:port", ":0" for any).
 	ListenTCP = tcpnet.Listen
+	// WithTCPBatch sets a TCP endpoint's write-coalescing policy.
+	WithTCPBatch = tcpnet.WithBatch
 )
 
 // Atomic multicast (Multi-Ring Paxos).
