@@ -8,6 +8,7 @@
 //	Fig6     dLog vertical scalability: 1-5 rings, one disk each
 //	Fig7     MRP-Store horizontal scalability across 4 EC2 regions
 //	Fig8     impact of replica failure and recovery over time
+//	Rebalance impact of a live partition split (elastic rebalancing)
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
 // one host, not a 32-core cluster), but the shapes — who wins, by what

@@ -147,6 +147,45 @@ func TestFig8Smoke(t *testing.T) {
 	}
 }
 
+func TestRebalanceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("compressed split timeline is timing-sensitive under the race detector")
+	}
+	opts := tiny()
+	opts.PointSeconds = 0.5 // total timeline = 3s
+	res := Rebalance(opts)
+	if res.SteadyOps <= 0 {
+		t.Fatal("no steady-state throughput")
+	}
+	if res.RecoveredOps <= res.SteadyOps/4 {
+		t.Fatalf("throughput did not recover after the split: steady=%.0f recovered=%.0f",
+			res.SteadyOps, res.RecoveredOps)
+	}
+	if res.SplitDuration <= 0 || res.MovedKeys <= 0 {
+		t.Fatalf("split did not run: %+v", res)
+	}
+	// All protocol steps must be marked on the timeline.
+	for _, step := range []string{"provision", "prepare", "copy", "activate", "publish", "commit"} {
+		found := false
+		for _, e := range res.Events {
+			if e.Label == step {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing step %q in %v", step, res.Events)
+		}
+	}
+	var buf bytes.Buffer
+	RenderRebalance(&buf, res)
+	if !strings.Contains(buf.String(), "live partition split") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
 func TestAblationSkipSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

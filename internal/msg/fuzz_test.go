@@ -27,14 +27,27 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
-// FuzzCommandPayload hardens Value batches nested in Batch messages.
+// FuzzBatchUnmarshal hardens messages nested in Batch packets: decoding
+// arbitrary batch bodies must never panic or hang, and — as FuzzUnmarshal
+// already guarantees for top-level messages — any batch the codec accepts
+// must re-encode to the exact bytes it was decoded from (canonical
+// encoding, including the nested per-message size prefixes).
 func FuzzBatchUnmarshal(f *testing.F) {
 	f.Add(Marshal(&Batch{Msgs: []Message{
 		&Proposal{Ring: 1, ProposerID: 2, Seq: 3, Payload: []byte("p")},
 		&Decision{Ring: 1, Instance: 9, Value: Value{Skip: true, SkipTo: 12}},
-	}}))
+	}})[1:])
+	f.Add(Marshal(&Batch{})[1:])
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, byte(TCkptFetch), 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		wrapped := append([]byte{byte(TBatch)}, data...)
-		_, _ = Unmarshal(wrapped) // must not panic or hang
+		m, err := Unmarshal(wrapped)
+		if err != nil {
+			return
+		}
+		re := Marshal(m)
+		if !bytes.Equal(re, wrapped) {
+			t.Fatalf("non-canonical batch accepted:\n in: %x\nout: %x", wrapped, re)
+		}
 	})
 }

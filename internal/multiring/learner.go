@@ -33,6 +33,33 @@ type DecisionSource interface {
 	Decisions() <-chan ringpaxos.Decided
 }
 
+// Activation names the logical point in the merged stream at which a
+// subscription change takes effect: the first merge-round boundary after
+// the learner has consumed instance Instance of ring Ring. Because the
+// consumed frontier is a pure function of the delivered sequence, every
+// learner that requests the same change with the same Activation splices
+// the ring in (or out) at exactly the same position of the global order —
+// even when the trigger instance is covered by a skip range (the frontier
+// jumps over it, "skip-aligned" activation).
+//
+// The zero Activation (Ring == 0) takes effect at the next round boundary.
+// That is only deterministic across learners if they cannot have diverged
+// yet (e.g. a freshly built learner that has consumed nothing). For a
+// running group of learners, callers must pick a trigger instance that no
+// learner has consumed at request time — the rebalance coordinator does
+// this by using the instance that decided the change command itself.
+type Activation struct {
+	Ring     msg.RingID
+	Instance msg.Instance
+}
+
+// subChange is a pending Subscribe/Unsubscribe applied at round boundaries.
+type subChange struct {
+	src   DecisionSource // nil for unsubscribe
+	ring  msg.RingID
+	after Activation
+}
+
 // Learner merges the decision streams of the rings a node subscribes to
 // using the paper's deterministic merge: rings are visited round-robin in
 // ascending ring-identifier order, consuming M consensus instances from
@@ -41,13 +68,22 @@ type DecisionSource interface {
 // makes Multi-Ring Paxos an atomic multicast rather than a bundle of
 // independent broadcasts.
 //
+// Subscriptions are dynamic: Subscribe and Unsubscribe splice a ring into
+// or out of the rotation at an agreed Activation point, which is how a
+// running deployment grows onto new rings (Section 5 of the paper: servers
+// subscribe to any groups they are interested in).
+//
 // The merge deliberately blocks on a ring with no decided instances —
 // replicas advance at the pace of the slowest subscribed group — which is
 // why coordinators run rate leveling (skip instances) on idle rings.
 type Learner struct {
-	m       int
-	sources []DecisionSource
-	out     chan Delivery
+	m   int
+	out chan Delivery
+
+	mu      sync.Mutex
+	sources []DecisionSource // active set, owned by run(); mu guards Rings()
+	pending []subChange
+	kick    chan struct{}
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -56,8 +92,9 @@ type Learner struct {
 
 // NewLearner creates a deterministic-merge learner over the given ring
 // decision sources (typically ring processes the node is a learner member
-// of). M is the number of consensus instances consumed per ring per
-// round-robin turn (the paper's local experiments use M=1).
+// of); it may start empty and be populated with Subscribe. M is the number
+// of consensus instances consumed per ring per round-robin turn (the
+// paper's local experiments use M=1).
 func NewLearner(m int, procs ...DecisionSource) *Learner {
 	if m <= 0 {
 		m = 1
@@ -68,6 +105,7 @@ func NewLearner(m int, procs ...DecisionSource) *Learner {
 		m:       m,
 		sources: sources,
 		out:     make(chan Delivery, 8192),
+		kick:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -76,13 +114,40 @@ func NewLearner(m int, procs ...DecisionSource) *Learner {
 // Deliveries returns the merged delivery stream.
 func (l *Learner) Deliveries() <-chan Delivery { return l.out }
 
-// Rings returns the subscribed ring identifiers in merge order.
+// Rings returns the currently active ring identifiers in merge order.
 func (l *Learner) Rings() []msg.RingID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]msg.RingID, len(l.sources))
 	for i, s := range l.sources {
 		out[i] = s.Ring()
 	}
 	return out
+}
+
+// Subscribe splices src into the deterministic merge once the Activation
+// point is reached (see Activation for the determinism contract). It may be
+// called before or after Start, and on a learner that currently has no
+// sources.
+func (l *Learner) Subscribe(src DecisionSource, after Activation) {
+	l.enqueue(subChange{src: src, ring: src.Ring(), after: after})
+}
+
+// Unsubscribe removes the ring from the merge once the Activation point is
+// reached. Instances of the ring already consumed are still delivered;
+// nothing is consumed from it afterwards.
+func (l *Learner) Unsubscribe(ring msg.RingID, after Activation) {
+	l.enqueue(subChange{ring: ring, after: after})
+}
+
+func (l *Learner) enqueue(c subChange) {
+	l.mu.Lock()
+	l.pending = append(l.pending, c)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
 }
 
 // Start launches the merge goroutine.
@@ -98,22 +163,34 @@ func (l *Learner) Stop() {
 
 func (l *Learner) run() {
 	defer close(l.done)
-	if len(l.sources) == 0 {
-		<-l.stop
-		return
-	}
-	// carry[i] counts instances ring i over-consumed in earlier turns
-	// (a single skip decision can cover many instances).
-	carry := make([]uint64, len(l.sources))
+	// frontier[r] is the highest instance of ring r the merge has consumed
+	// (inclusive; skips advance it to SkipTo-1). carry[r] counts instances
+	// ring r over-consumed in earlier turns (a single skip decision can
+	// cover many instances).
+	frontier := make(map[msg.RingID]msg.Instance)
+	carry := make(map[msg.RingID]uint64)
 	for {
-		for i, src := range l.sources {
+		l.applyPending(frontier, carry)
+		l.mu.Lock()
+		active := append([]DecisionSource(nil), l.sources...)
+		l.mu.Unlock()
+		if len(active) == 0 {
+			select {
+			case <-l.kick:
+				continue
+			case <-l.stop:
+				return
+			}
+		}
+		for _, src := range active {
+			ring := src.Ring()
 			quota := uint64(l.m)
-			if carry[i] >= quota {
-				carry[i] -= quota
+			if carry[ring] >= quota {
+				carry[ring] -= quota
 				continue
 			}
-			quota -= carry[i]
-			carry[i] = 0
+			quota -= carry[ring]
+			carry[ring] = 0
 			for quota > 0 {
 				var d ringpaxos.Decided
 				select {
@@ -124,6 +201,9 @@ func (l *Learner) run() {
 				consumed := uint64(1)
 				if d.Value.Skip && d.Value.SkipTo > d.Instance {
 					consumed = uint64(d.Value.SkipTo - d.Instance)
+					if frontier[ring] < d.Value.SkipTo-1 {
+						frontier[ring] = d.Value.SkipTo - 1
+					}
 					if !l.emit(Delivery{
 						Ring:          d.Ring,
 						Instance:      d.Instance,
@@ -134,6 +214,9 @@ func (l *Learner) run() {
 						return
 					}
 				} else {
+					if frontier[ring] < d.Instance {
+						frontier[ring] = d.Instance
+					}
 					for k := range d.Value.Batch {
 						if !l.emit(Delivery{
 							Ring:          d.Ring,
@@ -159,7 +242,7 @@ func (l *Learner) run() {
 					}
 				}
 				if consumed >= quota {
-					carry[i] = consumed - quota
+					carry[ring] = consumed - quota
 					quota = 0
 				} else {
 					quota -= consumed
@@ -167,6 +250,51 @@ func (l *Learner) run() {
 			}
 		}
 	}
+}
+
+// applyPending activates subscription changes whose trigger instance has
+// been consumed. It runs only at round boundaries, so every learner that
+// issued the same requests mutates its rotation at the same position of
+// the merged sequence.
+func (l *Learner) applyPending(frontier map[msg.RingID]msg.Instance, carry map[msg.RingID]uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return
+	}
+	var remain []subChange
+	for _, c := range l.pending {
+		if c.after.Ring != 0 && frontier[c.after.Ring] < c.after.Instance {
+			remain = append(remain, c)
+			continue
+		}
+		if c.src != nil {
+			replaced := false
+			for i, s := range l.sources {
+				if s.Ring() == c.ring {
+					l.sources[i] = c.src
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				l.sources = append(l.sources, c.src)
+				sort.Slice(l.sources, func(i, j int) bool {
+					return l.sources[i].Ring() < l.sources[j].Ring()
+				})
+			}
+		} else {
+			for i, s := range l.sources {
+				if s.Ring() == c.ring {
+					l.sources = append(l.sources[:i], l.sources[i+1:]...)
+					break
+				}
+			}
+			delete(frontier, c.ring)
+			delete(carry, c.ring)
+		}
+	}
+	l.pending = remain
 }
 
 func (l *Learner) emit(d Delivery) bool {

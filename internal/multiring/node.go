@@ -91,6 +91,40 @@ func (n *Node) Join(cfg ringpaxos.Config) (*ringpaxos.Process, error) {
 	return proc, nil
 }
 
+// Subscribe joins a ring at runtime — the paper's inverted group
+// addressing (Section 3: processes subscribe to any groups they are
+// interested in). It is Join with dynamic-membership intent spelled out:
+// the ring process starts immediately when the node is already running,
+// and the router begins feeding it ring-scoped traffic right away. Wire
+// the returned process into the node's Learner (Learner.Subscribe) to
+// splice the ring into the deterministic merge.
+func (n *Node) Subscribe(cfg ringpaxos.Config) (*ringpaxos.Process, error) {
+	return n.Join(cfg)
+}
+
+// Unsubscribe leaves a ring at runtime: the ring process is stopped and
+// the router stops feeding it. The overlay heals around this node when the
+// remaining members mark it down (ring manager / SetPeerDown), exactly as
+// for a crashed member. Pair it with Learner.Unsubscribe so the merge
+// stops expecting the ring.
+func (n *Node) Unsubscribe(ring msg.RingID) error {
+	n.mu.Lock()
+	proc, ok := n.procs[ring]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("multiring: node %d is not subscribed to ring %d", n.id, ring)
+	}
+	delete(n.procs, ring)
+	delete(n.peersByRing, ring)
+	started := n.started
+	n.mu.Unlock()
+	n.router.Unring(ring)
+	if started {
+		proc.Stop()
+	}
+	return nil
+}
+
 // Service registers the handler for non-ring messages. It runs on the
 // router goroutine and must not block. Must be called before Start.
 func (n *Node) Service(fn func(transport.Envelope)) {

@@ -1,0 +1,223 @@
+// Package rebalance implements elastic rebalancing for MRP-Store: an
+// online repartitioning coordinator that splits a partition onto a freshly
+// subscribed ring with zero downtime and no consistency loss — the growth
+// path behind the paper's scalability claim (Sections 5 and 7.2: processes
+// subscribe to additional rings, and services are repartitioned across
+// them, while the partitioning schema lives in the coordination service).
+//
+// # Protocol
+//
+// SplitPartition(src, splitKey) moves the key range [splitKey, hi) of
+// partition src to a brand-new partition in six totally-ordered steps:
+//
+//  1. Provision — build the new partition's replicas on a freshly
+//     allocated ring via the runtime subscription path
+//     (multiring.Node.Subscribe, Learner.Subscribe). Their state machines
+//     start "warming": they reject every client command.
+//  2. Prepare — an opPrepareSplit command ordered through the global ring
+//     (or the source partition's ring when no global ring is deployed)
+//     makes every replica adopt the post-split key mapping at the same
+//     logical point. The source partition freezes the moved range —
+//     commands addressing it now get the typed wrong-epoch redirect — and
+//     returns its entries.
+//  3. Copy — the frozen entries are streamed in chunks as opMigrate
+//     commands on the new ring, replicating them through consensus to all
+//     new replicas.
+//  4. Activate — an opActivatePart command on the new ring, ordered after
+//     every chunk, ends warming: any replica that serves a client command
+//     has installed the complete range first.
+//  5. Publish — the deployment adopts the new partitioner/epoch and the
+//     schema is republished to the registry with compare-and-set, so a
+//     concurrent publisher is detected instead of overwritten. Watching
+//     clients refresh; stale clients keep self-correcting via redirects.
+//  6. Commit — an opCommitSplit command ordered through the same ring as
+//     Prepare flips ownership: the source drops the moved range and all
+//     replicas adopt the new epoch.
+//
+// Between Prepare and Publish, commands on the moved range are redirected
+// and retried by the client (a freeze window proportional to the moved
+// data, not downtime: every command eventually succeeds and all other
+// ranges are served throughout). No client op is lost and no stale value
+// is served: writes to the moved range are impossible while frozen, and
+// reads are only served by the new partition after it holds the full
+// range.
+package rebalance
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mrp/internal/registry"
+	"mrp/internal/store"
+)
+
+// Config parametrizes a rebalance coordinator.
+type Config struct {
+	// Store is the deployment to rebalance.
+	Store *store.Deployment
+	// Registry is the coordination service the schema is published to.
+	// Optional: without it, clients refresh from the deployment's live
+	// topology only.
+	Registry *registry.Registry
+	// ChunkEntries bounds how many entries one migration command carries
+	// (default 256 — the paper's clients batch commands the same way,
+	// Section 7.2).
+	ChunkEntries int
+	// OnStep, when set, observes protocol steps ("prepare", "copy", ...)
+	// as they complete; benchmarks mark them on a metrics.Timeline.
+	OnStep func(step string)
+}
+
+// Coordinator orders online repartitioning commands for one deployment.
+// At most one split runs at a time (CAS on the published schema would
+// reject a concurrent coordinator on another process).
+type Coordinator struct {
+	cfg Config
+
+	mu     sync.Mutex
+	client *store.Client
+	splits int
+}
+
+// New creates a coordinator for the deployment.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("rebalance: nil store deployment")
+	}
+	if cfg.ChunkEntries <= 0 {
+		cfg.ChunkEntries = 256
+	}
+	return &Coordinator{cfg: cfg, client: cfg.Store.NewClient()}, nil
+}
+
+// Close releases the coordinator's admin client.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.client.Close()
+}
+
+// Splits returns how many splits completed.
+func (c *Coordinator) Splits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.splits
+}
+
+func (c *Coordinator) step(s string) {
+	if c.cfg.OnStep != nil {
+		c.cfg.OnStep(s)
+	}
+}
+
+// SplitPartition splits the key range [splitKey, hi) out of partition src
+// into a new partition on a new ring, live. It returns the new partition's
+// index. The deployment must be range-partitioned.
+func (c *Coordinator) SplitPartition(src int, splitKey string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.cfg.Store
+
+	cur, ok := d.Partitioner().(*store.RangePartitioner)
+	if !ok {
+		return 0, fmt.Errorf("rebalance: split requires range partitioning, deployment uses %T", d.Partitioner())
+	}
+	if src < 0 || src >= cur.N() {
+		return 0, fmt.Errorf("rebalance: no partition %d", src)
+	}
+	if cur.PartitionOf(splitKey) != src {
+		return 0, fmt.Errorf("rebalance: split key %q is owned by partition %d, not %d",
+			splitKey, cur.PartitionOf(splitKey), src)
+	}
+	epoch := d.Epoch() + 1
+	newPart := cur.N()
+	next, err := cur.Split(splitKey, newPart)
+	if err != nil {
+		return 0, err
+	}
+	// The CAS token: the schema version this split supersedes.
+	var schemaVersion uint64
+	if c.cfg.Registry != nil {
+		if _, v, err := store.LoadSchemaAt(c.cfg.Registry); err == nil {
+			schemaVersion = v
+		}
+	}
+
+	// 1. Provision the new partition's replicas on a fresh ring.
+	part, ring, addrs, err := d.AddPartition(next, epoch)
+	if err != nil {
+		return 0, err
+	}
+	if part != newPart {
+		// A previous failed split left an orphan partition behind; wiring
+		// this one up would route the moved range to the wrong replicas.
+		_ = d.RemovePartition(part)
+		return 0, fmt.Errorf("rebalance: deployment has %d partitions provisioned but %d committed; resolve the stale partition first",
+			part, newPart)
+	}
+	c.client.AddRoute(ring, addrs)
+	c.step("provision")
+
+	// Splits and commits are ordered through the global ring when the
+	// deployment has one and the source subscribes to it, so every
+	// partition applies them at the same logical point of the merged
+	// delivery order. A source off the global ring (itself born from a
+	// split) orders them through its own ring — other partitions'
+	// ownership is unaffected by this split, so that is sufficient.
+	via := d.GlobalRingID()
+	if via == 0 || !d.PartitionOnGlobal(src) {
+		via = d.PartitionRing(src)
+	}
+
+	// 2. Prepare: freeze and collect the moved range. A failure here means
+	// the freeze was (almost certainly) never ordered — validation errors
+	// and unreachable rings, against a 20 s deadline that dwarfs ordering
+	// latency — so the provisioned partition is rolled back. Failures
+	// after this point leave the split half-applied on purpose: undoing a
+	// frozen range needs an ordered abort command (future work, like
+	// split-partition recovery), not a silent local rollback.
+	moved, err := c.client.PrepareSplit(via, src, splitKey, newPart, epoch)
+	if err != nil {
+		_ = d.RemovePartition(newPart)
+		return 0, fmt.Errorf("rebalance: prepare: %w", err)
+	}
+	c.step("prepare")
+
+	// 3. Copy the range onto the new ring, chunked.
+	for lo := 0; lo < len(moved); lo += c.cfg.ChunkEntries {
+		hi := lo + c.cfg.ChunkEntries
+		if hi > len(moved) {
+			hi = len(moved)
+		}
+		if err := c.client.MigrateChunk(ring, epoch, moved[lo:hi]); err != nil {
+			return 0, fmt.Errorf("rebalance: copy: %w", err)
+		}
+	}
+	c.step("copy")
+
+	// 4. Activate the new partition.
+	if err := c.client.ActivatePartition(ring, newPart, epoch); err != nil {
+		return 0, fmt.Errorf("rebalance: activate: %w", err)
+	}
+	c.step("activate")
+
+	// 5. Publish the new schema (CAS) and adopt it locally.
+	d.AdoptSplit(epoch, next)
+	if c.cfg.Registry != nil {
+		if _, ok, err := d.PublishSchemaCAS(c.cfg.Registry, schemaVersion); err != nil {
+			return 0, fmt.Errorf("rebalance: publish: %w", err)
+		} else if !ok {
+			return 0, fmt.Errorf("rebalance: concurrent schema publisher detected (expected version %d)", schemaVersion)
+		}
+	}
+	c.step("publish")
+
+	// 6. Commit: flip ownership and drop the frozen range at the source.
+	if err := c.client.CommitSplit(via, src, epoch); err != nil {
+		return 0, fmt.Errorf("rebalance: commit: %w", err)
+	}
+	c.step("commit")
+	c.splits++
+	return newPart, nil
+}

@@ -48,23 +48,40 @@ func New() *Registry {
 	}
 }
 
-// notifyLocked fires watch events for path. Callers hold r.mu.
+// notifyLocked fires watch events for path. Callers hold r.mu. Delivery is
+// strictly non-blocking so a slow watcher can never stall registry
+// mutations (watches are a hot path during rebalancing): when a watcher's
+// buffer is full the oldest buffered event is evicted in favor of the new
+// one, coalescing like a Zookeeper watch — a watcher that wakes up late
+// still observes the most recent change and re-reads current state.
 func (r *Registry) notifyLocked(ev Event) {
 	for _, ch := range r.watchers[ev.Path] {
-		select {
-		case ch <- ev:
-		default: // slow watcher: drop, like a coalescing Zookeeper watch
-		}
+		offer(ch, ev)
 	}
 	for prefix, chans := range r.prefixW {
 		if strings.HasPrefix(ev.Path, prefix) {
 			for _, ch := range chans {
-				select {
-				case ch <- ev:
-				default:
-				}
+				offer(ch, ev)
 			}
 		}
+	}
+}
+
+// offer delivers ev without ever blocking: on a full buffer it drops the
+// oldest pending event to make room for the newest (latest-wins mailbox).
+func offer(ch chan Event, ev Event) {
+	select {
+	case ch <- ev:
+		return
+	default:
+	}
+	select {
+	case <-ch: // evict the stalest pending event
+	default:
+	}
+	select {
+	case ch <- ev:
+	default: // raced with a concurrent producer that refilled the buffer
 	}
 }
 
@@ -86,6 +103,28 @@ func (r *Registry) setLocked(path string, data []byte, owner *Session) uint64 {
 	n.ephemeral = owner
 	r.notifyLocked(Event{Path: path, Data: n.data, Version: n.version})
 	return n.version
+}
+
+// CompareAndSet atomically replaces a node's data if its current version
+// equals expect, returning the new version. expect == 0 requires that the
+// node does not exist yet (versioned create). This is the primitive epoch
+// publishers use: a rebalance coordinator bumping the partitioning schema
+// can detect a concurrent publisher instead of silently overwriting it.
+func (r *Registry) CompareAndSet(path string, data []byte, expect uint64) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[path]
+	switch {
+	case expect == 0:
+		if ok {
+			return n.version, false
+		}
+	case !ok:
+		return 0, false
+	case n.version != expect:
+		return n.version, false
+	}
+	return r.setLocked(path, data, nil), true
 }
 
 // Create creates a node, failing (returning false) if it already exists.

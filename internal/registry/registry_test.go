@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestSetGetDelete(t *testing.T) {
@@ -204,5 +205,73 @@ func TestSlowWatcherDoesNotBlock(t *testing.T) {
 	_ = r.Watch("/a") // never read
 	for i := 0; i < 100; i++ {
 		r.Set("/a", []byte{byte(i)}) // must not deadlock
+	}
+}
+
+// TestSlowWatcherCannotStallMutations floods watchers far past their
+// buffer capacity without a single read and requires mutations to finish
+// promptly; afterwards the stalled watcher must still be able to observe
+// the most recent change (latest-wins coalescing), not only stale ones.
+func TestSlowWatcherCannotStallMutations(t *testing.T) {
+	r := New()
+	exact := r.Watch("/hot")
+	prefix := r.WatchPrefix("/hot")
+	done := make(chan struct{})
+	const writes = 50_000
+	go func() {
+		defer close(done)
+		for i := 0; i < writes; i++ {
+			r.Set("/hot", []byte("v"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mutations stalled behind a slow watcher")
+	}
+	// Drain: the newest buffered event must be the final version.
+	last := func(ch <-chan Event) (ev Event) {
+		for {
+			select {
+			case ev = <-ch:
+			default:
+				return ev
+			}
+		}
+	}
+	if ev := last(exact); ev.Version != writes {
+		t.Fatalf("exact watcher last version = %d, want %d", ev.Version, writes)
+	}
+	if ev := last(prefix); ev.Version != writes {
+		t.Fatalf("prefix watcher last version = %d, want %d", ev.Version, writes)
+	}
+}
+
+func TestCompareAndSet(t *testing.T) {
+	r := New()
+	// expect 0 = versioned create.
+	v, ok := r.CompareAndSet("/s", []byte("a"), 0)
+	if !ok || v != 1 {
+		t.Fatalf("create CAS = %d %v", v, ok)
+	}
+	if cur, ok := r.CompareAndSet("/s", []byte("b"), 0); ok || cur != 1 {
+		t.Fatalf("create CAS on existing = %d %v", cur, ok)
+	}
+	// Matching version succeeds and bumps.
+	v, ok = r.CompareAndSet("/s", []byte("b"), 1)
+	if !ok || v != 2 {
+		t.Fatalf("CAS = %d %v", v, ok)
+	}
+	// Stale version fails and reports the current one.
+	if cur, ok := r.CompareAndSet("/s", []byte("c"), 1); ok || cur != 2 {
+		t.Fatalf("stale CAS = %d %v", cur, ok)
+	}
+	data, v, _ := r.Get("/s")
+	if string(data) != "b" || v != 2 {
+		t.Fatalf("state = %q %d", data, v)
+	}
+	// Missing node with nonzero expectation.
+	if _, ok := r.CompareAndSet("/missing", nil, 3); ok {
+		t.Fatal("CAS on missing node succeeded")
 	}
 }

@@ -108,6 +108,19 @@ func (c *Client) readLoop() {
 	}
 }
 
+// SetProposers installs (or replaces) the proposer addresses of a ring at
+// runtime. Elastic rebalancing adds rings while clients are live; a client
+// refreshing its schema view uses this to learn the routes of partitions
+// that did not exist when it was created.
+func (c *Client) SetProposers(ring msg.RingID, addrs []transport.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Proposers == nil {
+		c.cfg.Proposers = make(map[msg.RingID][]transport.Addr)
+	}
+	c.cfg.Proposers[ring] = append([]transport.Addr(nil), addrs...)
+}
+
 // proposerFor returns the ring's current proposer. Clients stick to one
 // proposer (like the paper's Thrift connections) and fail over to the next
 // only when a request times out (rotate=true), so a crashed proposer stops

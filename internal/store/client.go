@@ -4,49 +4,248 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"mrp/internal/msg"
+	"mrp/internal/registry"
 	"mrp/internal/smr"
+	"mrp/internal/transport"
 )
 
 // ErrNotFound reports a read/update/delete of a non-existent key.
 var ErrNotFound = errors.New("store: key not found")
+
+// WrongEpochError reports that a command kept being redirected with
+// statusWrongEpoch until the client's deadline: the replicas are ahead of
+// every schema the client could refresh to (or a migration freeze
+// outlasted the deadline).
+type WrongEpochError struct {
+	// ClientEpoch is the epoch the last attempt was routed under.
+	ClientEpoch uint64
+	// ServerEpoch is the epoch the redirecting replica reported.
+	ServerEpoch uint64
+}
+
+func (e *WrongEpochError) Error() string {
+	return fmt.Sprintf("store: command redirected past deadline (client epoch %d, server epoch %d)",
+		e.ClientEpoch, e.ServerEpoch)
+}
+
+// routeView is a client's cached routing state: one consistent snapshot of
+// the partitioning schema and the proposer addresses per ring.
+type routeView struct {
+	epoch       uint64
+	partitioner Partitioner
+	rings       []msg.RingID // per partition
+	onGlobal    []bool       // per partition
+	global      msg.RingID   // 0 when disabled
+	proposers   map[msg.RingID][]transport.Addr
+}
+
+// viewSource supplies routing views: the deployment handle (live topology)
+// or the coordination service (published schema).
+type viewSource interface {
+	currentView() (routeView, error)
+}
+
+// registrySource builds routing views from the schema published in the
+// coordination service.
+type registrySource struct {
+	reg *registry.Registry
+}
+
+func (s *registrySource) currentView() (routeView, error) {
+	sc, err := LoadSchema(s.reg)
+	if err != nil {
+		return routeView{}, err
+	}
+	part, err := sc.PartitionerFor()
+	if err != nil {
+		return routeView{}, err
+	}
+	v := routeView{
+		epoch:       sc.Epoch,
+		partitioner: part,
+		proposers:   make(map[msg.RingID][]transport.Addr),
+	}
+	if sc.GlobalRing {
+		v.global = msg.RingID(sc.GlobalRingID)
+		if v.global == 0 {
+			v.global = msg.RingID(sc.Partitions + 1) // legacy schema
+		}
+	}
+	var globalAddrs []transport.Addr
+	for p := 0; p < sc.Partitions; p++ {
+		ring := sc.RingOf(p)
+		v.rings = append(v.rings, ring)
+		on := p >= len(sc.OnGlobal) || sc.OnGlobal[p] // legacy: all on global
+		v.onGlobal = append(v.onGlobal, on)
+		if p < len(sc.Replicas) {
+			v.proposers[ring] = append([]transport.Addr(nil), sc.Replicas[p]...)
+			if on && len(sc.Replicas[p]) > 0 {
+				globalAddrs = append(globalAddrs, sc.Replicas[p][0])
+			}
+		}
+	}
+	if v.global != 0 {
+		v.proposers[v.global] = globalAddrs
+	}
+	return v, nil
+}
+
+// epochRetryDelay paces retries of commands frozen by an in-flight
+// migration (the window between range freeze and schema publish).
+const epochRetryDelay = 2 * time.Millisecond
 
 // Client accesses an MRP-Store deployment through the operations of
 // Table 1: read, scan, update, insert, delete — plus batched writes
 // (Section 7.2). Single-key commands are multicast to the partition owning
 // the key; scans are multicast to every partition possibly holding matching
 // keys.
+//
+// The client routes by a cached schema view. When a replica answers with
+// the typed wrong-epoch redirect (the key moved to another partition in a
+// later schema epoch, or sits in a range frozen by an in-flight split),
+// the client refreshes its view from its source — the deployment's live
+// topology or the registry-published schema — re-routes, and retries until
+// its deadline. Registry-backed clients additionally refresh eagerly from
+// a schema watch. Client methods are not safe for concurrent use; create
+// one client per worker thread.
 type Client struct {
-	smr *smr.Client
-	d   *Deployment
+	smr     *smr.Client
+	src     viewSource
+	timeout time.Duration
+
+	mu   sync.Mutex
+	view routeView
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// newClient builds a client over an endpoint and routing-view source.
+func newClient(ep transport.Endpoint, id uint64, src viewSource) *Client {
+	c := &Client{
+		smr: smr.NewClient(smr.ClientConfig{
+			ID:       id,
+			Endpoint: ep,
+			Timeout:  20 * time.Second,
+		}),
+		src:     src,
+		timeout: 20 * time.Second,
+	}
+	_ = c.refresh()
+	return c
+}
+
+// watchSchema launches the eager refresh loop of registry-backed clients.
+func (c *Client) watchSchema(reg *registry.Registry) {
+	events := WatchSchema(reg)
+	c.watchStop = make(chan struct{})
+	c.watchDone = make(chan struct{})
+	go func() {
+		defer close(c.watchDone)
+		for {
+			select {
+			case <-events:
+				_ = c.refresh()
+			case <-c.watchStop:
+				return
+			}
+		}
+	}()
 }
 
 // Close releases the client.
-func (c *Client) Close() { c.smr.Close() }
-
-func (c *Client) ringFor(key string) msg.RingID {
-	return c.d.PartitionRing(c.d.cfg.Partitioner.PartitionOf(key))
+func (c *Client) Close() {
+	if c.watchStop != nil {
+		close(c.watchStop)
+		<-c.watchDone
+	}
+	c.smr.Close()
 }
 
-func (c *Client) call(ring msg.RingID, o op) (result, error) {
+// currentView returns the cached routing view.
+func (c *Client) currentView() routeView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
+// Epoch returns the schema epoch the client currently routes under.
+func (c *Client) Epoch() uint64 { return c.currentView().epoch }
+
+// refresh re-reads the routing view from the source and installs the
+// proposer addresses of any newly visible rings.
+func (c *Client) refresh() error {
+	v, err := c.src.currentView()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if v.epoch >= c.view.epoch {
+		c.view = v
+	}
+	c.mu.Unlock()
+	for ring, addrs := range v.proposers {
+		c.smr.SetProposers(ring, addrs)
+	}
+	return nil
+}
+
+// exec submits one op to a ring and decodes the first reply.
+func (c *Client) exec(ring msg.RingID, o op) (result, error) {
 	raw, err := c.smr.Execute(ring, o.encode())
 	if err != nil {
 		return result{}, err
 	}
-	res, err := decodeResult(raw)
-	if err != nil {
-		return result{}, err
+	return decodeResult(raw)
+}
+
+// callKey routes a single-key op by the cached view and retries through
+// wrong-epoch redirects until the deadline.
+func (c *Client) callKey(o op) (result, error) {
+	deadline := time.Now().Add(c.timeout)
+	for {
+		v := c.currentView()
+		if v.partitioner == nil {
+			if err := c.refresh(); err != nil {
+				return result{}, err
+			}
+			continue
+		}
+		o.epoch = v.epoch
+		p := v.partitioner.PartitionOf(o.key)
+		if p >= len(v.rings) {
+			return result{}, fmt.Errorf("store: no ring for partition %d", p)
+		}
+		res, err := c.exec(v.rings[p], o)
+		if err != nil {
+			return result{}, err
+		}
+		if res.status == statusError {
+			return res, fmt.Errorf("store: server error for %d", o.kind)
+		}
+		if res.status != statusWrongEpoch {
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			return res, &WrongEpochError{ClientEpoch: o.epoch, ServerEpoch: res.epoch}
+		}
+		// Redirected: refresh and re-route. If the schema has not been
+		// republished yet (migration freeze window), pace the retries.
+		before := v.epoch
+		_ = c.refresh()
+		if c.currentView().epoch == before {
+			time.Sleep(epochRetryDelay)
+		}
 	}
-	if res.status == statusError {
-		return res, fmt.Errorf("store: server error for %d", o.kind)
-	}
-	return res, nil
 }
 
 // Read returns the value of entry k, if existent.
 func (c *Client) Read(k string) ([]byte, error) {
-	res, err := c.call(c.ringFor(k), op{kind: opRead, key: k})
+	res, err := c.callKey(op{kind: opRead, key: k})
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +257,7 @@ func (c *Client) Read(k string) ([]byte, error) {
 
 // Update updates entry k with value v, if existent.
 func (c *Client) Update(k string, v []byte) error {
-	res, err := c.call(c.ringFor(k), op{kind: opUpdate, key: k, value: v})
+	res, err := c.callKey(op{kind: opUpdate, key: k, value: v})
 	if err != nil {
 		return err
 	}
@@ -70,13 +269,13 @@ func (c *Client) Update(k string, v []byte) error {
 
 // Insert inserts tuple (k, v) in the database.
 func (c *Client) Insert(k string, v []byte) error {
-	_, err := c.call(c.ringFor(k), op{kind: opInsert, key: k, value: v})
+	_, err := c.callKey(op{kind: opInsert, key: k, value: v})
 	return err
 }
 
 // Delete deletes entry k from the database.
 func (c *Client) Delete(k string) error {
-	res, err := c.call(c.ringFor(k), op{kind: opDelete, key: k})
+	res, err := c.callKey(op{kind: opDelete, key: k})
 	if err != nil {
 		return err
 	}
@@ -87,15 +286,52 @@ func (c *Client) Delete(k string) error {
 }
 
 // Scan returns up to limit entries with from <= key <= to, in key order.
-// With a global ring the scan is one atomic multicast ordered against all
-// other commands; with independent rings it fans out per partition (the
-// weaker of the two Figure 4 configurations).
+// With a global ring that all involved partitions subscribe to, the scan
+// is one atomic multicast ordered against all other commands; otherwise it
+// fans out per partition (the weaker of the two Figure 4 configurations —
+// partitions added by a live split are not global-ring members, so scans
+// touching them always fan out).
 func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
-	parts := c.d.cfg.Partitioner.PartitionsForRange(from, to)
-	o := op{kind: opScan, key: from, to: to, limit: limit}
-	var all []Entry
-	if g := c.d.GlobalRingID(); g != 0 {
-		results, err := c.smr.ExecuteGather(g, o.encode(), len(parts), func(raw []byte) (int, bool) {
+	deadline := time.Now().Add(c.timeout)
+	for {
+		v := c.currentView()
+		if v.partitioner == nil {
+			if err := c.refresh(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		entries, redirected, err := c.scanOnce(v, from, to, limit)
+		if err != nil {
+			return nil, err
+		}
+		if !redirected {
+			return entries, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, &WrongEpochError{ClientEpoch: v.epoch}
+		}
+		before := v.epoch
+		_ = c.refresh()
+		if c.currentView().epoch == before {
+			time.Sleep(epochRetryDelay)
+		}
+	}
+}
+
+// scanOnce plans and executes one scan attempt under a fixed view.
+func (c *Client) scanOnce(v routeView, from, to string, limit int) ([]Entry, bool, error) {
+	parts := v.partitioner.PartitionsForRange(from, to)
+	o := op{kind: opScan, epoch: v.epoch, key: from, to: to, limit: limit}
+	gatherable := v.global != 0
+	for _, p := range parts {
+		if p >= len(v.onGlobal) || !v.onGlobal[p] {
+			gatherable = false
+		}
+	}
+	var raws []result
+	if gatherable {
+		results, err := c.smr.ExecuteGather(v.global, o.encode(), len(parts), func(raw []byte) (int, bool) {
 			res, err := decodeResult(raw)
 			if err != nil {
 				return 0, false
@@ -103,49 +339,109 @@ func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
 			return int(res.partition), true
 		})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, raw := range results {
 			res, err := decodeResult(raw)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			all = append(all, res.entries...)
+			raws = append(raws, res)
 		}
 	} else {
 		for _, p := range parts {
-			res, err := c.call(c.d.PartitionRing(p), o)
-			if err != nil {
-				return nil, err
+			if p >= len(v.rings) {
+				return nil, true, nil // view lags the partition set: refresh
 			}
-			all = append(all, res.entries...)
+			res, err := c.exec(v.rings[p], o)
+			if err != nil {
+				return nil, false, err
+			}
+			raws = append(raws, res)
+		}
+	}
+	var all []Entry
+	for _, res := range raws {
+		if res.status == statusWrongEpoch {
+			return nil, true, nil
+		}
+		if res.status == statusError {
+			return nil, false, fmt.Errorf("store: server error for scan")
+		}
+		for _, e := range res.entries {
+			// Keep the owner's copy only: during a migration the frozen
+			// source still reports moved keys, and the owner's reply is
+			// the authoritative one.
+			if v.partitioner.PartitionOf(e.Key) == int(res.partition) {
+				all = append(all, e)
+			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
 	if limit > 0 && len(all) > limit {
 		all = all[:limit]
 	}
-	return all, nil
+	return all, false, nil
 }
 
 // WriteBatch applies a batch of inserts grouped by partition: one atomic
 // multicast per involved partition, each carrying all the batch's writes
 // for that partition (the paper's clients batch small commands up to
-// 32 KB per partition, Section 7.2). It returns the number of applied
-// writes.
+// 32 KB per partition, Section 7.2). Groups redirected by a schema change
+// are regrouped under the refreshed schema and retried. It returns the
+// number of applied writes.
 func (c *Client) WriteBatch(entries []Entry) (int, error) {
-	byPart := make(map[int][]op)
-	for _, e := range entries {
-		p := c.d.cfg.Partitioner.PartitionOf(e.Key)
-		byPart[p] = append(byPart[p], op{kind: opInsert, key: e.Key, value: e.Value})
-	}
+	deadline := time.Now().Add(c.timeout)
+	remaining := entries
 	total := 0
-	for p, ops := range byPart {
-		res, err := c.call(c.d.PartitionRing(p), op{kind: opBatch, batch: ops})
-		if err != nil {
-			return total, err
+	for len(remaining) > 0 {
+		v := c.currentView()
+		if v.partitioner == nil {
+			if err := c.refresh(); err != nil {
+				return total, err
+			}
+			continue
 		}
-		total += int(res.count)
+		byPart := make(map[int][]op)
+		for _, e := range remaining {
+			p := v.partitioner.PartitionOf(e.Key)
+			byPart[p] = append(byPart[p], op{kind: opInsert, key: e.Key, value: e.Value})
+		}
+		var redirected []Entry
+		for p, ops := range byPart {
+			if p >= len(v.rings) {
+				for _, o := range ops {
+					redirected = append(redirected, Entry{Key: o.key, Value: o.value})
+				}
+				continue
+			}
+			res, err := c.exec(v.rings[p], op{kind: opBatch, epoch: v.epoch, batch: ops})
+			if err != nil {
+				return total, err
+			}
+			switch res.status {
+			case statusOK:
+				total += int(res.count)
+			case statusWrongEpoch:
+				for _, o := range ops {
+					redirected = append(redirected, Entry{Key: o.key, Value: o.value})
+				}
+			default:
+				return total, fmt.Errorf("store: server error for batch")
+			}
+		}
+		remaining = redirected
+		if len(remaining) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return total, &WrongEpochError{ClientEpoch: v.epoch}
+		}
+		before := v.epoch
+		_ = c.refresh()
+		if c.currentView().epoch == before {
+			time.Sleep(epochRetryDelay)
+		}
 	}
 	return total, nil
 }

@@ -10,6 +10,7 @@ import (
 	"mrp/internal/multiring"
 	"mrp/internal/netsim"
 	"mrp/internal/recovery"
+	"mrp/internal/registry"
 	"mrp/internal/ringpaxos"
 	"mrp/internal/smr"
 	"mrp/internal/storage"
@@ -75,31 +76,86 @@ type ReplicaHandle struct {
 	stopped bool
 }
 
-// Deployment is a running MRP-Store cluster.
+// partMeta is one partition's live topology entry: the ring ordering its
+// commands, its replica addresses, and whether its replicas subscribe to
+// the global ring (partitions added by a live split do not).
+type partMeta struct {
+	ring     msg.RingID
+	addrs    []transport.Addr
+	onGlobal bool
+}
+
+// Deployment is a running MRP-Store cluster. The partition topology is
+// dynamic: an online split (internal/rebalance) appends a partition with
+// its own freshly subscribed ring and flips the committed partitioner and
+// epoch once the moved range has been migrated.
 type Deployment struct {
 	cfg      DeployConfig
 	Replicas [][]*ReplicaHandle // [partition][replica]
 	trims    []*recovery.TrimCoordinator
 	nextID   atomic.Uint64
 
-	// mu guards replacement of Replicas entries (RecoverReplica) against
-	// concurrent inspection via ReplicaAt while an experiment is running.
-	mu sync.RWMutex
+	// mu guards replacement of Replicas entries (RecoverReplica), growth
+	// of the partition set (AddPartition/AdoptSplit), and the topology
+	// fields below against concurrent inspection while running.
+	mu          sync.RWMutex
+	epoch       uint64
+	partitioner Partitioner // committed mapping (epoch's partitioner)
+	parts       []partMeta  // includes not-yet-committed split partitions
+	nextRing    msg.RingID  // ring allocator for split partitions
 }
 
 // PartitionRing returns the ring (= multicast group) of a partition.
-func (d *Deployment) PartitionRing(p int) msg.RingID { return msg.RingID(p + 1) }
+func (d *Deployment) PartitionRing(p int) msg.RingID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if p < len(d.parts) {
+		return d.parts[p].ring
+	}
+	return 0
+}
 
-// GlobalRingID returns the global ring's ID (0 when disabled).
-func (d *Deployment) GlobalRingID() msg.RingID {
+// globalRing returns the global ring's ID without locking (it is fixed at
+// deploy time).
+func (d *Deployment) globalRing() msg.RingID {
 	if !d.cfg.GlobalRing {
 		return 0
 	}
 	return msg.RingID(d.cfg.Partitions + 1)
 }
 
-// Partitioner returns the deployment's partitioning scheme.
-func (d *Deployment) Partitioner() Partitioner { return d.cfg.Partitioner }
+// GlobalRingID returns the global ring's ID (0 when disabled).
+func (d *Deployment) GlobalRingID() msg.RingID { return d.globalRing() }
+
+// Partitioner returns the deployment's committed partitioning scheme.
+func (d *Deployment) Partitioner() Partitioner {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.partitioner
+}
+
+// Epoch returns the committed schema epoch.
+func (d *Deployment) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
+}
+
+// Partitions returns the committed partition count.
+func (d *Deployment) Partitions() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.partitioner.N()
+}
+
+// PartitionOnGlobal reports whether a partition's replicas subscribe to
+// the global ring (split partitions do not; commands that must reach them
+// are ordered through their own ring instead).
+func (d *Deployment) PartitionOnGlobal(p int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return p < len(d.parts) && d.parts[p].onGlobal
+}
 
 func (c *DeployConfig) withDefaults() {
 	if c.Partitions <= 0 {
@@ -141,7 +197,21 @@ func nodeIDFor(p, r int) msg.NodeID { return msg.NodeID(p*100 + r + 1) }
 // Deploy builds and starts an MRP-Store cluster.
 func Deploy(cfg DeployConfig) (*Deployment, error) {
 	cfg.withDefaults()
-	d := &Deployment{cfg: cfg}
+	d := &Deployment{cfg: cfg, epoch: 1, partitioner: cfg.Partitioner}
+	for p := 0; p < cfg.Partitions; p++ {
+		var addrs []transport.Addr
+		for r := 0; r < cfg.Replicas; r++ {
+			addrs = append(addrs, cfg.AddrFor(p, r))
+		}
+		d.parts = append(d.parts, partMeta{
+			ring:     msg.RingID(p + 1),
+			addrs:    addrs,
+			onGlobal: cfg.GlobalRing,
+		})
+	}
+	// Ring IDs 1..Partitions are the partition rings and Partitions+1 the
+	// global ring; rings for split partitions are allocated after those.
+	d.nextRing = msg.RingID(cfg.Partitions + 2)
 
 	// Ring memberships.
 	partPeers := make([][]ringpaxos.Peer, cfg.Partitions)
@@ -368,10 +438,11 @@ func (d *Deployment) TrimCoordinators() []*recovery.TrimCoordinator { return d.t
 // (Figure 4 initializes 1 GB of data) without paying consensus for the
 // load phase.
 func (d *Deployment) Preload(entries []Entry) {
+	part := d.Partitioner()
 	for _, hs := range d.Replicas {
 		for _, h := range hs {
 			for _, e := range entries {
-				if d.cfg.Partitioner.PartitionOf(e.Key) == h.Partition {
+				if part.PartitionOf(e.Key) == h.Partition {
 					h.SM.Data().Put(e.Key, e.Value)
 				}
 			}
@@ -407,6 +478,11 @@ func (d *Deployment) CrashReplica(p, r int) {
 // from the acceptors.
 func (d *Deployment) RecoverReplica(p, r int) error {
 	cfg := d.cfg
+	if p >= cfg.Partitions {
+		// Split partitions joined their ring at runtime; rebuilding their
+		// membership is future work (ring retirement / auto-sharding PRs).
+		return fmt.Errorf("store: recovery of split partition %d not supported", p)
+	}
 	recEp, err := cfg.EndpointFor(cfg.AddrFor(p, r) + "-recovery")
 	if err != nil {
 		return err
@@ -489,7 +565,10 @@ func (d *Deployment) Stop() {
 		tc.Stop()
 	}
 	d.trims = nil
-	for _, hs := range d.Replicas {
+	d.mu.RLock()
+	replicas := append([][]*ReplicaHandle(nil), d.Replicas...)
+	d.mu.RUnlock()
+	for _, hs := range replicas {
 		for _, h := range hs {
 			if h != nil && !h.stopped {
 				h.stopped = true
@@ -499,6 +578,187 @@ func (d *Deployment) Stop() {
 			}
 		}
 	}
+}
+
+// AddPartition builds and starts the replicas of a new partition on a
+// freshly allocated ring, using the runtime subscription path: each
+// replica's node and learner start empty and then splice the new ring in
+// (Node.Subscribe / Learner.Subscribe). The partition starts warming — its
+// state machines reject client commands until an opActivatePart command is
+// delivered on the ring — and is not part of the committed topology until
+// AdoptSplit. partitioner is the post-split mapping; epoch its epoch.
+func (d *Deployment) AddPartition(partitioner Partitioner, epoch uint64) (part int, ring msg.RingID, addrs []transport.Addr, err error) {
+	cfg := d.cfg
+	d.mu.Lock()
+	part = len(d.parts)
+	ring = d.nextRing
+	d.nextRing++
+	for r := 0; r < cfg.Replicas; r++ {
+		addrs = append(addrs, cfg.AddrFor(part, r))
+	}
+	d.mu.Unlock()
+
+	peers := make([]ringpaxos.Peer, cfg.Replicas)
+	for r := 0; r < cfg.Replicas; r++ {
+		peers[r] = ringpaxos.Peer{
+			ID:    nodeIDFor(part, r),
+			Addr:  addrs[r],
+			Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
+		}
+	}
+	hs := make([]*ReplicaHandle, 0, cfg.Replicas)
+	for r := 0; r < cfg.Replicas; r++ {
+		h, herr := d.buildSplitReplica(part, r, ring, peers, partitioner, epoch)
+		if herr != nil {
+			for _, built := range hs {
+				built.stopped = true
+				built.Replica.Stop()
+				built.Learner.Stop()
+				built.Node.Stop()
+			}
+			return 0, 0, nil, herr
+		}
+		hs = append(hs, h)
+	}
+	d.mu.Lock()
+	d.Replicas = append(d.Replicas, hs)
+	d.parts = append(d.parts, partMeta{ring: ring, addrs: addrs})
+	d.mu.Unlock()
+	return part, ring, addrs, nil
+}
+
+// buildSplitReplica constructs one replica of a split partition, joining
+// its ring at runtime after the node is already started.
+func (d *Deployment) buildSplitReplica(p, r int, ring msg.RingID, peers []ringpaxos.Peer, partitioner Partitioner, epoch uint64) (*ReplicaHandle, error) {
+	cfg := d.cfg
+	h := &ReplicaHandle{
+		Partition: p,
+		Index:     r,
+		Logs:      make(map[msg.RingID]*storage.Log),
+		Aux:       make(map[msg.RingID]*transport.HandlerMux),
+		Disk:      storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale)),
+		Ckpt:      storage.NewCheckpointStore(storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale))),
+	}
+	ep, err := cfg.EndpointFor(cfg.AddrFor(p, r))
+	if err != nil {
+		return nil, err
+	}
+	node := multiring.NewNode(nodeIDFor(p, r), ep)
+	learner := multiring.NewLearner(cfg.MergeM)
+	sm := NewSMAt(p, partitioner, epoch, true)
+	rep := smr.NewReplica(smr.ReplicaConfig{
+		Node:            node,
+		Learner:         learner,
+		SM:              sm,
+		Ckpt:            h.Ckpt,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	node.Service(rep.HandleService)
+	node.Start()
+	learner.Start()
+	rep.Start()
+
+	log := storage.NewLogOnDisk(cfg.StorageMode, h.Disk)
+	h.Logs[ring] = log
+	aux := &transport.HandlerMux{}
+	aux.Set(rep.HandleTrimQuery)
+	h.Aux[ring] = aux
+	proc, err := node.Subscribe(ringpaxos.Config{
+		Ring:          ring,
+		Peers:         peers,
+		Coordinator:   peers[0].ID,
+		Log:           log,
+		BatchMaxBytes: cfg.BatchMaxBytes,
+		BatchDelay:    cfg.BatchDelay,
+		SkipInterval:  cfg.SkipInterval,
+		SkipRate:      cfg.SkipRate,
+		RetryTimeout:  cfg.RetryTimeout,
+		Aux:           aux.Handle,
+	})
+	if err != nil {
+		rep.Stop()
+		learner.Stop()
+		node.Stop()
+		return nil, err
+	}
+	// The learner is empty and has consumed nothing, so immediate
+	// activation is trivially the same splice point on every replica.
+	learner.Subscribe(proc, multiring.Activation{})
+
+	h.Node = node
+	h.Learner = learner
+	h.Replica = rep
+	h.SM = sm
+	return h, nil
+}
+
+// RemovePartition tears down a provisioned-but-uncommitted split
+// partition (rollback of AddPartition when the split protocol fails
+// before anything was ordered). Only the most recently added, not yet
+// committed partition can be removed.
+func (d *Deployment) RemovePartition(part int) error {
+	d.mu.Lock()
+	if part != len(d.parts)-1 || part < d.partitioner.N() {
+		n := len(d.parts)
+		d.mu.Unlock()
+		return fmt.Errorf("store: partition %d is not the last uncommitted partition (%d parts, %d committed)",
+			part, n, d.partitioner.N())
+	}
+	hs := d.Replicas[part]
+	d.Replicas = d.Replicas[:part]
+	d.parts = d.parts[:part]
+	d.mu.Unlock()
+	for _, h := range hs {
+		if h != nil && !h.stopped {
+			h.stopped = true
+			h.Replica.Stop()
+			h.Learner.Stop()
+			h.Node.Stop()
+		}
+	}
+	return nil
+}
+
+// AdoptSplit commits a split into the deployment's topology: the
+// partitioner and epoch advance, and clients created from (or refreshed
+// against) the deployment route under the new mapping. Called by the
+// rebalance coordinator after the moved range is fully migrated and the
+// new partition activated, immediately before the ownership flip is
+// ordered through the rings (opCommitSplit).
+func (d *Deployment) AdoptSplit(epoch uint64, partitioner Partitioner) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if epoch > d.epoch {
+		d.epoch = epoch
+		d.partitioner = partitioner
+	}
+}
+
+// currentView snapshots the committed routing state for a client.
+func (d *Deployment) currentView() (routeView, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v := routeView{
+		epoch:       d.epoch,
+		partitioner: d.partitioner,
+		global:      d.globalRing(),
+		proposers:   make(map[msg.RingID][]transport.Addr),
+	}
+	n := d.partitioner.N()
+	for p := 0; p < n && p < len(d.parts); p++ {
+		meta := d.parts[p]
+		v.rings = append(v.rings, meta.ring)
+		v.onGlobal = append(v.onGlobal, meta.onGlobal)
+		v.proposers[meta.ring] = append([]transport.Addr(nil), meta.addrs...)
+	}
+	if v.global != 0 {
+		var addrs []transport.Addr
+		for p := 0; p < d.cfg.Partitions; p++ {
+			addrs = append(addrs, d.parts[p].addrs[0])
+		}
+		v.proposers[v.global] = addrs
+	}
+	return v, nil
 }
 
 // NewClient creates a store client with a fresh endpoint and unique ID.
@@ -512,30 +772,31 @@ func (d *Deployment) NewClient() *Client {
 }
 
 // NewClientAt creates a client on a caller-provided endpoint (e.g. placed
-// in a specific region of a WAN simulation).
+// in a specific region of a WAN simulation). The client routes by the
+// deployment's live topology: it refreshes its cached view whenever a
+// replica answers with the typed wrong-epoch redirect.
 func (d *Deployment) NewClientAt(ep transport.Endpoint, id uint64) *Client {
-	proposers := make(map[msg.RingID][]transport.Addr)
-	for p := 0; p < d.cfg.Partitions; p++ {
-		var addrs []transport.Addr
-		for r := 0; r < d.cfg.Replicas; r++ {
-			addrs = append(addrs, d.cfg.AddrFor(p, r))
-		}
-		proposers[d.PartitionRing(p)] = addrs
+	return newClient(ep, id, d)
+}
+
+// NewRegistryClient creates a client that discovers and refreshes the
+// partitioning schema through the coordination service instead of the
+// deployment handle: the initial view comes from LoadSchema and a
+// coalescing watch on the schema node triggers refreshes as rebalances
+// publish new epochs (stale routes additionally self-correct through
+// wrong-epoch redirects). The deployment must have published its schema.
+func (d *Deployment) NewRegistryClient(reg *registry.Registry) (*Client, error) {
+	id := 1_000_000 + d.nextID.Add(1)
+	ep, err := d.cfg.EndpointFor(transport.Addr(fmt.Sprintf("store-client-%d", id)))
+	if err != nil {
+		return nil, err
 	}
-	if d.cfg.GlobalRing {
-		var addrs []transport.Addr
-		for p := 0; p < d.cfg.Partitions; p++ {
-			addrs = append(addrs, d.cfg.AddrFor(p, 0))
-		}
-		proposers[d.GlobalRingID()] = addrs
+	src := &registrySource{reg: reg}
+	if _, err := src.currentView(); err != nil {
+		_ = ep.Close()
+		return nil, err
 	}
-	return &Client{
-		smr: smr.NewClient(smr.ClientConfig{
-			ID:        id,
-			Endpoint:  ep,
-			Proposers: proposers,
-			Timeout:   20 * time.Second,
-		}),
-		d: d,
-	}
+	c := newClient(ep, id, src)
+	c.watchSchema(reg)
+	return c, nil
 }

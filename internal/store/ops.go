@@ -7,7 +7,8 @@ import (
 
 // opKind tags the MRP-Store operations of Table 1, plus the client-side
 // batch of small writes (Section 7.2: "clients may batch small commands,
-// grouped by partition, up to 32 Kbytes").
+// grouped by partition, up to 32 Kbytes") and the online-repartitioning
+// commands of the elastic-rebalancing protocol (internal/rebalance).
 type opKind byte
 
 const (
@@ -17,19 +18,38 @@ const (
 	opInsert
 	opDelete
 	opBatch
+	// opPrepareSplit freezes a key range of the source partition and
+	// returns its entries; ordered through the global ring so every
+	// replica applies the schema change at the same logical point.
+	opPrepareSplit
+	// opMigrate installs a chunk of frozen entries on the new partition's
+	// ring while the partition is still warming.
+	opMigrate
+	// opActivatePart ends the new partition's warming phase once the full
+	// range has been migrated; client commands are served afterwards.
+	opActivatePart
+	// opCommitSplit flips ownership atomically: the source partition drops
+	// the moved range and all replicas adopt the new schema epoch.
+	opCommitSplit
 )
 
 // errBadOp reports a malformed operation or result encoding.
 var errBadOp = errors.New("store: bad encoding")
 
-// op is one decoded store operation.
+// op is one decoded store operation. Every op carries the schema epoch the
+// client routed under; replicas answer ops routed under a superseded
+// mapping with statusWrongEpoch (the typed redirect of the rebalancing
+// protocol).
 type op struct {
-	kind  opKind
-	key   string
-	value []byte
-	to    string // scan upper bound
-	limit int    // scan limit
-	batch []op   // for opBatch (write ops only)
+	kind    opKind
+	epoch   uint64
+	key     string // split key for opPrepareSplit
+	value   []byte
+	to      string // scan upper bound
+	limit   int    // scan limit
+	batch   []op   // for opBatch/opMigrate (write ops only)
+	part    uint16 // source partition (splits) / target partition (activate)
+	newPart uint16 // partition receiving the moved range (opPrepareSplit)
 }
 
 func appendString(b []byte, s string) []byte {
@@ -66,6 +86,7 @@ func takeBytes(b []byte) ([]byte, []byte, error) {
 
 func (o op) encode() []byte {
 	b := []byte{byte(o.kind)}
+	b = binary.BigEndian.AppendUint64(b, o.epoch)
 	switch o.kind {
 	case opRead, opDelete:
 		b = appendString(b, o.key)
@@ -76,22 +97,28 @@ func (o op) encode() []byte {
 		b = appendString(b, o.key)
 		b = appendString(b, o.to)
 		b = binary.BigEndian.AppendUint32(b, uint32(o.limit))
-	case opBatch:
+	case opBatch, opMigrate:
 		b = binary.BigEndian.AppendUint32(b, uint32(len(o.batch)))
 		for _, sub := range o.batch {
 			enc := sub.encode()
 			b = appendBytes(b, enc)
 		}
+	case opPrepareSplit:
+		b = binary.BigEndian.AppendUint16(b, o.part)
+		b = binary.BigEndian.AppendUint16(b, o.newPart)
+		b = appendString(b, o.key)
+	case opActivatePart, opCommitSplit:
+		b = binary.BigEndian.AppendUint16(b, o.part)
 	}
 	return b
 }
 
 func decodeOp(b []byte) (op, error) {
-	if len(b) < 1 {
+	if len(b) < 9 {
 		return op{}, errBadOp
 	}
-	o := op{kind: opKind(b[0])}
-	b = b[1:]
+	o := op{kind: opKind(b[0]), epoch: binary.BigEndian.Uint64(b[1:])}
+	b = b[9:]
 	var err error
 	switch o.kind {
 	case opRead, opDelete:
@@ -112,7 +139,7 @@ func decodeOp(b []byte) (op, error) {
 			}
 			o.limit = int(binary.BigEndian.Uint32(b))
 		}
-	case opBatch:
+	case opBatch, opMigrate:
 		if len(b) < 4 {
 			return op{}, errBadOp
 		}
@@ -134,6 +161,18 @@ func decodeOp(b []byte) (op, error) {
 			}
 			o.batch = append(o.batch, sub)
 		}
+	case opPrepareSplit:
+		if len(b) < 4 {
+			return op{}, errBadOp
+		}
+		o.part = binary.BigEndian.Uint16(b)
+		o.newPart = binary.BigEndian.Uint16(b[2:])
+		o.key, _, err = takeString(b[4:])
+	case opActivatePart, opCommitSplit:
+		if len(b) < 2 {
+			return op{}, errBadOp
+		}
+		o.part = binary.BigEndian.Uint16(b)
 	default:
 		return op{}, errBadOp
 	}
@@ -148,22 +187,30 @@ const (
 	statusOK byte = iota + 1
 	statusNotFound
 	statusError
+	// statusWrongEpoch is the typed redirect of the rebalancing protocol:
+	// the replica does not (or no longer) own the addressed key under the
+	// schema the command was routed with. The result's epoch field reports
+	// the replica's current epoch; clients refresh their schema and retry.
+	statusWrongEpoch
 )
 
 // result is a replica's reply to one operation, tagged with the partition
 // that produced it so multi-partition clients can gather one reply per
-// partition.
+// partition, and with the replica's schema epoch so stale clients know to
+// refresh.
 type result struct {
 	status    byte
 	partition uint16
+	epoch     uint64
 	value     []byte  // read result
-	entries   []Entry // scan result
+	entries   []Entry // scan/prepare-split result
 	count     uint32  // batch result
 }
 
 func (r result) encode() []byte {
 	b := []byte{r.status}
 	b = binary.BigEndian.AppendUint16(b, r.partition)
+	b = binary.BigEndian.AppendUint64(b, r.epoch)
 	b = appendBytes(b, r.value)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(r.entries)))
 	for _, e := range r.entries {
@@ -175,11 +222,15 @@ func (r result) encode() []byte {
 }
 
 func decodeResult(b []byte) (result, error) {
-	if len(b) < 3 {
+	if len(b) < 11 {
 		return result{}, errBadOp
 	}
-	r := result{status: b[0], partition: binary.BigEndian.Uint16(b[1:])}
-	b = b[3:]
+	r := result{
+		status:    b[0],
+		partition: binary.BigEndian.Uint16(b[1:]),
+		epoch:     binary.BigEndian.Uint64(b[3:]),
+	}
+	b = b[11:]
 	var err error
 	r.value, b, err = takeBytes(b)
 	if err != nil {

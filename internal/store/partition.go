@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 )
@@ -53,43 +54,106 @@ func (p *HashPartitioner) PartitionsForRange(_, _ string) []int {
 	return out
 }
 
-// RangePartitioner assigns keys by sorted boundary keys: partition i holds
-// keys in [bounds[i-1], bounds[i]), with the first partition unbounded
-// below and the last unbounded above.
+// RangePartitioner assigns keys by sorted boundary keys: key slot i covers
+// [bounds[i-1], bounds[i]), with the first slot unbounded below and the
+// last unbounded above. Each slot maps to a partition index through an
+// assignment table, so an online split can carve a new slot out of an
+// existing partition and hand it to a freshly added partition index
+// without renumbering any other partition (renumbering would silently
+// remap every deployed replica group).
 type RangePartitioner struct {
 	bounds []string // len = n-1, sorted
+	assign []int    // len = n; assign[slot] = partition index (a permutation of 0..n-1)
 }
 
 // NewRangePartitioner creates a range partitioner with the given upper
 // boundaries (exclusive) for all but the last partition. The boundaries
-// are sorted; n = len(bounds)+1.
+// are sorted; n = len(bounds)+1, and slot i is partition i.
 func NewRangePartitioner(bounds []string) *RangePartitioner {
 	b := append([]string(nil), bounds...)
 	sort.Strings(b)
-	return &RangePartitioner{bounds: b}
+	assign := make([]int, len(b)+1)
+	for i := range assign {
+		assign[i] = i
+	}
+	return &RangePartitioner{bounds: b, assign: assign}
 }
 
+// newRangePartitionerAssigned rebuilds a partitioner from published schema
+// state (bounds must already be sorted; assign a permutation of 0..n-1).
+func newRangePartitionerAssigned(bounds []string, assign []int) (*RangePartitioner, error) {
+	if len(assign) != len(bounds)+1 {
+		return nil, fmt.Errorf("store: %d assignments for %d slots", len(assign), len(bounds)+1)
+	}
+	seen := make([]bool, len(assign))
+	for _, a := range assign {
+		if a < 0 || a >= len(assign) || seen[a] {
+			return nil, fmt.Errorf("store: assignment %v is not a permutation", assign)
+		}
+		seen[a] = true
+	}
+	return &RangePartitioner{
+		bounds: append([]string(nil), bounds...),
+		assign: append([]int(nil), assign...),
+	}, nil
+}
+
+// Bounds returns the boundary keys (copy).
+func (p *RangePartitioner) Bounds() []string { return append([]string(nil), p.bounds...) }
+
+// Assignments returns the slot-to-partition table (copy).
+func (p *RangePartitioner) Assignments() []int { return append([]int(nil), p.assign...) }
+
 // N implements Partitioner.
-func (p *RangePartitioner) N() int { return len(p.bounds) + 1 }
+func (p *RangePartitioner) N() int { return len(p.assign) }
+
+func (p *RangePartitioner) slotOf(key string) int {
+	// First boundary strictly greater than key identifies the slot.
+	return sort.SearchStrings(p.bounds, key+"\x00")
+}
 
 // PartitionOf implements Partitioner.
 func (p *RangePartitioner) PartitionOf(key string) int {
-	// First boundary strictly greater than key identifies the partition.
-	return sort.SearchStrings(p.bounds, key+"\x00")
+	return p.assign[p.slotOf(key)]
 }
 
 // PartitionsForRange implements Partitioner: only partitions overlapping
 // [from, to] are involved (this is what makes range-partitioned scans
 // cheaper, Section 6.1).
 func (p *RangePartitioner) PartitionsForRange(from, to string) []int {
-	lo := p.PartitionOf(from)
-	hi := p.N() - 1
+	lo := p.slotOf(from)
+	hi := len(p.assign) - 1
 	if to != "" {
-		hi = p.PartitionOf(to)
+		hi = p.slotOf(to)
 	}
 	out := make([]int, 0, hi-lo+1)
 	for i := lo; i <= hi; i++ {
-		out = append(out, i)
+		out = append(out, p.assign[i])
 	}
 	return out
+}
+
+// Split returns a new partitioner in which the key range [splitKey, hi) of
+// splitKey's current slot is carved into its own slot owned by partition
+// newPart (the next free partition index). All other slots keep their
+// partition assignment, so only ownership of the moved range changes —
+// the invariant the online repartitioning protocol relies on. splitKey
+// must fall strictly inside its slot.
+func (p *RangePartitioner) Split(splitKey string, newPart int) (*RangePartitioner, error) {
+	if newPart != p.N() {
+		return nil, fmt.Errorf("store: split must assign the next partition index %d, got %d", p.N(), newPart)
+	}
+	s := p.slotOf(splitKey)
+	if s > 0 && p.bounds[s-1] == splitKey {
+		return nil, fmt.Errorf("store: split key %q is already a boundary", splitKey)
+	}
+	bounds := make([]string, 0, len(p.bounds)+1)
+	bounds = append(bounds, p.bounds[:s]...)
+	bounds = append(bounds, splitKey)
+	bounds = append(bounds, p.bounds[s:]...)
+	assign := make([]int, 0, len(p.assign)+1)
+	assign = append(assign, p.assign[:s+1]...) // slot s keeps [lo, splitKey)
+	assign = append(assign, newPart)           // new slot [splitKey, hi)
+	assign = append(assign, p.assign[s+1:]...)
+	return &RangePartitioner{bounds: bounds, assign: assign}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"mrp/internal/msg"
 	"mrp/internal/registry"
 	"mrp/internal/transport"
 )
@@ -14,44 +15,98 @@ import (
 const schemaPath = "/mrp-store/schema"
 
 // Schema is the client-visible description of a deployment: how keys map
-// to partitions and where each partition's replicas are.
+// to partitions, which ring orders each partition's commands, and where
+// each partition's replicas are.
+//
+// # Versioned-schema protocol
+//
+// The schema is no longer a load-once snapshot. Every published schema
+// carries an Epoch, and every client command carries the epoch it was
+// routed under. The protocol between publishers, replicas, and clients:
+//
+//  1. Exactly one writer (the rebalance coordinator) advances the schema,
+//     using compare-and-set on the registry node so a concurrent publisher
+//     is detected instead of silently overwritten (PublishSchemaCAS).
+//  2. Replicas learn epoch changes only through totally-ordered commands
+//     on their rings (opPrepareSplit / opCommitSplit), never by watching
+//     the registry — so all replicas of a partition switch mappings at the
+//     same logical point in the delivery order.
+//  3. Clients cache the schema and watch the registry node
+//     (WatchSchema); a replica answering statusWrongEpoch is the typed
+//     redirect telling a stale client to refresh and re-route before
+//     retrying. Watch delivery is coalescing and non-blocking, so slow
+//     clients can never stall the registry.
+//
+// A schema with a higher Epoch always describes a superset of the
+// partitions of its predecessor: splits only append partition indexes,
+// they never renumber existing ones (see RangePartitioner.Split).
 type Schema struct {
+	// Epoch is the schema version; bumped by one on every rebalance.
+	Epoch uint64 `json:"epoch"`
 	// Kind is "hash" or "range".
 	Kind string `json:"kind"`
-	// Partitions is the partition count (hash partitioning).
+	// Partitions is the partition count.
 	Partitions int `json:"partitions"`
 	// Bounds are the range partitioner's boundary keys (range
 	// partitioning; len = partitions-1).
 	Bounds []string `json:"bounds,omitempty"`
+	// Assign maps each key slot (between consecutive bounds) to the
+	// partition index owning it; nil means slot i is partition i. Splits
+	// populate this so existing partitions keep their indexes.
+	Assign []int `json:"assign,omitempty"`
 	// Replicas lists, per partition, the replica addresses.
 	Replicas [][]transport.Addr `json:"replicas"`
+	// Rings lists, per partition, the ring ordering its commands.
+	Rings []uint16 `json:"rings"`
 	// GlobalRing reports whether cross-partition commands are ordered
 	// through a global ring.
 	GlobalRing bool `json:"globalRing"`
+	// GlobalRingID is the global ring's identifier when GlobalRing is set.
+	GlobalRingID uint16 `json:"globalRingID,omitempty"`
+	// OnGlobal reports, per partition, whether its replicas subscribe to
+	// the global ring. Partitions added by a live split are not members of
+	// the global ring; scans touching them fan out per partition.
+	OnGlobal []bool `json:"onGlobal,omitempty"`
 }
 
-// PublishSchema writes the deployment's schema to the coordination
-// service so clients can discover partitioning and replica placement.
-func (d *Deployment) PublishSchema(reg *registry.Registry) error {
+// buildSchema snapshots the deployment's committed topology. Callers hold
+// d.mu (read or write).
+func (d *Deployment) buildSchema() (Schema, error) {
 	s := Schema{
-		Partitions: d.cfg.Partitions,
+		Epoch:      d.epoch,
+		Partitions: d.partitioner.N(),
 		GlobalRing: d.cfg.GlobalRing,
 	}
-	switch p := d.cfg.Partitioner.(type) {
+	if d.cfg.GlobalRing {
+		s.GlobalRingID = uint16(d.globalRing())
+	}
+	switch p := d.partitioner.(type) {
 	case *HashPartitioner:
 		s.Kind = "hash"
 	case *RangePartitioner:
 		s.Kind = "range"
-		s.Bounds = append([]string(nil), p.bounds...)
+		s.Bounds = p.Bounds()
+		s.Assign = p.Assignments()
 	default:
-		return fmt.Errorf("store: partitioner %T cannot be published", d.cfg.Partitioner)
+		return Schema{}, fmt.Errorf("store: partitioner %T cannot be published", d.partitioner)
 	}
-	for p := 0; p < d.cfg.Partitions; p++ {
-		var addrs []transport.Addr
-		for r := 0; r < d.cfg.Replicas; r++ {
-			addrs = append(addrs, d.cfg.AddrFor(p, r))
-		}
-		s.Replicas = append(s.Replicas, addrs)
+	for p := 0; p < s.Partitions; p++ {
+		s.Replicas = append(s.Replicas, append([]transport.Addr(nil), d.parts[p].addrs...))
+		s.Rings = append(s.Rings, uint16(d.parts[p].ring))
+		s.OnGlobal = append(s.OnGlobal, d.parts[p].onGlobal)
+	}
+	return s, nil
+}
+
+// PublishSchema writes the deployment's schema to the coordination
+// service so clients can discover partitioning and replica placement.
+// Rebalance coordinators use PublishSchemaCAS instead.
+func (d *Deployment) PublishSchema(reg *registry.Registry) error {
+	d.mu.RLock()
+	s, err := d.buildSchema()
+	d.mu.RUnlock()
+	if err != nil {
+		return err
 	}
 	data, err := json.Marshal(s)
 	if err != nil {
@@ -61,17 +116,49 @@ func (d *Deployment) PublishSchema(reg *registry.Registry) error {
 	return nil
 }
 
+// PublishSchemaCAS publishes the current schema only if the registry node
+// is still at the expected version (0 = not yet published), returning the
+// new version. A false result means a concurrent publisher advanced the
+// schema; the caller must re-read and reconcile rather than overwrite.
+func (d *Deployment) PublishSchemaCAS(reg *registry.Registry, expect uint64) (uint64, bool, error) {
+	d.mu.RLock()
+	s, err := d.buildSchema()
+	d.mu.RUnlock()
+	if err != nil {
+		return 0, false, err
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return 0, false, err
+	}
+	v, ok := reg.CompareAndSet(schemaPath, data, expect)
+	return v, ok, nil
+}
+
 // LoadSchema reads the published schema from the coordination service.
 func LoadSchema(reg *registry.Registry) (Schema, error) {
-	data, _, ok := reg.Get(schemaPath)
+	s, _, err := LoadSchemaAt(reg)
+	return s, err
+}
+
+// LoadSchemaAt reads the published schema together with its registry
+// version (the CAS token for the next publish).
+func LoadSchemaAt(reg *registry.Registry) (Schema, uint64, error) {
+	data, version, ok := reg.Get(schemaPath)
 	if !ok {
-		return Schema{}, fmt.Errorf("store: no schema published at %s", schemaPath)
+		return Schema{}, 0, fmt.Errorf("store: no schema published at %s", schemaPath)
 	}
 	var s Schema
 	if err := json.Unmarshal(data, &s); err != nil {
-		return Schema{}, fmt.Errorf("store: bad schema: %w", err)
+		return Schema{}, 0, fmt.Errorf("store: bad schema: %w", err)
 	}
-	return s, nil
+	return s, version, nil
+}
+
+// WatchSchema returns a coalescing event channel that fires whenever the
+// published schema changes; watchers re-read with LoadSchema on wakeup.
+func WatchSchema(reg *registry.Registry) <-chan registry.Event {
+	return reg.Watch(schemaPath)
 }
 
 // PartitionerFor builds the partitioner the schema describes.
@@ -84,8 +171,21 @@ func (s Schema) PartitionerFor() (Partitioner, error) {
 			return nil, fmt.Errorf("store: schema has %d bounds for %d partitions",
 				len(s.Bounds), s.Partitions)
 		}
-		return NewRangePartitioner(s.Bounds), nil
+		if s.Assign == nil {
+			return NewRangePartitioner(s.Bounds), nil
+		}
+		return newRangePartitionerAssigned(s.Bounds, s.Assign)
 	default:
 		return nil, fmt.Errorf("store: unknown partitioning kind %q", s.Kind)
 	}
+}
+
+// RingOf returns the ring ordering partition p's commands, falling back to
+// the legacy static mapping for schemas published before rings were
+// explicit.
+func (s Schema) RingOf(p int) msg.RingID {
+	if p < len(s.Rings) {
+		return msg.RingID(s.Rings[p])
+	}
+	return msg.RingID(p + 1)
 }

@@ -65,6 +65,85 @@ func TestSchemaPublishLoadRange(t *testing.T) {
 	}
 }
 
+// TestSchemaEpochAndRings checks the versioned-schema fields a freshly
+// deployed store publishes: epoch 1, explicit per-partition rings, and
+// global-ring membership flags.
+func TestSchemaEpochAndRings(t *testing.T) {
+	d := testDeploy(t, true, 3)
+	reg := registry.New()
+	if err := d.PublishSchema(reg); err != nil {
+		t.Fatal(err)
+	}
+	s, version, err := LoadSchemaAt(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 1 || version != 1 {
+		t.Fatalf("epoch = %d, registry version = %d", s.Epoch, version)
+	}
+	if len(s.Rings) != 3 || s.RingOf(0) != 1 || s.RingOf(2) != 3 {
+		t.Fatalf("rings = %v", s.Rings)
+	}
+	if s.GlobalRingID != 4 {
+		t.Fatalf("global ring = %d", s.GlobalRingID)
+	}
+	for p, on := range s.OnGlobal {
+		if !on {
+			t.Fatalf("partition %d not on global ring", p)
+		}
+	}
+}
+
+// TestSchemaCASPublish checks that a publisher with a stale registry
+// version cannot overwrite a newer schema.
+func TestSchemaCASPublish(t *testing.T) {
+	d := testDeploy(t, false, 2)
+	reg := registry.New()
+	v, ok, err := d.PublishSchemaCAS(reg, 0)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("first CAS publish = %d %v %v", v, ok, err)
+	}
+	if _, ok, _ := d.PublishSchemaCAS(reg, 0); ok {
+		t.Fatal("create-CAS on existing schema succeeded")
+	}
+	v, ok, err = d.PublishSchemaCAS(reg, 1)
+	if err != nil || !ok || v != 2 {
+		t.Fatalf("second CAS publish = %d %v %v", v, ok, err)
+	}
+	if _, ok, _ := d.PublishSchemaCAS(reg, 1); ok {
+		t.Fatal("stale CAS publish succeeded")
+	}
+}
+
+// TestSchemaAssignRoundTrip checks that a split partitioner's slot
+// assignment survives publish/load.
+func TestSchemaAssignRoundTrip(t *testing.T) {
+	p := NewRangePartitioner([]string{"g", "p"})
+	split, err := p.Split("j", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Schema{Epoch: 2, Kind: "range", Partitions: 4, Bounds: split.Bounds(), Assign: split.Assignments()}
+	rebuilt, err := s.PartitionerFor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "g", "i", "j", "o", "p", "z"} {
+		if rebuilt.PartitionOf(k) != split.PartitionOf(k) {
+			t.Fatalf("rebuilt partitioner disagrees for %q: %d vs %d",
+				k, rebuilt.PartitionOf(k), split.PartitionOf(k))
+		}
+	}
+	// The moved range went to the new index; old slots kept theirs.
+	if split.PartitionOf("i") != 1 || split.PartitionOf("j") != 3 || split.PartitionOf("z") != 2 {
+		t.Fatalf("split assignment wrong: %v / %v", split.Bounds(), split.Assignments())
+	}
+	bad := Schema{Kind: "range", Partitions: 4, Bounds: split.Bounds(), Assign: []int{0, 0, 1, 2}}
+	if _, err := bad.PartitionerFor(); err == nil {
+		t.Fatal("non-permutation assignment accepted")
+	}
+}
+
 func TestLoadSchemaErrors(t *testing.T) {
 	reg := registry.New()
 	if _, err := LoadSchema(reg); err == nil {

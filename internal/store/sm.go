@@ -11,34 +11,159 @@ import (
 // (scans multicast through the global ring) are executed against the local
 // shard only, and the partition tag in the result lets clients gather one
 // reply per partition.
+//
+// The SM also carries the replica's view of the partitioning schema: the
+// current epoch, the partitioner, and — while an online split is in flight
+// — the frozen key range being moved. Commands addressing keys the
+// partition does not own under the current mapping are answered with
+// statusWrongEpoch (the typed redirect clients react to by refreshing the
+// published schema and retrying). All of this state changes only through
+// ordered commands (opPrepareSplit/opActivatePart/opCommitSplit), so every
+// replica of a partition transitions at the same logical point.
 type SM struct {
 	partition   int
 	partitioner Partitioner
 	data        *SortedMap
+
+	// epoch is the schema epoch this replica has committed.
+	epoch uint64
+	// pendingEpoch is the epoch of a prepared-but-uncommitted split.
+	pendingEpoch uint64
+	// warming marks a freshly added partition that has not yet received
+	// its full key range; it rejects client commands until activated.
+	warming bool
+	// migrating marks the split source between prepare and commit: the
+	// moved range [movedFrom, ...) is frozen (reads and writes redirected)
+	// but still physically present so scans stay complete.
+	migrating bool
+	movedFrom string
+	movedPart int
 }
 
 var _ smr.StateMachine = (*SM)(nil)
 
-// NewSM creates the state machine for one partition.
+// NewSM creates the state machine for one partition at epoch 1.
 func NewSM(partition int, p Partitioner) *SM {
-	return &SM{partition: partition, partitioner: p, data: NewSortedMap()}
+	return NewSMAt(partition, p, 1, false)
+}
+
+// NewSMAt creates a partition state machine at a given schema epoch.
+// warming marks a partition added by an online split that must not serve
+// client commands until the moved range has been migrated and an
+// opActivatePart command is delivered on its ring.
+func NewSMAt(partition int, p Partitioner, epoch uint64, warming bool) *SM {
+	return &SM{partition: partition, partitioner: p, data: NewSortedMap(), epoch: epoch, warming: warming}
 }
 
 // Data exposes the underlying sorted map (read-only use: preloading and
 // test assertions).
 func (s *SM) Data() *SortedMap { return s.data }
 
+// Epoch returns the committed schema epoch (test/inspection helper).
+func (s *SM) Epoch() uint64 { return s.epoch }
+
+// Warming reports whether the partition still awaits activation.
+func (s *SM) Warming() bool { return s.warming }
+
 // Execute implements smr.StateMachine.
 func (s *SM) Execute(raw []byte) []byte {
 	o, err := decodeOp(raw)
 	if err != nil {
-		return result{status: statusError, partition: uint16(s.partition)}.encode()
+		return result{status: statusError, partition: uint16(s.partition), epoch: s.epoch}.encode()
 	}
 	return s.apply(o).encode()
 }
 
+// wrongEpoch builds the typed redirect reply carrying the replica's
+// current epoch.
+func (s *SM) wrongEpoch() result {
+	return result{status: statusWrongEpoch, partition: uint16(s.partition), epoch: s.epoch}
+}
+
+// owns reports whether this partition serves key under the current
+// mapping. During a migration the moved range is already assigned to the
+// new partition, so frozen keys fail this check — which is exactly the
+// redirect the protocol wants.
+func (s *SM) owns(key string) bool {
+	return s.partitioner.PartitionOf(key) == s.partition
+}
+
 func (s *SM) apply(o op) result {
-	res := result{status: statusOK, partition: uint16(s.partition)}
+	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
+	switch o.kind {
+	case opRead, opUpdate, opInsert, opDelete:
+		if s.warming || !s.owns(o.key) {
+			return s.wrongEpoch()
+		}
+		return s.applyKeyed(o)
+	case opScan:
+		if s.warming || (o.epoch != 0 && o.epoch < s.epoch) {
+			// A scan routed under a superseded schema may be missing whole
+			// partitions from its fan-out; make the client re-plan it.
+			return s.wrongEpoch()
+		}
+		res.entries = s.scanOwned(o.key, o.to, o.limit)
+	case opBatch:
+		if s.warming {
+			return s.wrongEpoch()
+		}
+		for _, sub := range o.batch {
+			if !s.owns(sub.key) {
+				// Reject the whole batch before applying anything: the
+				// client regroups it under the refreshed schema.
+				return s.wrongEpoch()
+			}
+		}
+		for _, sub := range o.batch {
+			if r := s.applyKeyed(sub); r.status == statusOK {
+				res.count++
+			}
+		}
+	case opMigrate:
+		if !s.warming {
+			return result{status: statusError, partition: uint16(s.partition), epoch: s.epoch}
+		}
+		for _, sub := range o.batch {
+			s.data.Put(sub.key, sub.value)
+			res.count++
+		}
+	case opPrepareSplit:
+		return s.applyPrepareSplit(o)
+	case opActivatePart:
+		switch {
+		case s.partition == int(o.part) && s.warming:
+			s.warming = false
+			if o.epoch > s.epoch {
+				s.epoch = o.epoch
+			}
+			res.epoch = s.epoch
+		case s.partition == int(o.part) && s.epoch >= o.epoch:
+			// Already activated at (or past) this epoch: idempotent.
+		default:
+			// Activating nothing must be loud — a silent OK here would let
+			// the coordinator proceed while the partition stays warming.
+			res.status = statusError
+		}
+	case opCommitSplit:
+		if o.epoch > s.epoch {
+			s.epoch = o.epoch
+			if s.migrating && s.partition == int(o.part) {
+				s.dropMovedRange()
+			}
+			s.migrating = false
+			s.movedFrom = ""
+			s.movedPart = 0
+		}
+		res.epoch = s.epoch
+	default:
+		res.status = statusError
+	}
+	return res
+}
+
+// applyKeyed executes one ownership-checked single-key operation.
+func (s *SM) applyKeyed(o op) result {
+	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
 	switch o.kind {
 	case opRead:
 		v, ok := s.data.Get(o.key)
@@ -63,25 +188,132 @@ func (s *SM) apply(o op) result {
 		if !s.data.Delete(o.key) {
 			res.status = statusNotFound
 		}
-	case opScan:
-		res.entries = s.data.Scan(o.key, o.to, o.limit)
-	case opBatch:
-		for _, sub := range o.batch {
-			r := s.apply(sub)
-			if r.status == statusOK {
-				res.count++
-			}
-		}
 	default:
 		res.status = statusError
 	}
 	return res
 }
 
-// Snapshot implements smr.StateMachine: the full shard as length-prefixed
-// key/value pairs.
+// scanOwned scans the shard, filtered to keys this partition currently
+// owns — plus, while migrating, the frozen moved range (still physically
+// present here and not yet served anywhere else; the client keeps the
+// owner's copy when both sides report a key).
+func (s *SM) scanOwned(from, to string, limit int) []Entry {
+	if !s.migrating {
+		// Outside a migration the shard holds only owned keys (inserts are
+		// ownership-checked and commits drop moved ranges), so the limit
+		// pushes down to the sorted map and the filter is a cheap
+		// invariant guard.
+		raw := s.data.Scan(from, to, limit)
+		out := raw[:0]
+		for _, e := range raw {
+			if s.partitioner.PartitionOf(e.Key) == s.partition {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	// Migration window: the frozen moved range is interleaved with owned
+	// keys, so the limit only applies after filtering.
+	raw := s.data.Scan(from, to, 0)
+	out := make([]Entry, 0, len(raw))
+	for _, e := range raw {
+		p := s.partitioner.PartitionOf(e.Key)
+		if p == s.partition || p == s.movedPart {
+			out = append(out, e)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// applyPrepareSplit adopts the split partitioning and, on the source
+// partition, freezes the moved range and returns its entries so the
+// coordinator can stream them to the new partition's replicas.
+func (s *SM) applyPrepareSplit(o op) result {
+	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
+	if o.epoch <= s.epoch || o.epoch <= s.pendingEpoch {
+		return res // duplicate delivery of an already-prepared split
+	}
+	rp, ok := s.partitioner.(*RangePartitioner)
+	if !ok {
+		res.status = statusError
+		return res
+	}
+	np, err := rp.Split(o.key, int(o.newPart))
+	if err != nil {
+		res.status = statusError
+		return res
+	}
+	s.partitioner = np
+	s.pendingEpoch = o.epoch
+	if s.partition == int(o.part) {
+		s.migrating = true
+		s.movedFrom = o.key
+		s.movedPart = int(o.newPart)
+		res.entries = s.movedEntries()
+	}
+	return res
+}
+
+// movedEntries returns the frozen entries of the moved range.
+func (s *SM) movedEntries() []Entry {
+	var out []Entry
+	for _, e := range s.data.Scan(s.movedFrom, "", 0) {
+		if s.partitioner.PartitionOf(e.Key) == s.movedPart {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// dropMovedRange deletes the frozen entries after ownership has flipped.
+func (s *SM) dropMovedRange() {
+	for _, e := range s.movedEntries() {
+		s.data.Delete(e.Key)
+	}
+}
+
+// Snapshot format version tag; bumped when schema state joined the data.
+const snapshotV2 = 2
+
+// Snapshot implements smr.StateMachine: the schema state (epoch, warming
+// and migration flags, partitioner) followed by the full shard as
+// length-prefixed key/value pairs. All fields evolve deterministically, so
+// snapshots of converged replicas remain byte-identical.
 func (s *SM) Snapshot() []byte {
 	var b []byte
+	b = append(b, snapshotV2)
+	b = binary.BigEndian.AppendUint64(b, s.epoch)
+	b = binary.BigEndian.AppendUint64(b, s.pendingEpoch)
+	var flags byte
+	if s.warming {
+		flags |= 1
+	}
+	if s.migrating {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(s.movedPart))
+	b = appendString(b, s.movedFrom)
+	switch p := s.partitioner.(type) {
+	case *HashPartitioner:
+		b = append(b, 0)
+		b = binary.BigEndian.AppendUint32(b, uint32(p.n))
+	case *RangePartitioner:
+		b = append(b, 1)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(p.assign)))
+		for _, bound := range p.bounds {
+			b = appendString(b, bound)
+		}
+		for _, a := range p.assign {
+			b = binary.BigEndian.AppendUint32(b, uint32(a))
+		}
+	default:
+		b = append(b, 0xFF)
+	}
 	b = binary.BigEndian.AppendUint32(b, uint32(s.data.Len()))
 	s.data.Ascend(func(e Entry) bool {
 		b = appendString(b, e.Key)
@@ -94,6 +326,65 @@ func (s *SM) Snapshot() []byte {
 // Restore implements smr.StateMachine.
 func (s *SM) Restore(b []byte) {
 	s.data = NewSortedMap()
+	if len(b) < 1 || b[0] != snapshotV2 {
+		return
+	}
+	b = b[1:]
+	if len(b) < 19 {
+		return
+	}
+	s.epoch = binary.BigEndian.Uint64(b)
+	s.pendingEpoch = binary.BigEndian.Uint64(b[8:])
+	flags := b[16]
+	s.warming = flags&1 != 0
+	s.migrating = flags&2 != 0
+	s.movedPart = int(binary.BigEndian.Uint16(b[17:]))
+	b = b[19:]
+	var err error
+	s.movedFrom, b, err = takeString(b)
+	if err != nil || len(b) < 1 {
+		return
+	}
+	pkind := b[0]
+	b = b[1:]
+	switch pkind {
+	case 0:
+		if len(b) < 4 {
+			return
+		}
+		s.partitioner = NewHashPartitioner(int(binary.BigEndian.Uint32(b)))
+		b = b[4:]
+	case 1:
+		if len(b) < 4 {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		bounds := make([]string, 0, n-1)
+		for i := 0; i < n-1; i++ {
+			var bound string
+			bound, b, err = takeString(b)
+			if err != nil {
+				return
+			}
+			bounds = append(bounds, bound)
+		}
+		if len(b) < 4*n {
+			return
+		}
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			assign[i] = int(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		b = b[4*n:]
+		rp, perr := newRangePartitionerAssigned(bounds, assign)
+		if perr != nil {
+			return
+		}
+		s.partitioner = rp
+	default:
+		return
+	}
 	if len(b) < 4 {
 		return
 	}

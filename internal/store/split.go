@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+
+	"mrp/internal/msg"
+	"mrp/internal/transport"
+)
+
+// This file holds the client-side half of the online split protocol: thin,
+// totally-ordered admin commands the rebalance coordinator
+// (internal/rebalance) composes into a zero-downtime repartitioning. They
+// are exported for the coordinator, not for applications.
+
+// AddRoute teaches the client the proposer addresses of a ring before that
+// ring appears in any published schema (the coordinator must reach a split
+// partition's ring while it is still warming).
+func (c *Client) AddRoute(ring msg.RingID, addrs []transport.Addr) {
+	c.smr.SetProposers(ring, addrs)
+}
+
+// PrepareSplit orders the range freeze through ring via (the global ring
+// when available, else the source partition's own ring) and returns the
+// frozen entries of the moved range, gathered specifically from the source
+// partition src. epoch is the post-split epoch; newPart the partition
+// index receiving [splitKey, ...).
+func (c *Client) PrepareSplit(via msg.RingID, src int, splitKey string, newPart int, epoch uint64) ([]Entry, error) {
+	o := op{kind: opPrepareSplit, epoch: epoch, part: uint16(src), newPart: uint16(newPart), key: splitKey}
+	results, err := c.smr.ExecuteGather(via, o.encode(), 1, func(raw []byte) (int, bool) {
+		res, err := decodeResult(raw)
+		if err != nil || res.status != statusOK {
+			return 0, false
+		}
+		return int(res.partition), int(res.partition) == src
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := results[src]
+	if !ok {
+		return nil, fmt.Errorf("store: no prepare-split reply from partition %d", src)
+	}
+	res, err := decodeResult(raw)
+	if err != nil {
+		return nil, err
+	}
+	return res.entries, nil
+}
+
+// MigrateChunk streams one chunk of frozen entries onto the new
+// partition's ring; its warming replicas install the entries in delivery
+// order, before any client command can reach them.
+func (c *Client) MigrateChunk(ring msg.RingID, epoch uint64, entries []Entry) error {
+	o := op{kind: opMigrate, epoch: epoch}
+	for _, e := range entries {
+		o.batch = append(o.batch, op{kind: opInsert, epoch: epoch, key: e.Key, value: e.Value})
+	}
+	res, err := c.exec(ring, o)
+	if err != nil {
+		return err
+	}
+	if res.status != statusOK || int(res.count) != len(entries) {
+		return fmt.Errorf("store: migrate chunk applied %d/%d (status %d)", res.count, len(entries), res.status)
+	}
+	return nil
+}
+
+// ActivatePartition ends the new partition's warming phase: ordered on its
+// ring after every migrated chunk, so a replica that serves any client
+// command has necessarily installed the full moved range first.
+func (c *Client) ActivatePartition(ring msg.RingID, part int, epoch uint64) error {
+	res, err := c.exec(ring, op{kind: opActivatePart, epoch: epoch, part: uint16(part)})
+	if err != nil {
+		return err
+	}
+	if res.status != statusOK {
+		return fmt.Errorf("store: activate partition %d failed (status %d)", part, res.status)
+	}
+	return nil
+}
+
+// CommitSplit orders the ownership flip through ring via: the source
+// partition drops the moved range and every replica on the ring adopts the
+// new epoch. From this point stale clients are redirected to the published
+// schema.
+func (c *Client) CommitSplit(via msg.RingID, src int, epoch uint64) error {
+	res, err := c.exec(via, op{kind: opCommitSplit, epoch: epoch, part: uint16(src)})
+	if err != nil {
+		return err
+	}
+	if res.status != statusOK {
+		return fmt.Errorf("store: commit split failed (status %d)", res.status)
+	}
+	return nil
+}

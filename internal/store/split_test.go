@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func execOp(t *testing.T, sm *SM, o op) result {
+	t.Helper()
+	res, err := decodeResult(sm.Execute(o.encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSMPrepareFreezesMovedRange drives one source-partition SM through
+// prepare and commit and checks the freeze, redirect, scan, and drop
+// semantics.
+func TestSMPrepareFreezesMovedRange(t *testing.T) {
+	sm := NewSM(1, NewRangePartitioner([]string{"g"}))
+	for _, k := range []string{"h", "m", "q", "t"} {
+		execOp(t, sm, op{kind: opInsert, epoch: 1, key: k, value: []byte("v-" + k)})
+	}
+	// Keys below the partition's range are redirected even before a split.
+	if res := execOp(t, sm, op{kind: opRead, epoch: 1, key: "a"}); res.status != statusWrongEpoch {
+		t.Fatalf("foreign key read = %+v", res)
+	}
+
+	res := execOp(t, sm, op{kind: opPrepareSplit, epoch: 2, part: 1, newPart: 2, key: "p"})
+	if res.status != statusOK || len(res.entries) != 2 {
+		t.Fatalf("prepare = %+v", res)
+	}
+	if res.entries[0].Key != "q" || res.entries[1].Key != "t" {
+		t.Fatalf("moved entries = %+v", res.entries)
+	}
+	// Duplicate prepare (recovery replay) is a no-op.
+	if res := execOp(t, sm, op{kind: opPrepareSplit, epoch: 2, part: 1, newPart: 2, key: "p"}); len(res.entries) != 0 {
+		t.Fatalf("duplicate prepare returned entries: %+v", res)
+	}
+	// Frozen range: reads and writes redirect with the current epoch.
+	res = execOp(t, sm, op{kind: opRead, epoch: 1, key: "q"})
+	if res.status != statusWrongEpoch || res.epoch != 1 {
+		t.Fatalf("frozen read = %+v", res)
+	}
+	if res := execOp(t, sm, op{kind: opUpdate, epoch: 2, key: "t", value: []byte("x")}); res.status != statusWrongEpoch {
+		t.Fatalf("frozen write = %+v", res)
+	}
+	// Unmoved keys are served throughout.
+	if res := execOp(t, sm, op{kind: opRead, epoch: 1, key: "m"}); res.status != statusOK {
+		t.Fatalf("kept read = %+v", res)
+	}
+	// Scans still report the physically present frozen range.
+	if res := execOp(t, sm, op{kind: opScan, epoch: 1, key: "h", to: "z"}); len(res.entries) != 4 {
+		t.Fatalf("migrating scan = %+v", res.entries)
+	}
+	// A batch touching any frozen key is rejected before applying anything.
+	res = execOp(t, sm, op{kind: opBatch, epoch: 1, batch: []op{
+		{kind: opInsert, key: "n", value: []byte("n")},
+		{kind: opInsert, key: "s", value: []byte("s")},
+	}})
+	if res.status != statusWrongEpoch {
+		t.Fatalf("mixed batch = %+v", res)
+	}
+	if _, ok := sm.Data().Get("n"); ok {
+		t.Fatal("rejected batch partially applied")
+	}
+
+	execOp(t, sm, op{kind: opCommitSplit, epoch: 2, part: 1})
+	if sm.Epoch() != 2 {
+		t.Fatalf("epoch after commit = %d", sm.Epoch())
+	}
+	if _, ok := sm.Data().Get("q"); ok {
+		t.Fatal("moved range not dropped at commit")
+	}
+	res = execOp(t, sm, op{kind: opRead, epoch: 1, key: "q"})
+	if res.status != statusWrongEpoch || res.epoch != 2 {
+		t.Fatalf("post-commit read = %+v", res)
+	}
+	// Post-split scans exclude the moved range.
+	if res := execOp(t, sm, op{kind: opScan, epoch: 2, key: "h", to: "z"}); len(res.entries) != 2 {
+		t.Fatalf("post-commit scan = %+v", res.entries)
+	}
+	// Stale-epoch scans are redirected so the client re-plans its fan-out.
+	if res := execOp(t, sm, op{kind: opScan, epoch: 1, key: "h", to: "z"}); res.status != statusWrongEpoch {
+		t.Fatalf("stale scan = %+v", res)
+	}
+}
+
+// TestSMWarmingLifecycle checks a split partition's replica: rejects
+// client commands while warming, accepts migration chunks, serves after
+// activation.
+func TestSMWarmingLifecycle(t *testing.T) {
+	base := NewRangePartitioner([]string{"g"})
+	next, err := base.Split("p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSMAt(2, next, 2, true)
+	if !sm.Warming() {
+		t.Fatal("not warming")
+	}
+	if res := execOp(t, sm, op{kind: opRead, epoch: 2, key: "q"}); res.status != statusWrongEpoch {
+		t.Fatalf("warming read = %+v", res)
+	}
+	res := execOp(t, sm, op{kind: opMigrate, epoch: 2, batch: []op{
+		{kind: opInsert, key: "q", value: []byte("vq")},
+		{kind: opInsert, key: "t", value: []byte("vt")},
+	}})
+	if res.status != statusOK || res.count != 2 {
+		t.Fatalf("migrate = %+v", res)
+	}
+	execOp(t, sm, op{kind: opActivatePart, epoch: 2, part: 2})
+	if sm.Warming() || sm.Epoch() != 2 {
+		t.Fatalf("after activate: warming=%v epoch=%d", sm.Warming(), sm.Epoch())
+	}
+	res = execOp(t, sm, op{kind: opRead, epoch: 2, key: "q"})
+	if res.status != statusOK || string(res.value) != "vq" {
+		t.Fatalf("activated read = %+v", res)
+	}
+	// Migration chunks are only valid while warming.
+	if res := execOp(t, sm, op{kind: opMigrate, epoch: 2, batch: nil}); res.status != statusError {
+		t.Fatalf("late migrate = %+v", res)
+	}
+}
+
+// TestSMSnapshotCarriesSchemaState checks that epoch, flags, and the
+// (split) partitioner survive Snapshot/Restore — a replica recovering from
+// checkpoint must keep redirecting for ranges it no longer owns.
+func TestSMSnapshotCarriesSchemaState(t *testing.T) {
+	sm := NewSM(1, NewRangePartitioner([]string{"g"}))
+	for i := 0; i < 10; i++ {
+		execOp(t, sm, op{kind: opInsert, epoch: 1, key: fmt.Sprintf("k%02d", i), value: []byte("v")})
+	}
+	execOp(t, sm, op{kind: opPrepareSplit, epoch: 2, part: 1, newPart: 2, key: "k05"})
+
+	restored := NewSM(1, NewRangePartitioner([]string{"g"}))
+	restored.Restore(sm.Snapshot())
+	if res := execOp(t, restored, op{kind: opRead, epoch: 1, key: "k07"}); res.status != statusWrongEpoch {
+		t.Fatalf("restored frozen read = %+v", res)
+	}
+	if res := execOp(t, restored, op{kind: opRead, epoch: 1, key: "k03"}); res.status != statusOK {
+		t.Fatalf("restored kept read = %+v", res)
+	}
+	// The restored replica applies the commit exactly like the original.
+	execOp(t, sm, op{kind: opCommitSplit, epoch: 2, part: 1})
+	execOp(t, restored, op{kind: opCommitSplit, epoch: 2, part: 1})
+	if string(sm.Snapshot()) != string(restored.Snapshot()) {
+		t.Fatal("snapshots diverged after commit")
+	}
+	if restored.Epoch() != 2 {
+		t.Fatalf("restored epoch = %d", restored.Epoch())
+	}
+}
+
+// TestOpCodecSplitKinds round-trips the rebalancing op kinds and the epoch
+// field, and the wrong-epoch result status.
+func TestOpCodecSplitKinds(t *testing.T) {
+	ops := []op{
+		{kind: opRead, epoch: 7, key: "k"},
+		{kind: opPrepareSplit, epoch: 9, part: 3, newPart: 4, key: "split"},
+		{kind: opActivatePart, epoch: 9, part: 4},
+		{kind: opCommitSplit, epoch: 9, part: 3},
+		{kind: opMigrate, epoch: 9, batch: []op{{kind: opInsert, epoch: 9, key: "x", value: []byte("1")}}},
+	}
+	for _, o := range ops {
+		got, err := decodeOp(o.encode())
+		if err != nil {
+			t.Fatalf("%d: %v", o.kind, err)
+		}
+		if got.kind != o.kind || got.epoch != o.epoch || got.key != o.key ||
+			got.part != o.part || got.newPart != o.newPart || len(got.batch) != len(o.batch) {
+			t.Fatalf("round trip %+v -> %+v", o, got)
+		}
+	}
+	r := result{status: statusWrongEpoch, partition: 2, epoch: 5}
+	got, err := decodeResult(r.encode())
+	if err != nil || got.status != statusWrongEpoch || got.epoch != 5 || got.partition != 2 {
+		t.Fatalf("result round trip = %+v, %v", got, err)
+	}
+}

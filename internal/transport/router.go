@@ -33,12 +33,21 @@ func NewRouter(ep Endpoint) *Router {
 	}
 }
 
-// Ring registers the input channel of the process handling one ring.
-// Must be called before Start.
+// Ring registers the input channel of the process handling one ring. It
+// may be called while the router is running (a node subscribing to a ring
+// at runtime).
 func (r *Router) Ring(ring msg.RingID, ch chan<- Envelope) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rings[ring] = ch
+}
+
+// Unring removes a ring's route; subsequent messages for it are dropped.
+// Used when a node unsubscribes from a ring at runtime.
+func (r *Router) Unring(ring msg.RingID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.rings, ring)
 }
 
 // Service registers the handler for non-ring messages (checkpoint RPCs,

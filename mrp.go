@@ -96,7 +96,13 @@ type (
 	// Node is a Multi-Ring Paxos process: one endpoint, many rings.
 	Node = multiring.Node
 	// Learner delivers the deterministic merge of subscribed rings.
+	// Subscriptions are dynamic: Learner.Subscribe/Unsubscribe splice
+	// rings in and out of the merge at an agreed Activation point.
 	Learner = multiring.Learner
+	// Activation names the logical point at which a dynamic subscription
+	// change takes effect (see multiring.Activation for the determinism
+	// contract).
+	Activation = multiring.Activation
 	// Delivery is one delivered message (or skip marker).
 	Delivery = multiring.Delivery
 	// Manager wires a node to the coordination service for election and

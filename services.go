@@ -2,6 +2,7 @@ package mrp
 
 import (
 	"mrp/internal/dlog"
+	"mrp/internal/rebalance"
 	"mrp/internal/store"
 )
 
@@ -21,8 +22,14 @@ type (
 )
 
 // StoreSchema is the published partitioning schema (stored in the
-// coordination service, as the paper stores it in Zookeeper).
+// coordination service, as the paper stores it in Zookeeper). Schemas are
+// versioned by an epoch; see the versioned-schema protocol in
+// internal/store/schema.go.
 type StoreSchema = store.Schema
+
+// WrongEpochError reports a command redirected past its deadline because
+// the client's schema epoch lagged the replicas'.
+type WrongEpochError = store.WrongEpochError
 
 // Store constructors and helpers.
 var (
@@ -34,9 +41,28 @@ var (
 	NewRangePartitioner = store.NewRangePartitioner
 	// LoadStoreSchema reads the published schema from the registry.
 	LoadStoreSchema = store.LoadSchema
+	// LoadStoreSchemaAt also returns the registry version (the CAS token
+	// for the next publish).
+	LoadStoreSchemaAt = store.LoadSchemaAt
+	// WatchStoreSchema returns a coalescing channel firing on schema
+	// republications.
+	WatchStoreSchema = store.WatchSchema
 	// ErrNotFound reports operations on missing keys.
 	ErrNotFound = store.ErrNotFound
 )
+
+// Elastic rebalancing: online repartitioning of a running MRP-Store
+// deployment (split a partition onto a freshly subscribed ring with zero
+// downtime; see internal/rebalance for the protocol).
+type (
+	// Rebalancer coordinates online splits.
+	Rebalancer = rebalance.Coordinator
+	// RebalanceConfig parametrizes a rebalancer.
+	RebalanceConfig = rebalance.Config
+)
+
+// NewRebalancer creates a rebalance coordinator for a deployment.
+var NewRebalancer = rebalance.New
 
 // dLog, the distributed shared log service (Section 6.2, Table 2).
 type (
