@@ -84,6 +84,9 @@ func TestFig6Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceEnabled {
+		t.Skip("vertical-scaling ratio is timing-sensitive under the race detector")
+	}
 	opts := tiny()
 	r1 := fig6Point(opts, 1)
 	r2 := fig6Point(opts, 2)
@@ -132,8 +135,11 @@ func TestFig8Smoke(t *testing.T) {
 	if res.RecoveredOps <= res.SteadyOps/4 {
 		t.Fatalf("no recovery: steady=%.0f recovered=%.0f", res.SteadyOps, res.RecoveredOps)
 	}
-	// All five paper events must be present.
-	want := []string{"1:", "2:", "3:", "4:", "5:"}
+	// All five paper events must be present, plus the live split that
+	// makes the crashed replica a split-partition one. "5:" only appears
+	// when RecoverReplica succeeded — split-partition recovery is expected
+	// to work, not to error.
+	want := []string{"0:", "1:", "2:", "3:", "4:", "5:"}
 	for _, prefix := range want {
 		found := false
 		for _, e := range res.Events {

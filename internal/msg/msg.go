@@ -524,10 +524,16 @@ func (m *CkptQuery) marshal(w *writer) { w.u64(m.Seq) }
 func (m *CkptQuery) unmarshal(r *reader) { m.Seq = r.u64() }
 
 // CkptReply reports the identifier (tuple k_q) of the replying replica's
-// most up-to-date checkpoint.
+// most up-to-date checkpoint. Epoch is the schema epoch that checkpoint
+// was taken under (0 when the service is unversioned or no checkpoint
+// exists); recovery surfaces the quorum's highest epoch as
+// recovery.Result.Epoch — informational for the caller, since the actual
+// schema catch-up happens by replaying the totally-ordered split commands
+// after the checkpoint is installed.
 type CkptReply struct {
 	Seq     uint64
 	Replica NodeID
+	Epoch   uint64
 	Tuple   []RingInstance
 }
 
@@ -535,11 +541,12 @@ type CkptReply struct {
 func (*CkptReply) Type() Type { return TCkptReply }
 
 // Size implements Message.
-func (m *CkptReply) Size() int { return 1 + 8 + 4 + 4 + len(m.Tuple)*(2+8) }
+func (m *CkptReply) Size() int { return 1 + 8 + 4 + 8 + 4 + len(m.Tuple)*(2+8) }
 
 func (m *CkptReply) marshal(w *writer) {
 	w.u64(m.Seq)
 	w.u32(uint32(m.Replica))
+	w.u64(m.Epoch)
 	w.u32(uint32(len(m.Tuple)))
 	for _, t := range m.Tuple {
 		w.u16(uint16(t.Ring))
@@ -550,6 +557,7 @@ func (m *CkptReply) marshal(w *writer) {
 func (m *CkptReply) unmarshal(r *reader) {
 	m.Seq = r.u64()
 	m.Replica = NodeID(r.u32())
+	m.Epoch = r.u64()
 	n := int(r.u32())
 	if n > r.remaining() {
 		r.fail()
@@ -579,10 +587,12 @@ func (m *CkptFetch) marshal(w *writer) { w.u64(m.Seq) }
 
 func (m *CkptFetch) unmarshal(r *reader) { m.Seq = r.u64() }
 
-// CkptData transfers a full checkpoint: the tuple identifying it and the
+// CkptData transfers a full checkpoint: the tuple identifying it, the
+// schema epoch it was taken under (0 for unversioned services), and the
 // serialized service state.
 type CkptData struct {
 	Seq   uint64
+	Epoch uint64
 	Tuple []RingInstance
 	State []byte
 }
@@ -592,11 +602,12 @@ func (*CkptData) Type() Type { return TCkptData }
 
 // Size implements Message.
 func (m *CkptData) Size() int {
-	return 1 + 8 + 4 + len(m.Tuple)*(2+8) + 4 + len(m.State)
+	return 1 + 8 + 8 + 4 + len(m.Tuple)*(2+8) + 4 + len(m.State)
 }
 
 func (m *CkptData) marshal(w *writer) {
 	w.u64(m.Seq)
+	w.u64(m.Epoch)
 	w.u32(uint32(len(m.Tuple)))
 	for _, t := range m.Tuple {
 		w.u16(uint16(t.Ring))
@@ -607,6 +618,7 @@ func (m *CkptData) marshal(w *writer) {
 
 func (m *CkptData) unmarshal(r *reader) {
 	m.Seq = r.u64()
+	m.Epoch = r.u64()
 	n := int(r.u32())
 	if n > r.remaining() {
 		r.fail()

@@ -41,6 +41,24 @@
 // is served: writes to the moved range are impossible while frozen, and
 // reads are only served by the new partition after it holds the full
 // range.
+//
+// # Crash recovery after a split
+//
+// Once a split commits, the new partition is a first-class member of the
+// schema, and its replicas recover exactly like seed replicas: the store's
+// recovery path (store.Deployment.RecoverReplica) derives ring membership,
+// roles, and subscription points from the schema rather than the static
+// deploy config, gathers a checkpoint from a quorum Q_R of partition
+// peers (internal/recovery), re-subscribes the runtime ring at the
+// recovered frontier, and replays the suffix from the acceptors. A
+// replica with no usable checkpoint replays the full ring from the
+// partition's deterministic birth state — warming, at the split's epoch —
+// so the replayed migration chunks and activation command apply exactly
+// as they originally did. The acceptance test kills and recovers a
+// new-partition replica under the concurrent YCSB-A workload to pin this
+// down. Only a provisioned-but-uncommitted partition (a split that died
+// mid-protocol) is unrecoverable: its membership is not part of any
+// schema yet; roll it back with RemovePartition instead.
 package rebalance
 
 import (

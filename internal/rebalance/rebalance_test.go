@@ -179,9 +179,35 @@ func TestLiveSplitUnderConcurrentWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	splitDone := time.Now()
+
+	// Crash a replica of the just-created partition while the workload
+	// keeps running, then recover it: recovery derives the partition's
+	// ring membership from the schema, so a deployment that grew by a live
+	// split keeps its fault tolerance.
+	d.CrashReplica(newPart, 2)
+	time.Sleep(150 * time.Millisecond)
+	if err := d.RecoverReplica(newPart, 2); err != nil {
+		t.Fatalf("crash+recover of split-partition replica: %v", err)
+	}
+
 	time.Sleep(500 * time.Millisecond)
 	stop.Store(true)
 	wg.Wait()
+
+	// The recovered replica replays the ring (migration chunks, activation,
+	// workload commands) and converges with its surviving peers.
+	recDeadline := time.Now().Add(10 * time.Second)
+	for {
+		s0 := d.ReplicaAt(newPart, 0).Replica.StateSnapshot()
+		s2 := d.ReplicaAt(newPart, 2).Replica.StateSnapshot()
+		if bytes.Equal(s0, s2) {
+			break
+		}
+		if time.Now().After(recDeadline) {
+			t.Fatal("recovered split-partition replica did not converge")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 
 	if len(fails) > 0 {
 		t.Fatalf("workload failures (first of %d): %s", len(fails), fails[0])

@@ -10,11 +10,28 @@
 // K[x]_T.
 //
 // Replica recovery: a recovering replica contacts the replicas of its
-// partition, waits for a recovery quorum Q_R of checkpoint identifiers,
-// picks the most up-to-date one (Predicate 3), transfers it, and replays
-// the missing instances from the acceptors. Because Q_T and Q_R intersect,
-// K_T <= K_R (Predicates 4-5): the instances after the best checkpoint are
-// still in the acceptor logs.
+// partition, waits for a recovery quorum Q_R of checkpoint identifiers
+// (CkptQuery/CkptReply), picks the most up-to-date one (Predicate 3),
+// transfers it (CkptFetch/CkptData) if it beats the local checkpoint, and
+// installs it. The checkpoint's tuple k_p converts into per-ring delivery
+// start points (StartInstances: k[x] + 1 for each subscribed group x), at
+// which the replica rejoins its rings; each ring then replays the decided
+// suffix from the acceptors. Because Q_T and Q_R intersect, K_T <= K_R
+// (Predicates 4-5): the instances after the best checkpoint are still in
+// the acceptor logs.
+//
+// Schema handoff: services with a versioned partitioning schema
+// (MRP-Store) stamp each checkpoint with the schema epoch it was taken
+// under, and both CkptReply and CkptData carry that epoch. Result.Epoch
+// reports the highest epoch seen across the quorum, so a recovering
+// replica learns that a repartitioning happened — and that its snapshot
+// predates it — before replay begins; the schema state itself (partition
+// mapping, frozen ranges) travels inside the snapshot and is brought up to
+// date by replaying the totally-ordered split commands, exactly like any
+// other state. Replicas of partitions created by a live split recover
+// through the same protocol: their ring memberships are derived from the
+// published schema rather than any static configuration (see
+// store.RecoverReplica).
 package recovery
 
 import (
@@ -208,6 +225,12 @@ type Result struct {
 	Found bool
 	// Transferred reports whether a remote state transfer happened.
 	Transferred bool
+	// Epoch is the highest schema epoch observed across the quorum's
+	// checkpoint replies and the local checkpoint (0 when the service is
+	// unversioned or no peer has checkpointed). When it exceeds the
+	// installed checkpoint's epoch, the snapshot predates a repartitioning
+	// and ring replay will deliver the split commands that catch it up.
+	Epoch uint64
 }
 
 // Recover runs the recovering-replica protocol: gather checkpoint
@@ -231,6 +254,7 @@ func Recover(cfg RecoverConfig) (Result, error) {
 		if ck, ok := cfg.Local.Load(); ok {
 			res.Checkpoint = ck
 			res.Found = true
+			res.Epoch = ck.Epoch
 		}
 	}
 	if len(cfg.Peers) == 0 {
@@ -265,8 +289,14 @@ func Recover(cfg RecoverConfig) (Result, error) {
 			if !isReply || reply.Seq != querySeq {
 				continue
 			}
+			if reply.Epoch > res.Epoch {
+				res.Epoch = reply.Epoch
+			}
 			tuples[reply.Replica] = reply.Tuple
-			if bestTuple == nil || storage.TupleLE(bestTuple, reply.Tuple) {
+			// An empty tuple means the peer has never checkpointed; it
+			// still counts toward the quorum but is not a fetch candidate
+			// (it has no state to transfer — fetching would hang).
+			if len(reply.Tuple) > 0 && (bestTuple == nil || storage.TupleLE(bestTuple, reply.Tuple)) {
 				bestTuple = reply.Tuple
 				bestPeer = env.From
 			}
@@ -298,9 +328,12 @@ func Recover(cfg RecoverConfig) (Result, error) {
 			if !isData || data.Seq != fetchSeq {
 				continue
 			}
-			res.Checkpoint = storage.Checkpoint{Tuple: data.Tuple, State: data.State}
+			res.Checkpoint = storage.Checkpoint{Tuple: data.Tuple, Epoch: data.Epoch, State: data.State}
 			res.Found = true
 			res.Transferred = true
+			if data.Epoch > res.Epoch {
+				res.Epoch = data.Epoch
+			}
 			return res, nil
 		case <-retry.C:
 			_ = cfg.Endpoint.Send(bestPeer, &msg.CkptFetch{Seq: fetchSeq})

@@ -401,6 +401,56 @@ func TestRecoverPrefersFreshLocal(t *testing.T) {
 	}
 }
 
+// TestRecoverSchemaEpochHandoff checks the schema handoff of the
+// checkpoint exchange: replies and transferred checkpoints carry the epoch
+// they were taken under, so a recovering replica whose own snapshot
+// predates a repartitioning learns the current epoch from its quorum.
+func TestRecoverSchemaEpochHandoff(t *testing.T) {
+	net := netsim.New(netsim.WithUniformLatency(0))
+	defer net.Close()
+	peerEp := net.Endpoint("peer")
+	go func() {
+		for env := range peerEp.Inbox() {
+			switch m := env.Msg.(type) {
+			case *msg.CkptQuery:
+				_ = peerEp.Send(env.From, &msg.CkptReply{
+					Seq: m.Seq, Replica: 9, Epoch: 3,
+					Tuple: []msg.RingInstance{{Ring: 1, Instance: 50}},
+				})
+			case *msg.CkptFetch:
+				_ = peerEp.Send(env.From, &msg.CkptData{
+					Seq: m.Seq, Epoch: 3,
+					Tuple: []msg.RingInstance{{Ring: 1, Instance: 50}},
+					State: []byte("post-split"),
+				})
+			}
+		}
+	}()
+	// The local checkpoint predates the split (epoch 1) and is older.
+	local := storage.NewCheckpointStore(storage.NewDisk(storage.NullDisk))
+	local.Save(storage.Checkpoint{
+		Tuple: []msg.RingInstance{{Ring: 1, Instance: 5}},
+		Epoch: 1,
+		State: []byte("pre-split"),
+	})
+	res, err := Recover(RecoverConfig{
+		Endpoint: net.Endpoint("rec"),
+		Peers:    []transport.Addr{"peer"},
+		Quorum:   1,
+		Local:    local,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Transferred || string(res.Checkpoint.State) != "post-split" {
+		t.Fatalf("transfer = %v, state %q", res.Transferred, res.Checkpoint.State)
+	}
+	if res.Epoch != 3 || res.Checkpoint.Epoch != 3 {
+		t.Fatalf("epoch handoff: result=%d checkpoint=%d, want 3", res.Epoch, res.Checkpoint.Epoch)
+	}
+}
+
 func TestRecoverTimeoutWithoutQuorum(t *testing.T) {
 	net := netsim.New()
 	defer net.Close()

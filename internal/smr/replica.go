@@ -20,6 +20,15 @@ type StateMachine interface {
 	Restore(snapshot []byte)
 }
 
+// EpochHolder is optionally implemented by state machines whose state is
+// versioned by a schema epoch (MRP-Store partitions). Checkpoints of such
+// machines record the epoch, and recovery replies carry it, so a
+// recovering replica learns the current schema version from its partition
+// peers even when its own snapshot predates a repartitioning.
+type EpochHolder interface {
+	Epoch() uint64
+}
+
 // ReplicaConfig parametrizes a replica.
 type ReplicaConfig struct {
 	// Node is the Multi-Ring Paxos node this replica runs on.
@@ -53,21 +62,73 @@ type Replica struct {
 	// replies report (trimming ahead of a durable checkpoint would lose
 	// the only copy of the commands).
 	safe map[msg.RingID]msg.Instance
-	// dedup holds the last executed sequence and cached result per client.
+	// dedup tracks executed command sequences per client (see clientEntry).
 	dedup map[uint64]clientEntry
 
 	executed  uint64
 	ckpts     uint64
 	onExecute func(Command, []byte)
 
+	snaps   chan chan []byte
+	ckptReq chan chan struct{}
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 }
 
+// clientEntry is one client's deduplication state: the highest executed
+// sequence number, a bitmap of executed sequences in the window
+// [seq-63, seq] (bit i set means seq-i executed), and the cached result of
+// the highest executed command.
+//
+// A plain "highest seq wins" rule is not enough: a client's commands reach
+// a replica over every ring it subscribes to (its partition ring plus the
+// global ring), and the deterministic merge does not preserve one client's
+// sequence order across rings — a later single-partition command can be
+// delivered before an earlier global-ring command (scans, split
+// prepare/commit). Such an inversion used to make the replica silently
+// swallow the earlier command as a "duplicate". The bitmap distinguishes
+// the two cases: an inverted command's bit is unset (execute it), a
+// retransmitted duplicate's bit is set (reply with the cached result).
+// All replicas of a partition see the same merged order, so the bitmap
+// evolves identically everywhere and execution stays deterministic.
 type clientEntry struct {
 	seq    uint64
+	bits   uint64
 	result []byte
+}
+
+// executed reports whether seq was already executed. Sequences more than
+// 63 below the highest executed are beyond the inversion window and can
+// only be stale retransmissions: they count as executed.
+func (e clientEntry) executed(seq uint64) bool {
+	if seq > e.seq {
+		return false
+	}
+	d := e.seq - seq
+	if d >= 64 {
+		return true
+	}
+	return e.bits&(1<<d) != 0
+}
+
+// record marks seq executed, caching the result of the highest sequence.
+func (e clientEntry) record(seq uint64, result []byte) clientEntry {
+	if seq > e.seq {
+		shift := seq - e.seq
+		if e.bits != 0 && shift < 64 {
+			e.bits <<= shift
+		} else {
+			e.bits = 0
+		}
+		e.bits |= 1
+		e.seq = seq
+		e.result = result
+		return e
+	}
+	e.bits |= 1 << (e.seq - seq)
+	return e
 }
 
 // NewReplica creates a replica. Call Start to begin executing.
@@ -77,6 +138,8 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 		applied: make(map[msg.RingID]msg.Instance),
 		safe:    make(map[msg.RingID]msg.Instance),
 		dedup:   make(map[uint64]clientEntry),
+		snaps:   make(chan chan []byte),
+		ckptReq: make(chan chan struct{}),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -95,9 +158,16 @@ func (r *Replica) HandleService(env transport.Envelope) {
 		r.mu.Lock()
 		tuple := tupleOf(r.safe)
 		r.mu.Unlock()
+		var epoch uint64
+		if r.cfg.Ckpt != nil {
+			if ck, ok := r.cfg.Ckpt.Load(); ok {
+				epoch = ck.Epoch
+			}
+		}
 		_ = r.cfg.Node.Endpoint().Send(env.From, &msg.CkptReply{
 			Seq:     m.Seq,
 			Replica: r.cfg.Node.ID(),
+			Epoch:   epoch,
 			Tuple:   tuple,
 		})
 	case *msg.CkptFetch:
@@ -110,6 +180,7 @@ func (r *Replica) HandleService(env transport.Envelope) {
 		}
 		_ = r.cfg.Node.Endpoint().Send(env.From, &msg.CkptData{
 			Seq:   m.Seq,
+			Epoch: ck.Epoch,
 			Tuple: ck.Tuple,
 			State: ck.State,
 		})
@@ -196,8 +267,26 @@ func (r *Replica) InstallCheckpoint(ck storage.Checkpoint) {
 // advancing the safe tuple (Section 7.2: replicas write checkpoints
 // synchronously so acceptors may trim afterwards). The checkpoint also
 // carries the client-deduplication table, so a recovered replica keeps
-// exactly-once semantics for commands older than the checkpoint.
+// exactly-once semantics for commands older than the checkpoint. The
+// snapshot is taken on the replica's execution goroutine, so callers on
+// any goroutine never observe a half-applied command.
 func (r *Replica) Checkpoint() {
+	done := make(chan struct{})
+	select {
+	case r.ckptReq <- done:
+		select {
+		case <-done:
+		case <-r.done:
+		}
+	case <-r.done:
+		// The executor has stopped; snapshotting directly is safe.
+		r.checkpoint()
+	}
+}
+
+// checkpoint does the work of Checkpoint; it must run on the execution
+// goroutine (or after it has exited).
+func (r *Replica) checkpoint() {
 	if r.cfg.Ckpt == nil {
 		return
 	}
@@ -205,8 +294,12 @@ func (r *Replica) Checkpoint() {
 	tuple := tupleOf(r.applied)
 	dedup := encodeDedup(r.dedup)
 	r.mu.Unlock()
+	var epoch uint64
+	if eh, ok := r.cfg.SM.(EpochHolder); ok {
+		epoch = eh.Epoch()
+	}
 	state := encodeReplicaState(dedup, r.cfg.SM.Snapshot())
-	r.cfg.Ckpt.Save(storage.Checkpoint{Tuple: tuple, State: state})
+	r.cfg.Ckpt.Save(storage.Checkpoint{Tuple: tuple, Epoch: epoch, State: state})
 	r.mu.Lock()
 	for _, e := range tuple {
 		r.safe[e.Ring] = e.Instance
@@ -229,11 +322,35 @@ func (r *Replica) run() {
 		case d := <-deliveries:
 			r.apply(d)
 		case <-ckptC:
-			r.Checkpoint()
+			r.checkpoint()
+		case done := <-r.ckptReq:
+			r.checkpoint()
+			close(done)
+		case resp := <-r.snaps:
+			resp <- r.cfg.SM.Snapshot()
 		case <-r.stop:
 			return
 		}
 	}
+}
+
+// StateSnapshot returns SM.Snapshot() taken on the replica's execution
+// goroutine, so it never observes a half-applied command (calling
+// SM.Snapshot directly while the replica runs is a data race). On a
+// stopped replica the snapshot is taken directly — no executor is
+// running anymore.
+func (r *Replica) StateSnapshot() []byte {
+	resp := make(chan []byte, 1)
+	select {
+	case r.snaps <- resp:
+		select {
+		case s := <-resp:
+			return s
+		case <-r.done:
+		}
+	case <-r.done:
+	}
+	return r.cfg.SM.Snapshot()
 }
 
 // apply executes one delivery and advances the applied tuple.
@@ -262,12 +379,21 @@ func (r *Replica) apply(d multiring.Delivery) {
 	prev, seen := r.dedup[cmd.ClientID]
 	r.mu.Unlock()
 	var result []byte
-	if seen && cmd.Seq <= prev.seq {
-		result = prev.result // duplicate: reply with the cached result
+	respond := cmd.ReplyTo != ""
+	if seen && prev.executed(cmd.Seq) {
+		if cmd.Seq == prev.seq {
+			result = prev.result // duplicate of the head: reply with the cache
+		} else {
+			// Stale re-delivery of an older command: it was executed and
+			// answered long ago, and the cache only holds the head
+			// sequence's result — stay silent rather than reply with the
+			// wrong payload (the synchronous client is not waiting).
+			respond = false
+		}
 	} else {
 		result = r.cfg.SM.Execute(cmd.Op)
 		r.mu.Lock()
-		r.dedup[cmd.ClientID] = clientEntry{seq: cmd.Seq, result: result}
+		r.dedup[cmd.ClientID] = prev.record(cmd.Seq, result)
 		r.executed++
 		r.mu.Unlock()
 		if r.onExecute != nil {
@@ -283,7 +409,7 @@ func (r *Replica) apply(d multiring.Delivery) {
 		}
 		r.mu.Unlock()
 	}
-	if cmd.ReplyTo != "" {
+	if respond {
 		_ = r.cfg.Node.Endpoint().Send(cmd.ReplyTo, &msg.Response{
 			ClientID: cmd.ClientID,
 			Seq:      cmd.Seq,

@@ -401,8 +401,8 @@ func TestCommandDecodeErrors(t *testing.T) {
 
 func TestReplicaStateCodec(t *testing.T) {
 	dedup := map[uint64]clientEntry{
-		1: {seq: 5, result: []byte("r1")},
-		9: {seq: 2, result: nil},
+		1: {seq: 5, bits: 0b1011, result: []byte("r1")},
+		9: {seq: 2, bits: 1, result: nil},
 	}
 	enc := encodeReplicaState(encodeDedup(dedup), []byte("sm-state"))
 	dRaw, sm, err := decodeReplicaState(enc)
@@ -413,10 +413,48 @@ func TestReplicaStateCodec(t *testing.T) {
 		t.Fatalf("sm = %q", sm)
 	}
 	got := decodeDedup(dRaw)
-	if len(got) != 2 || got[1].seq != 5 || string(got[1].result) != "r1" || got[9].seq != 2 {
+	if len(got) != 2 || got[1].seq != 5 || got[1].bits != 0b1011 || string(got[1].result) != "r1" || got[9].seq != 2 {
 		t.Fatalf("dedup = %+v", got)
 	}
 	if _, _, err := decodeReplicaState([]byte{0, 0}); err == nil {
 		t.Fatal("short state should fail")
+	}
+}
+
+// TestDedupWindowCrossRingInversion covers the executed-sequence window:
+// a client's commands can reach a replica over several rings, and the
+// deterministic merge may deliver a later sequence before an earlier one.
+// The earlier command must still execute exactly once, while genuine
+// retransmitted duplicates stay suppressed.
+func TestDedupWindowCrossRingInversion(t *testing.T) {
+	var e clientEntry
+	// Seq 6 (e.g. a partition-ring insert) delivered first.
+	if e.executed(6) {
+		t.Fatal("fresh seq 6 marked executed")
+	}
+	e = e.record(6, []byte("r6"))
+	// Seq 5 (e.g. the global-ring split commit) delivered after: inverted,
+	// never executed here — must run.
+	if e.executed(5) {
+		t.Fatal("inverted seq 5 swallowed as duplicate")
+	}
+	e = e.record(5, []byte("r5"))
+	// Both are now duplicates; the cached result is the highest seq's.
+	if !e.executed(5) || !e.executed(6) {
+		t.Fatal("executed seqs not marked")
+	}
+	if string(e.result) != "r6" {
+		t.Fatalf("cached result = %q", e.result)
+	}
+	// Far-future seq resets the window; ancient seqs count as executed.
+	e = e.record(200, []byte("r200"))
+	if e.executed(199) {
+		t.Fatal("unseen seq 199 inside window marked executed")
+	}
+	if !e.executed(100) {
+		t.Fatal("seq beyond the window should count as executed")
+	}
+	if !e.executed(200) || e.seq != 200 {
+		t.Fatalf("entry = %+v", e)
 	}
 }

@@ -7,7 +7,9 @@ import "encoding/binary"
 //
 //	u32 dedupLen | dedup bytes | sm snapshot bytes
 //
-// dedup bytes are repeated (u64 clientID, u64 seq, u32 resultLen, result).
+// dedup bytes are repeated (u64 clientID, u64 seq, u64 bits, u32
+// resultLen, result); bits is the executed-sequence window bitmap (see
+// clientEntry).
 
 func encodeReplicaState(dedup, smState []byte) []byte {
 	out := make([]byte, 0, 4+len(dedup)+len(smState))
@@ -33,6 +35,7 @@ func encodeDedup(m map[uint64]clientEntry) []byte {
 	for id, e := range m {
 		out = binary.BigEndian.AppendUint64(out, id)
 		out = binary.BigEndian.AppendUint64(out, e.seq)
+		out = binary.BigEndian.AppendUint64(out, e.bits)
 		out = binary.BigEndian.AppendUint32(out, uint32(len(e.result)))
 		out = append(out, e.result...)
 	}
@@ -41,15 +44,16 @@ func encodeDedup(m map[uint64]clientEntry) []byte {
 
 func decodeDedup(b []byte) map[uint64]clientEntry {
 	m := make(map[uint64]clientEntry)
-	for len(b) >= 20 {
+	for len(b) >= 28 {
 		id := binary.BigEndian.Uint64(b)
 		seq := binary.BigEndian.Uint64(b[8:])
-		n := int(binary.BigEndian.Uint32(b[16:]))
-		if len(b) < 20+n {
+		bits := binary.BigEndian.Uint64(b[16:])
+		n := int(binary.BigEndian.Uint32(b[24:]))
+		if len(b) < 28+n {
 			break
 		}
-		m[id] = clientEntry{seq: seq, result: append([]byte(nil), b[20:20+n]...)}
-		b = b[20+n:]
+		m[id] = clientEntry{seq: seq, bits: bits, result: append([]byte(nil), b[28:28+n]...)}
+		b = b[28+n:]
 	}
 	return m
 }

@@ -83,6 +83,19 @@ type partMeta struct {
 	ring     msg.RingID
 	addrs    []transport.Addr
 	onGlobal bool
+	// birth, for partitions appended by a live split, records the state
+	// the partition's replicas started from. A recovering replica without
+	// a usable checkpoint restarts from this state and replays its ring
+	// from the first instance; starting from any other state would make
+	// the replayed opMigrate/opActivatePart commands diverge.
+	birth *splitBirth
+}
+
+// splitBirth is the deterministic initial state of a split partition's
+// replicas: warming, at the split's epoch, under the post-split mapping.
+type splitBirth struct {
+	epoch       uint64
+	partitioner Partitioner
 }
 
 // Deployment is a running MRP-Store cluster. The partition topology is
@@ -194,6 +207,11 @@ func (c *DeployConfig) withDefaults() {
 // nodeIDFor gives every replica a stable, unique node ID.
 func nodeIDFor(p, r int) msg.NodeID { return msg.NodeID(p*100 + r + 1) }
 
+// recoverTimeout bounds the checkpoint-exchange conversation of
+// RecoverReplica (a variable so tests can exercise recovery failures
+// without waiting out the production deadline).
+var recoverTimeout = 10 * time.Second
+
 // Deploy builds and starts an MRP-Store cluster.
 func Deploy(cfg DeployConfig) (*Deployment, error) {
 	cfg.withDefaults()
@@ -213,31 +231,20 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	// global ring; rings for split partitions are allocated after those.
 	d.nextRing = msg.RingID(cfg.Partitions + 2)
 
-	// Ring memberships.
-	partPeers := make([][]ringpaxos.Peer, cfg.Partitions)
-	var globalPeers []ringpaxos.Peer
-	for p := 0; p < cfg.Partitions; p++ {
-		for r := 0; r < cfg.Replicas; r++ {
-			peer := ringpaxos.Peer{
-				ID:    nodeIDFor(p, r),
-				Addr:  cfg.AddrFor(p, r),
-				Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
-			}
-			partPeers[p] = append(partPeers[p], peer)
-			gp := peer
-			if r != 0 {
-				// In the global ring only the first replica of each
-				// partition is an acceptor; everyone learns and proposes.
-				gp.Roles = ringpaxos.RoleProposer | ringpaxos.RoleLearner
-			}
-			globalPeers = append(globalPeers, gp)
-		}
-	}
-
+	// Ring memberships are derived from the deployment's schema — the same
+	// builder RecoverReplica uses — so a replica rebuilt after a crash
+	// rejoins rings whose order and roles match the survivors' by
+	// construction.
+	s := d.topologySchema()
 	for p := 0; p < cfg.Partitions; p++ {
 		var hs []*ReplicaHandle
 		for r := 0; r < cfg.Replicas; r++ {
-			h, err := d.buildReplica(p, r, partPeers, globalPeers, 0, nil)
+			members, err := schemaMemberships(s, p, r)
+			if err != nil {
+				d.Stop()
+				return nil, err
+			}
+			h, err := d.buildReplicaAt(p, r, members, nil, nil, nil)
 			if err != nil {
 				d.Stop()
 				return nil, err
@@ -253,14 +260,14 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	return d, nil
 }
 
-// buildReplica constructs (or rebuilds, after a crash) one replica node.
-// start maps each subscribed ring to the delivery start instance; install
-// is an optional recovered checkpoint.
-func (d *Deployment) buildReplica(p, r int, partPeers [][]ringpaxos.Peer, globalPeers []ringpaxos.Peer, _ msg.Instance, install *storage.Checkpoint) (*ReplicaHandle, error) {
-	return d.buildReplicaAt(p, r, partPeers, globalPeers, nil, install)
-}
-
-func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, globalPeers []ringpaxos.Peer, starts map[msg.RingID]msg.Instance, install *storage.Checkpoint) (*ReplicaHandle, error) {
+// buildReplicaAt constructs (or rebuilds, after a crash) one replica node
+// from its schema-derived ring memberships. starts maps each subscribed
+// ring to the delivery start instance (the recovered frontier); install is
+// an optional recovered checkpoint. birth, when non-nil, marks a replica
+// of a partition created by a live split: its state machine starts from
+// the split's deterministic initial state and its ring is joined through
+// the runtime subscription path, the same way the partition first came up.
+func (d *Deployment) buildReplicaAt(p, r int, members []ringMembership, birth *splitBirth, starts map[msg.RingID]msg.Instance, install *storage.Checkpoint) (*ReplicaHandle, error) {
 	cfg := d.cfg
 	h := &ReplicaHandle{
 		Partition: p,
@@ -270,7 +277,7 @@ func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, glob
 		Disk:      storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale)),
 		Ckpt:      storage.NewCheckpointStore(storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale))),
 	}
-	if old := d.handleAt(p, r); old != nil {
+	if old := d.ReplicaAt(p, r); old != nil {
 		// Stable storage survives a crash-recover cycle.
 		h.Disk = old.Disk
 		h.Ckpt = old.Ckpt
@@ -282,32 +289,20 @@ func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, glob
 	}
 	node := multiring.NewNode(nodeIDFor(p, r), ep)
 
-	ringsToJoin := []struct {
-		ring  msg.RingID
-		peers []ringpaxos.Peer
-	}{{d.PartitionRing(p), partPeers[p]}}
-	if cfg.GlobalRing {
-		ringsToJoin = append(ringsToJoin, struct {
-			ring  msg.RingID
-			peers []ringpaxos.Peer
-		}{d.GlobalRingID(), globalPeers})
-	}
-
-	var procs []multiring.DecisionSource
-	for _, rj := range ringsToJoin {
+	ringCfg := func(m ringMembership) ringpaxos.Config {
 		var log *storage.Log
-		if existing, ok := h.Logs[rj.ring]; ok {
+		if existing, ok := h.Logs[m.ring]; ok {
 			log = existing
 		} else {
 			log = storage.NewLogOnDisk(cfg.StorageMode, h.Disk)
-			h.Logs[rj.ring] = log
+			h.Logs[m.ring] = log
 		}
 		aux := &transport.HandlerMux{}
-		h.Aux[rj.ring] = aux
+		h.Aux[m.ring] = aux
 		rcfg := ringpaxos.Config{
-			Ring:          rj.ring,
-			Peers:         rj.peers,
-			Coordinator:   rj.peers[0].ID,
+			Ring:          m.ring,
+			Peers:         m.peers,
+			Coordinator:   m.peers[0].ID,
 			Log:           log,
 			BatchMaxBytes: cfg.BatchMaxBytes,
 			BatchDelay:    cfg.BatchDelay,
@@ -317,17 +312,29 @@ func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, glob
 			Aux:           aux.Handle,
 		}
 		if starts != nil {
-			rcfg.StartInstance = starts[rj.ring]
+			rcfg.StartInstance = starts[m.ring]
 		}
-		proc, err := node.Join(rcfg)
-		if err != nil {
-			return nil, err
+		return rcfg
+	}
+
+	var procs []multiring.DecisionSource
+	if birth == nil {
+		for _, m := range members {
+			proc, err := node.Join(ringCfg(m))
+			if err != nil {
+				return nil, err
+			}
+			procs = append(procs, proc)
 		}
-		procs = append(procs, proc)
 	}
 
 	learner := multiring.NewLearner(cfg.MergeM, procs...)
-	sm := NewSM(p, cfg.Partitioner)
+	var sm *SM
+	if birth != nil {
+		sm = NewSMAt(p, birth.partitioner, birth.epoch, true)
+	} else {
+		sm = NewSM(p, cfg.Partitioner)
+	}
 	rep := smr.NewReplica(smr.ReplicaConfig{
 		Node:            node,
 		Learner:         learner,
@@ -345,6 +352,25 @@ func (d *Deployment) buildReplicaAt(p, r int, partPeers [][]ringpaxos.Peer, glob
 	node.Start()
 	learner.Start()
 	rep.Start()
+
+	if birth != nil {
+		// Runtime subscription path: splice each ring into the running
+		// node and learner at the recovered frontier. The fresh learner
+		// has consumed nothing, so immediate activation is trivially the
+		// same splice point on every replica of the partition.
+		for _, m := range members {
+			rc := ringCfg(m)
+			h.Aux[m.ring].Set(rep.HandleTrimQuery)
+			proc, err := node.Subscribe(rc)
+			if err != nil {
+				rep.Stop()
+				learner.Stop()
+				node.Stop()
+				return nil, err
+			}
+			learner.Subscribe(proc, multiring.Activation{})
+		}
+	}
 
 	h.Node = node
 	h.Learner = learner
@@ -475,60 +501,68 @@ func (d *Deployment) CrashReplica(p, r int) {
 // RecoverReplica restarts a crashed replica: it retrieves the most recent
 // checkpoint from its partition peers (quorum Q_R), installs it, rejoins
 // its rings at the recovered instances, and the rings replay the suffix
-// from the acceptors.
+// from the acceptors. It works for every committed partition — the seed
+// partitions of Deploy and partitions appended by a live split alike —
+// because ring memberships, roles, and subscription points are derived
+// from the deployment's current schema (the same structure published to
+// the coordination service), not from the static deploy config. A split
+// partition's replica re-subscribes its runtime ring at the recovered
+// frontier and resumes redirect behavior from the snapshot's schema state;
+// if no checkpoint survives anywhere, it replays the full ring from the
+// partition's deterministic birth state (warming, at the split's epoch).
 func (d *Deployment) RecoverReplica(p, r int) error {
 	cfg := d.cfg
-	if p >= cfg.Partitions {
-		// Split partitions joined their ring at runtime; rebuilding their
-		// membership is future work (ring retirement / auto-sharding PRs).
-		return fmt.Errorf("store: recovery of split partition %d not supported", p)
+	d.mu.RLock()
+	committed := d.partitioner.N()
+	valid := p >= 0 && p < committed && p < len(d.parts) &&
+		r >= 0 && p < len(d.Replicas) && r < len(d.Replicas[p])
+	var meta partMeta
+	var peers []transport.Addr
+	var s Schema
+	if valid {
+		meta = d.parts[p]
+		for i, other := range d.Replicas[p] {
+			if i != r && other != nil && !other.stopped {
+				peers = append(peers, meta.addrs[i])
+			}
+		}
+		s = d.topologySchema()
 	}
-	recEp, err := cfg.EndpointFor(cfg.AddrFor(p, r) + "-recovery")
+	d.mu.RUnlock()
+	if !valid {
+		// Provisioned-but-uncommitted split partitions (mid-protocol) are
+		// not recoverable: their membership is not part of any schema yet.
+		return fmt.Errorf("store: no committed partition %d replica %d to recover", p, r)
+	}
+	members, err := schemaMemberships(s, p, r)
 	if err != nil {
 		return err
 	}
-	var peers []transport.Addr
-	for i := 0; i < cfg.Replicas; i++ {
-		if i != r && !d.Replicas[p][i].stopped {
-			peers = append(peers, cfg.AddrFor(p, i))
-		}
+
+	recEp, err := cfg.EndpointFor(meta.addrs[r] + "-recovery")
+	if err != nil {
+		return err
 	}
+	// The recovery conversation endpoint is transient: close it on every
+	// path, including Recover errors (it used to leak there).
+	defer func() { _ = recEp.Close() }()
+
 	res, recErr := recovery.Recover(recovery.RecoverConfig{
 		Endpoint: recEp,
 		Peers:    peers,
-		Local:    d.Replicas[p][r].Ckpt,
-		Timeout:  10 * time.Second,
+		Local:    d.ReplicaAt(p, r).Ckpt,
+		Timeout:  recoverTimeout,
 	})
 	if recErr != nil {
 		return recErr
 	}
-	_ = recEp.Close()
 
 	starts := recovery.StartInstances(res.Checkpoint.Tuple)
 	var install *storage.Checkpoint
 	if res.Found {
 		install = &res.Checkpoint
 	}
-
-	// Rebuild ring memberships (identical to Deploy).
-	partPeers := make([][]ringpaxos.Peer, cfg.Partitions)
-	var globalPeers []ringpaxos.Peer
-	for pp := 0; pp < cfg.Partitions; pp++ {
-		for rr := 0; rr < cfg.Replicas; rr++ {
-			peer := ringpaxos.Peer{
-				ID:    nodeIDFor(pp, rr),
-				Addr:  cfg.AddrFor(pp, rr),
-				Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
-			}
-			partPeers[pp] = append(partPeers[pp], peer)
-			gp := peer
-			if rr != 0 {
-				gp.Roles = ringpaxos.RoleProposer | ringpaxos.RoleLearner
-			}
-			globalPeers = append(globalPeers, gp)
-		}
-	}
-	h, err := d.buildReplicaAt(p, r, partPeers, globalPeers, starts, install)
+	h, err := d.buildReplicaAt(p, r, members, meta.birth, starts, install)
 	if err != nil {
 		return err
 	}
@@ -606,9 +640,11 @@ func (d *Deployment) AddPartition(partitioner Partitioner, epoch uint64) (part i
 			Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
 		}
 	}
+	birth := &splitBirth{epoch: epoch, partitioner: partitioner}
+	members := []ringMembership{{ring: ring, peers: peers}}
 	hs := make([]*ReplicaHandle, 0, cfg.Replicas)
 	for r := 0; r < cfg.Replicas; r++ {
-		h, herr := d.buildSplitReplica(part, r, ring, peers, partitioner, epoch)
+		h, herr := d.buildReplicaAt(part, r, members, birth, nil, nil)
 		if herr != nil {
 			for _, built := range hs {
 				built.stopped = true
@@ -622,74 +658,9 @@ func (d *Deployment) AddPartition(partitioner Partitioner, epoch uint64) (part i
 	}
 	d.mu.Lock()
 	d.Replicas = append(d.Replicas, hs)
-	d.parts = append(d.parts, partMeta{ring: ring, addrs: addrs})
+	d.parts = append(d.parts, partMeta{ring: ring, addrs: addrs, birth: birth})
 	d.mu.Unlock()
 	return part, ring, addrs, nil
-}
-
-// buildSplitReplica constructs one replica of a split partition, joining
-// its ring at runtime after the node is already started.
-func (d *Deployment) buildSplitReplica(p, r int, ring msg.RingID, peers []ringpaxos.Peer, partitioner Partitioner, epoch uint64) (*ReplicaHandle, error) {
-	cfg := d.cfg
-	h := &ReplicaHandle{
-		Partition: p,
-		Index:     r,
-		Logs:      make(map[msg.RingID]*storage.Log),
-		Aux:       make(map[msg.RingID]*transport.HandlerMux),
-		Disk:      storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale)),
-		Ckpt:      storage.NewCheckpointStore(storage.NewDisk(cfg.StorageMode.DiskFor().Scale(cfg.DiskScale))),
-	}
-	ep, err := cfg.EndpointFor(cfg.AddrFor(p, r))
-	if err != nil {
-		return nil, err
-	}
-	node := multiring.NewNode(nodeIDFor(p, r), ep)
-	learner := multiring.NewLearner(cfg.MergeM)
-	sm := NewSMAt(p, partitioner, epoch, true)
-	rep := smr.NewReplica(smr.ReplicaConfig{
-		Node:            node,
-		Learner:         learner,
-		SM:              sm,
-		Ckpt:            h.Ckpt,
-		CheckpointEvery: cfg.CheckpointEvery,
-	})
-	node.Service(rep.HandleService)
-	node.Start()
-	learner.Start()
-	rep.Start()
-
-	log := storage.NewLogOnDisk(cfg.StorageMode, h.Disk)
-	h.Logs[ring] = log
-	aux := &transport.HandlerMux{}
-	aux.Set(rep.HandleTrimQuery)
-	h.Aux[ring] = aux
-	proc, err := node.Subscribe(ringpaxos.Config{
-		Ring:          ring,
-		Peers:         peers,
-		Coordinator:   peers[0].ID,
-		Log:           log,
-		BatchMaxBytes: cfg.BatchMaxBytes,
-		BatchDelay:    cfg.BatchDelay,
-		SkipInterval:  cfg.SkipInterval,
-		SkipRate:      cfg.SkipRate,
-		RetryTimeout:  cfg.RetryTimeout,
-		Aux:           aux.Handle,
-	})
-	if err != nil {
-		rep.Stop()
-		learner.Stop()
-		node.Stop()
-		return nil, err
-	}
-	// The learner is empty and has consumed nothing, so immediate
-	// activation is trivially the same splice point on every replica.
-	learner.Subscribe(proc, multiring.Activation{})
-
-	h.Node = node
-	h.Learner = learner
-	h.Replica = rep
-	h.SM = sm
-	return h, nil
 }
 
 // RemovePartition tears down a provisioned-but-uncommitted split

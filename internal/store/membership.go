@@ -1,0 +1,99 @@
+package store
+
+import (
+	"fmt"
+
+	"mrp/internal/msg"
+	"mrp/internal/ringpaxos"
+)
+
+// This file is the single place ring memberships come from: both Deploy
+// and RecoverReplica derive who sits on which ring, in which order, with
+// which Paxos roles, from the versioned Schema — the same structure that
+// is published to the coordination service. Deriving memberships from the
+// schema instead of the static DeployConfig is what makes recovery work
+// for partitions that did not exist at deploy time (live splits).
+
+// ringMembership names one ring a replica subscribes to together with the
+// ring's full peer list in ring order — everything a ringpaxos.Config
+// needs beyond tuning knobs.
+type ringMembership struct {
+	ring  msg.RingID
+	peers []ringpaxos.Peer
+}
+
+// schemaMemberships derives the ring memberships of replica r of partition
+// p from the schema: the partition's own ring (every replica is proposer,
+// acceptor, and learner) plus, when the partition subscribes to the global
+// ring, the global ring (every subscribed replica proposes and learns; the
+// first replica of each subscribed partition is additionally an acceptor,
+// exactly as Deploy wires it).
+func schemaMemberships(s Schema, p, r int) ([]ringMembership, error) {
+	if p < 0 || p >= s.Partitions || p >= len(s.Replicas) {
+		return nil, fmt.Errorf("store: schema (epoch %d) has no partition %d", s.Epoch, p)
+	}
+	if r < 0 || r >= len(s.Replicas[p]) {
+		return nil, fmt.Errorf("store: schema (epoch %d) has no replica %d in partition %d", s.Epoch, r, p)
+	}
+	out := []ringMembership{{ring: s.RingOf(p), peers: partitionPeers(s, p)}}
+	if s.GlobalRing && schemaOnGlobal(s, p) {
+		out = append(out, ringMembership{ring: s.globalRingID(), peers: globalPeers(s)})
+	}
+	return out, nil
+}
+
+// partitionPeers lists partition p's ring members in ring order.
+func partitionPeers(s Schema, p int) []ringpaxos.Peer {
+	peers := make([]ringpaxos.Peer, 0, len(s.Replicas[p]))
+	for r, addr := range s.Replicas[p] {
+		peers = append(peers, ringpaxos.Peer{
+			ID:    nodeIDFor(p, r),
+			Addr:  addr,
+			Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
+		})
+	}
+	return peers
+}
+
+// globalPeers lists the global ring's members: all replicas of every
+// partition subscribed to it, partition-major, so every derivation of the
+// membership — at deploy time or during a recovery — agrees on the ring
+// order.
+func globalPeers(s Schema) []ringpaxos.Peer {
+	var peers []ringpaxos.Peer
+	for p := 0; p < s.Partitions && p < len(s.Replicas); p++ {
+		if !schemaOnGlobal(s, p) {
+			continue
+		}
+		for r, addr := range s.Replicas[p] {
+			peer := ringpaxos.Peer{
+				ID:    nodeIDFor(p, r),
+				Addr:  addr,
+				Roles: ringpaxos.RoleProposer | ringpaxos.RoleLearner,
+			}
+			if r == 0 {
+				// Only the first replica of each partition accepts on the
+				// global ring; everyone learns and proposes.
+				peer.Roles |= ringpaxos.RoleAcceptor
+			}
+			peers = append(peers, peer)
+		}
+	}
+	return peers
+}
+
+// schemaOnGlobal reports whether partition p subscribes to the global
+// ring; schemas published before OnGlobal existed had every partition on
+// it.
+func schemaOnGlobal(s Schema, p int) bool {
+	return p >= len(s.OnGlobal) || s.OnGlobal[p]
+}
+
+// globalRingID returns the global ring's identifier, falling back to the
+// legacy static mapping for schemas published before it was explicit.
+func (s Schema) globalRingID() msg.RingID {
+	if s.GlobalRingID != 0 {
+		return msg.RingID(s.GlobalRingID)
+	}
+	return msg.RingID(s.Partitions + 1)
+}

@@ -69,9 +69,13 @@ type Schema struct {
 	OnGlobal []bool `json:"onGlobal,omitempty"`
 }
 
-// buildSchema snapshots the deployment's committed topology. Callers hold
+// topologySchema snapshots the membership half of the schema — the
+// committed partition count and, per partition, the replica addresses,
+// ring, and global-ring subscription. It is what both Deploy and
+// RecoverReplica feed the schemaMemberships builder, so deployment and
+// recovery agree on ring order and roles by construction. Callers hold
 // d.mu (read or write).
-func (d *Deployment) buildSchema() (Schema, error) {
+func (d *Deployment) topologySchema() Schema {
 	s := Schema{
 		Epoch:      d.epoch,
 		Partitions: d.partitioner.N(),
@@ -80,6 +84,18 @@ func (d *Deployment) buildSchema() (Schema, error) {
 	if d.cfg.GlobalRing {
 		s.GlobalRingID = uint16(d.globalRing())
 	}
+	for p := 0; p < s.Partitions && p < len(d.parts); p++ {
+		s.Replicas = append(s.Replicas, append([]transport.Addr(nil), d.parts[p].addrs...))
+		s.Rings = append(s.Rings, uint16(d.parts[p].ring))
+		s.OnGlobal = append(s.OnGlobal, d.parts[p].onGlobal)
+	}
+	return s
+}
+
+// buildSchema snapshots the deployment's committed topology, including the
+// key-mapping half clients need. Callers hold d.mu (read or write).
+func (d *Deployment) buildSchema() (Schema, error) {
+	s := d.topologySchema()
 	switch p := d.partitioner.(type) {
 	case *HashPartitioner:
 		s.Kind = "hash"
@@ -89,11 +105,6 @@ func (d *Deployment) buildSchema() (Schema, error) {
 		s.Assign = p.Assignments()
 	default:
 		return Schema{}, fmt.Errorf("store: partitioner %T cannot be published", d.partitioner)
-	}
-	for p := 0; p < s.Partitions; p++ {
-		s.Replicas = append(s.Replicas, append([]transport.Addr(nil), d.parts[p].addrs...))
-		s.Rings = append(s.Rings, uint16(d.parts[p].ring))
-		s.OnGlobal = append(s.OnGlobal, d.parts[p].onGlobal)
 	}
 	return s, nil
 }
