@@ -50,8 +50,8 @@ func AblationTransportBatch(opts Options) []AblationRow {
 // one idle ring: with skips the busy ring flows; without, the merge stalls
 // (multicast delivery approaches zero).
 func AblationSkip(opts Options) []AblationRow {
-	withSkips := mergeThroughput(opts, true)
-	withoutSkips := mergeThroughput(opts, false)
+	withSkips := skipMergeThroughput(opts, true)
+	withoutSkips := skipMergeThroughput(opts, false)
 	return []AblationRow{
 		{Name: "rate leveling", Variant: "on (Δ=5ms)", OpsPerSec: withSkips},
 		{Name: "rate leveling", Variant: "off", OpsPerSec: withoutSkips},

@@ -9,6 +9,8 @@
 //	Fig7     MRP-Store horizontal scalability across 4 EC2 regions
 //	Fig8     impact of replica failure and recovery over time
 //	Rebalance impact of a live partition split (elastic rebalancing)
+//	Merge    split → merge round trip with ring retirement (bidirectional
+//	         elasticity)
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
 // one host, not a 32-core cluster), but the shapes — who wins, by what

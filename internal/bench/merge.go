@@ -2,97 +2,185 @@ package bench
 
 import (
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
-	"mrp/internal/msg"
-	"mrp/internal/multiring"
+	"mrp/internal/metrics"
 	"mrp/internal/netsim"
-	"mrp/internal/ringpaxos"
+	"mrp/internal/rebalance"
+	"mrp/internal/registry"
 	"mrp/internal/storage"
-	"mrp/internal/transport"
+	"mrp/internal/store"
+	"mrp/internal/ycsb"
 )
 
-// mergeThroughput drives one busy ring and one idle ring through a
-// two-ring learner and returns the delivered message rate. With rate
-// leveling off, the deterministic merge blocks on the idle ring and the
-// rate collapses — the negative control for the skip mechanism.
-func mergeThroughput(opts Options, skips bool) float64 {
-	net := netsim.New(netsim.WithUniformLatency(50 * time.Microsecond))
+// MergeResult is the bidirectional-elasticity timeline: windowed
+// throughput and latency across a full split → merge round trip under
+// YCSB-A load, with the reconfiguration engine's steps as event markers.
+// The claim extends the Rebalance scenario to the shrink path: both
+// reconfigurations cost a short dip while their range is frozen, the
+// merged-back deployment returns to the pre-split steady state, and the
+// donor's ring is fully retired (its ID recycled by the allocator).
+type MergeResult struct {
+	Samples []metrics.Sample
+	Events  []metrics.Event
+	// SteadyOps is pre-split throughput, MergedOps the steady state after
+	// the merge returned the deployment to its original shape.
+	SteadyOps, MergedOps float64
+	// SplitDuration and MergeDuration are the wall times of the two
+	// reconfigurations end to end.
+	SplitDuration, MergeDuration time.Duration
+	// MovedKeys is how many records changed ownership in the merge.
+	MovedKeys int
+	// RingRetired reports that the donor's ring left the topology.
+	RingRetired bool
+}
+
+// Merge measures the split → merge round trip: a two-partition
+// range-partitioned MRP-Store under a closed-loop YCSB-A workload splits
+// partition 1 at the key-space three-quarter point, runs three-partition
+// for a while, then merges the split-born partition back and retires its
+// ring, all mid-run.
+func Merge(opts Options) MergeResult {
+	total := time.Duration(8 * opts.PointSeconds * float64(time.Second))
+	splitAt := total * 3 / 10
+	mergeAt := total * 6 / 10
+	window := total / 24
+
+	net := netsim.New(
+		netsim.WithUniformLatency(50*time.Microsecond),
+		netsim.WithBandwidth(10<<30/8),
+	)
 	defer net.Close()
-
-	const nodes = 3
-	rings := []msg.RingID{1, 2}
-	peersFor := func() []ringpaxos.Peer {
-		peers := make([]ringpaxos.Peer, nodes)
-		for i := range peers {
-			peers[i] = ringpaxos.Peer{
-				ID:    msg.NodeID(i + 1),
-				Addr:  transport.Addr(fmt.Sprintf("merge-n%d", i)),
-				Roles: ringpaxos.RoleProposer | ringpaxos.RoleAcceptor | ringpaxos.RoleLearner,
-			}
-		}
-		return peers
+	records := opts.Records
+	d, err := store.Deploy(store.DeployConfig{
+		Net:         net,
+		Partitions:  2,
+		Replicas:    3,
+		GlobalRing:  true,
+		Partitioner: store.NewRangePartitioner([]string{ycsb.Key(records / 2)}),
+		StorageMode: storage.InMemory,
+		// Rate leveling at the paper's λ (Section 4): the merge of busy
+		// partition rings with the mostly idle global ring must advance at
+		// least as fast as the offered load.
+		SkipInterval: 5 * time.Millisecond,
+		SkipRate:     9000,
+		RetryTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
 	}
-	var nodesList []*multiring.Node
-	for i := 0; i < nodes; i++ {
-		node := multiring.NewNode(msg.NodeID(i+1), net.Endpoint(transport.Addr(fmt.Sprintf("merge-n%d", i))))
-		for _, r := range rings {
-			cfg := ringpaxos.Config{
-				Ring:         r,
-				Peers:        peersFor(),
-				Coordinator:  1,
-				Log:          storage.NewLog(storage.InMemory),
-				BatchDelay:   time.Millisecond,
-				RetryTimeout: 200 * time.Millisecond,
-			}
-			if skips {
-				cfg.SkipInterval = 5 * time.Millisecond
-				cfg.SkipRate = 2000
-			}
-			if _, err := node.Join(cfg); err != nil {
-				panic(err)
-			}
-		}
-		node.Start()
-		nodesList = append(nodesList, node)
+	defer d.Stop()
+	reg := registry.New()
+	if err := d.PublishSchema(reg); err != nil {
+		panic(err)
 	}
-	defer func() {
-		for _, n := range nodesList {
-			n.Stop()
-		}
-	}()
+	var recs []store.Entry
+	for _, o := range ycsb.Load(ycsb.Config{RecordCount: records, ValueSize: 100}) {
+		recs = append(recs, store.Entry{Key: o.Key, Value: o.Value})
+	}
+	d.Preload(recs)
 
-	p1, _ := nodesList[1].Process(1)
-	p2, _ := nodesList[1].Process(2)
-	learner := multiring.NewLearner(1, p1, p2)
-	learner.Start()
-	defer learner.Stop()
+	tl := metrics.NewTimeline(window)
+	coord, err := rebalance.New(rebalance.Config{
+		Store:    d,
+		Registry: reg,
+		OnStep:   func(s string) { tl.Mark(time.Now(), s) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer coord.Close()
 
-	deadline := time.Now().Add(opts.point())
-	stop := make(chan struct{})
-	delivered := 0
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for {
-			select {
-			case d := <-learner.Deliveries():
-				if !d.Skip {
-					delivered++
+	threads := opts.Clients / 4
+	if threads < 4 {
+		threads = 4
+	}
+	deadline := time.Now().Add(total)
+	var wg sync.WaitGroup
+	for ti := 0; ti < threads; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			cl := d.NewClient()
+			defer cl.Close()
+			gen := ycsb.New(ycsb.Config{Workload: ycsb.WorkloadA, RecordCount: records, ValueSize: 100, Seed: int64(ti)})
+			for time.Now().Before(deadline) {
+				o := gen.Next()
+				start := time.Now()
+				var err error
+				switch o.Kind {
+				case ycsb.OpRead:
+					_, err = cl.Read(o.Key)
+				case ycsb.OpUpdate:
+					err = cl.Update(o.Key, o.Value)
+				default:
+					continue
 				}
-			case <-stop:
-				return
+				if err != nil {
+					continue
+				}
+				tl.RecordOp(time.Now(), time.Since(start))
 			}
-		}
-	}()
-	payload := make([]byte, 128)
-	for time.Now().Before(deadline) {
-		// Only ring 1 carries traffic; ring 2 stays idle.
-		_ = nodesList[0].Multicast(1, payload)
-		time.Sleep(200 * time.Microsecond)
+		}(ti)
 	}
-	time.Sleep(50 * time.Millisecond)
-	close(stop)
-	<-done
-	return float64(delivered) / opts.PointSeconds
+
+	res := MergeResult{}
+	var injectWG sync.WaitGroup
+	injectWG.Add(1)
+	go func() {
+		defer injectWG.Done()
+		time.Sleep(splitAt)
+		tl.Mark(time.Now(), "split initiated")
+		start := time.Now()
+		newPart, err := coord.SplitPartition(1, ycsb.Key(records*3/4))
+		if err != nil {
+			tl.Mark(time.Now(), "split failed: "+err.Error())
+			return
+		}
+		res.SplitDuration = time.Since(start)
+
+		time.Sleep(mergeAt - splitAt - res.SplitDuration)
+		tl.Mark(time.Now(), "merge initiated")
+		start = time.Now()
+		if err := coord.MergePartitions(1, newPart); err != nil {
+			tl.Mark(time.Now(), "merge failed: "+err.Error())
+			return
+		}
+		res.MergeDuration = time.Since(start)
+		res.MovedKeys = records - records*3/4
+		res.RingRetired = d.PartitionRing(newPart) == 0
+	}()
+	wg.Wait()
+	injectWG.Wait()
+
+	samples := tl.Samples()
+	res.Samples = samples
+	res.Events = tl.Events()
+	splitIdx := int(splitAt / window)
+	mergeIdx := int(mergeAt / window)
+	res.SteadyOps = meanThroughput(samples, 1, splitIdx)
+	res.MergedOps = meanThroughput(samples, mergeIdx+3, len(samples)-1)
+	opts.logf("merge round trip steady=%.0f merged=%.0f ops/s (split %v, merge %v, %d keys returned, ring retired=%v)",
+		res.SteadyOps, res.MergedOps, res.SplitDuration, res.MergeDuration, res.MovedKeys, res.RingRetired)
+	return res
+}
+
+// RenderMerge prints the split → merge elasticity timeline.
+func RenderMerge(w io.Writer, res MergeResult) {
+	fmt.Fprintln(w, "Merge — split → merge round trip under YCSB-A load (bidirectional elasticity)")
+	fmt.Fprintf(w, "steady=%.0f ops/s  merged=%.0f ops/s  (split %s, merge %s, %d keys returned, ring retired=%v)\n",
+		res.SteadyOps, res.MergedOps,
+		res.SplitDuration.Round(time.Millisecond), res.MergeDuration.Round(time.Millisecond),
+		res.MovedKeys, res.RingRetired)
+	fmt.Fprintln(w, "events:")
+	for _, e := range res.Events {
+		fmt.Fprintf(w, "  %8s  %s\n", e.At.Round(10*time.Millisecond), e.Label)
+	}
+	fmt.Fprintln(w, "timeline (window, ops/s, mean latency):")
+	for _, s := range res.Samples {
+		fmt.Fprintf(w, "  %8s %10.0f %12s\n",
+			s.At.Round(10*time.Millisecond), s.Throughput, s.MeanLat.Round(100*time.Microsecond))
+	}
 }

@@ -1,0 +1,75 @@
+package multiring
+
+import (
+	"fmt"
+	"testing"
+
+	"mrp/internal/msg"
+)
+
+// TestLearnerUnsubscribeSpliceTimingIndependent mirrors the rejoin
+// determinism tests for the splice-out path ring retirement relies on:
+// learners that request Unsubscribe at different wall-clock times — one
+// before consuming anything, one mid-stream — but with the same Activation
+// point must deliver identical global orders, with nothing consumed from
+// the ring after the splice.
+func TestLearnerUnsubscribeSpliceTimingIndependent(t *testing.T) {
+	script := []feed{
+		{ring: 1, inst: 1, payload: "a1"},
+		{ring: 1, inst: 2, payload: "a2"},
+		{ring: 1, inst: 3, payload: "a3"},
+		{ring: 1, inst: 4, payload: "a4"},
+		{ring: 2, inst: 1, payload: "b1"},
+		{ring: 2, inst: 2, payload: "b2"},
+		{ring: 2, inst: 3, payload: "b3"},
+	}
+	act := Activation{Ring: 2, Instance: 2}
+	const total = 6 // a1 b1 a2 b2 a3 a4
+
+	// Learner A requests the splice before its merge starts.
+	srcA := replay(t, script, 1, 2)
+	la := NewLearner(1, srcA[1], srcA[2])
+	la.Unsubscribe(2, act)
+	la.Start()
+	defer la.Stop()
+	seqA := collect(t, la, total)
+
+	// Learner B requests it while the merge is mid-flight: a prefix below
+	// the trigger instance is consumed first (per the Activation contract
+	// the trigger must still be in the merge's future at request time),
+	// then the splice is requested, then the rest of the stream arrives.
+	srcB := map[msg.RingID]*fakeSource{
+		1: newFakeSource(1, len(script)+1),
+		2: newFakeSource(2, len(script)+1),
+	}
+	lb := NewLearner(1, srcB[1], srcB[2])
+	lb.Start()
+	defer lb.Stop()
+	srcB[1].decide(1, "a1")
+	srcB[2].decide(1, "b1")
+	prefix := collect(t, lb, 2)
+	lb.Unsubscribe(2, act)
+	for _, f := range script {
+		if f.inst == 1 {
+			continue // already fed
+		}
+		srcB[f.ring].decide(f.inst, f.payload)
+	}
+	seqB := append(prefix, collect(t, lb, total-2)...)
+
+	if fmt.Sprint(seqA) != fmt.Sprint(seqB) {
+		t.Fatalf("splice-out order depends on request time:\n A: %v\n B: %v", seqA, seqB)
+	}
+	// Nothing of ring 2 past the activation point is delivered, and the
+	// ring leaves the rotation on both learners.
+	for _, s := range seqA {
+		if s == "r2:b3" {
+			t.Fatalf("ring 2 delivered past the splice: %v", seqA)
+		}
+	}
+	for i, l := range []*Learner{la, lb} {
+		if rings := l.Rings(); len(rings) != 1 || rings[0] != 1 {
+			t.Fatalf("learner %d rings after splice = %v", i, rings)
+		}
+	}
+}

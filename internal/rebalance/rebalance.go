@@ -1,82 +1,169 @@
-// Package rebalance implements elastic rebalancing for MRP-Store: an
-// online repartitioning coordinator that splits a partition onto a freshly
-// subscribed ring with zero downtime and no consistency loss — the growth
-// path behind the paper's scalability claim (Sections 5 and 7.2: processes
+// Package rebalance implements bidirectional elasticity for MRP-Store: an
+// ordered reconfiguration engine that repartitions a live deployment with
+// zero downtime and no consistency loss — the growth and shrink paths
+// behind the paper's scalability claim (Sections 5 and 7.2: processes
 // subscribe to additional rings, and services are repartitioned across
 // them, while the partitioning schema lives in the coordination service).
 //
-// # Protocol
+// # The reconfiguration engine
 //
-// SplitPartition(src, splitKey) moves the key range [splitKey, hi) of
-// partition src to a brand-new partition in six totally-ordered steps:
+// Every topology change is one Plan executed in ordered phases:
 //
-//  1. Provision — build the new partition's replicas on a freshly
-//     allocated ring via the runtime subscription path
-//     (multiring.Node.Subscribe, Learner.Subscribe). Their state machines
-//     start "warming": they reject every client command.
-//  2. Prepare — an opPrepareSplit command ordered through the global ring
-//     (or the source partition's ring when no global ring is deployed)
-//     makes every replica adopt the post-split key mapping at the same
-//     logical point. The source partition freezes the moved range —
-//     commands addressing it now get the typed wrong-epoch redirect — and
-//     returns its entries.
+//  1. Provision — (splits) build the destination partition's replicas on a
+//     ring from the allocator (recycling retired ring IDs) via the runtime
+//     subscription path (multiring.Node.Subscribe, Learner.Subscribe).
+//     Their state machines start "warming": they reject every client
+//     command. Merges skip this phase — their destination already serves.
+//  2. Prepare — ordered opPrepareReconfig commands freeze the donor side
+//     at one logical point of the delivery order: a split freezes the
+//     moved range [splitKey, hi) and installs the post-split mapping on
+//     every replica of the ordering ring; a merge first arms the survivor
+//     to accept migrate chunks (destination prepare on its ring), then
+//     freezes the donor's whole range (donor prepare on its ring). The
+//     frozen entries come back with the donor's reply.
 //  3. Copy — the frozen entries are streamed in chunks as opMigrate
-//     commands on the new ring, replicating them through consensus to all
-//     new replicas.
-//  4. Activate — an opActivatePart command on the new ring, ordered after
-//     every chunk, ends warming: any replica that serves a client command
-//     has installed the complete range first.
+//     commands on the destination's ring, replicating them through
+//     consensus to all destination replicas.
+//  4. Activate — (splits) an opActivatePart command on the new ring,
+//     ordered after every chunk, ends warming: any replica that serves a
+//     client command has installed the complete range first. A merge's
+//     activation is its commit (below), ordered the same way.
 //  5. Publish — the deployment adopts the new partitioner/epoch and the
 //     schema is republished to the registry with compare-and-set, so a
 //     concurrent publisher is detected instead of overwritten. Watching
 //     clients refresh; stale clients keep self-correcting via redirects.
-//  6. Commit — an opCommitSplit command ordered through the same ring as
-//     Prepare flips ownership: the source drops the moved range and all
-//     replicas adopt the new epoch.
+//  6. Commit — an ordered opCommitReconfig flips ownership: a split's
+//     source drops the moved range; a merge's survivor adopts the merged
+//     mapping — the donor's partition index falls out of the assignment
+//     without renumbering anyone — and starts serving the donor's range.
+//  7. Teardown — (merges) the drained donor ring is retired cluster-wide:
+//     every donor replica splices the ring out of its deterministic merge
+//     (Learner.Unsubscribe), unsubscribes it at the node
+//     (Node.Unsubscribe), and stops; the ring ID returns to the allocator
+//     for the next split to recycle (store.Deployment.RetirePartition).
 //
-// Between Prepare and Publish, commands on the moved range are redirected
+// Between Prepare and Commit, commands on the frozen range are redirected
 // and retried by the client (a freeze window proportional to the moved
 // data, not downtime: every command eventually succeeds and all other
 // ranges are served throughout). No client op is lost and no stale value
-// is served: writes to the moved range are impossible while frozen, and
-// reads are only served by the new partition after it holds the full
-// range.
+// is served: writes to the frozen range are impossible while frozen, and
+// reads are only served by the new owner after it holds the full range.
 //
-// # Crash recovery after a split
+// # Ordered abort
 //
-// Once a split commits, the new partition is a first-class member of the
-// schema, and its replicas recover exactly like seed replicas: the store's
-// recovery path (store.Deployment.RecoverReplica) derives ring membership,
-// roles, and subscription points from the schema rather than the static
-// deploy config, gathers a checkpoint from a quorum Q_R of partition
-// peers (internal/recovery), re-subscribes the runtime ring at the
-// recovered frontier, and replays the suffix from the acceptors. A
-// replica with no usable checkpoint replays the full ring from the
-// partition's deterministic birth state — warming, at the split's epoch —
-// so the replayed migration chunks and activation command apply exactly
-// as they originally did. The acceptance test kills and recovers a
-// new-partition replica under the concurrent YCSB-A workload to pin this
-// down. Only a provisioned-but-uncommitted partition (a split that died
-// mid-protocol) is unrecoverable: its membership is not part of any
-// schema yet; roll it back with RemovePartition instead.
+// The inverse of Prepare is the ordered opAbortReconfig command: replicas
+// holding pending state at the aborted epoch restore the pre-prepare
+// mapping, unfreeze frozen ranges, and drop half-transferred entries;
+// everyone else treats it as an idempotent duplicate. A failure during
+// copy or activation therefore rolls the whole plan back instead of
+// leaving the range frozen forever. Before its first ordered command the
+// engine records the plan as an intent record in the coordination service;
+// a coordinator that dies between prepare and commit is recovered by a
+// successor calling ResolvePending, which aborts an uncommitted plan (or
+// rolls a published one forward). What remains of coordinator failover is
+// electing that successor automatically — a lease on the coordinator role
+// in the registry (see ROADMAP).
+//
+// # Crash recovery of replicas
+//
+// Committed partitions — seed, split-born, and merge survivors alike —
+// recover through store.Deployment.RecoverReplica, which derives ring
+// membership from the schema. Because every schema transition (prepare,
+// commit, abort) is an ordered command, a replica replaying its ring
+// reproduces the exact same state — including a prepare that was later
+// aborted. Only a provisioned-but-uncommitted partition is unrecoverable:
+// its membership is not part of any schema yet; roll it back with
+// ResolvePending (or store.Deployment.RemovePartition).
 package rebalance
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 
+	"mrp/internal/msg"
 	"mrp/internal/registry"
 	"mrp/internal/store"
 )
+
+// reconfigPath is where the engine's intent record lives in the
+// coordination service: the plan of the reconfiguration currently in
+// flight, recorded before its first ordered command so a successor
+// coordinator can resolve it after a crash.
+const reconfigPath = "/mrp-store/reconfig"
+
+// PlanKind names the two reconfigurations the engine executes.
+type PlanKind string
+
+const (
+	// PlanSplit carves a key range out of a partition onto a freshly
+	// provisioned partition and ring.
+	PlanSplit PlanKind = "split"
+	// PlanMerge streams a donor partition into an adjacent survivor and
+	// retires the donor's ring.
+	PlanMerge PlanKind = "merge"
+)
+
+// Plan phases recorded in the intent record.
+const (
+	// phasePrepared: ordered prepares may have happened, the commit has
+	// not; resolving this plan means aborting it.
+	phasePrepared = "prepared"
+	// phasePublished: the schema CAS succeeded; resolving this plan means
+	// rolling it forward (commit, and for merges the donor teardown).
+	phasePublished = "published"
+)
+
+// Plan is one reconfiguration: the donor range being frozen, the
+// destination receiving it, the rings ordering each phase, and the schema
+// transition being published. It doubles as the intent record persisted to
+// the coordination service, so it carries everything a successor
+// coordinator needs to abort or finish the plan — including the
+// pre-reconfiguration mapping for the rollback.
+type Plan struct {
+	Kind  PlanKind `json:"kind"`
+	Epoch uint64   `json:"epoch"`
+	// Donor is the partition losing a range: the split source, or the
+	// merge partition being drained and retired.
+	Donor int `json:"donor"`
+	// Dest is the partition gaining the range: the split's new partition,
+	// or the merge survivor.
+	Dest int `json:"dest"`
+	// SplitKey is the lower bound of the moved range (splits only).
+	SplitKey string `json:"splitKey,omitempty"`
+	// DonorVia is the ring ordering the donor's prepare/abort/commit: the
+	// global ring when the donor subscribes to it, else the donor's own.
+	DonorVia uint16 `json:"donorVia"`
+	// DestRing is the destination's ring: migrate chunks, activation, and
+	// (merges) the commit are ordered on it.
+	DestRing uint16 `json:"destRing"`
+	// SchemaVersion is the registry CAS token the publish supersedes.
+	SchemaVersion uint64 `json:"schemaVersion"`
+	// Provisioned records that the plan created Dest (aborts remove it).
+	Provisioned bool `json:"provisioned"`
+	// Phase is the recovery watermark: phasePrepared until the schema CAS,
+	// phasePublished after.
+	Phase string `json:"phase"`
+	// PrevBounds/PrevAssign record the pre-reconfiguration mapping, so an
+	// abort can revert the deployment even from a successor process.
+	PrevBounds []string `json:"prevBounds"`
+	PrevAssign []int    `json:"prevAssign"`
+}
+
+// prevPartitioner rebuilds the pre-reconfiguration mapping.
+func (p *Plan) prevPartitioner() (store.Partitioner, error) {
+	return store.NewRangePartitionerAssigned(p.PrevBounds, p.PrevAssign)
+}
 
 // Config parametrizes a rebalance coordinator.
 type Config struct {
 	// Store is the deployment to rebalance.
 	Store *store.Deployment
-	// Registry is the coordination service the schema is published to.
-	// Optional: without it, clients refresh from the deployment's live
-	// topology only.
+	// Registry is the coordination service the schema and the intent
+	// record are published to. Optional: without it, clients refresh from
+	// the deployment's live topology only and crashed plans can only be
+	// resolved by the same process.
 	Registry *registry.Registry
 	// ChunkEntries bounds how many entries one migration command carries
 	// (default 256 — the paper's clients batch commands the same way,
@@ -88,7 +175,7 @@ type Config struct {
 }
 
 // Coordinator orders online repartitioning commands for one deployment.
-// At most one split runs at a time (CAS on the published schema would
+// At most one plan runs at a time (CAS on the published schema would
 // reject a concurrent coordinator on another process).
 type Coordinator struct {
 	cfg Config
@@ -96,7 +183,22 @@ type Coordinator struct {
 	mu     sync.Mutex
 	client *store.Client
 	splits int
+	merges int
+	aborts int
+	// pending is the in-memory intent record (the registry holds the
+	// durable copy when configured).
+	pending *Plan
+
+	// failpoint, when set (tests), is consulted after each completed step;
+	// returning an error injects a failure there, and errCrash simulates
+	// the coordinator process dying on the spot (no abort runs).
+	failpoint func(step string) error
 }
+
+// errCrash is the test failpoint's "the coordinator process died here"
+// signal: the engine returns immediately without running its abort path,
+// leaving the intent record for ResolvePending.
+var errCrash = errors.New("rebalance: simulated coordinator crash")
 
 // New creates a coordinator for the deployment.
 func New(cfg Config) (*Coordinator, error) {
@@ -123,10 +225,116 @@ func (c *Coordinator) Splits() int {
 	return c.splits
 }
 
-func (c *Coordinator) step(s string) {
+// Merges returns how many merges completed.
+func (c *Coordinator) Merges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merges
+}
+
+// Aborts returns how many plans were rolled back with the ordered abort.
+func (c *Coordinator) Aborts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborts
+}
+
+// step reports a completed protocol step and consults the test failpoint.
+func (c *Coordinator) step(s string) error {
 	if c.cfg.OnStep != nil {
 		c.cfg.OnStep(s)
 	}
+	if c.failpoint != nil {
+		return c.failpoint(s)
+	}
+	return nil
+}
+
+// schemaVersion captures the CAS token for the next publish. A registry
+// without a published schema is a legitimate zero token; every other load
+// failure (corrupt node) is surfaced — swallowing it here used to turn a
+// registry hiccup into a confusing publish failure much later.
+func (c *Coordinator) schemaVersion() (uint64, error) {
+	if c.cfg.Registry == nil {
+		return 0, nil
+	}
+	_, v, err := store.LoadSchemaAt(c.cfg.Registry)
+	if err != nil && !errors.Is(err, store.ErrNoSchema) {
+		return 0, fmt.Errorf("rebalance: reading schema version: %w", err)
+	}
+	return v, nil
+}
+
+// orderingRing returns the ring that orders a partition's reconfiguration
+// commands: the global ring when the deployment has one and the partition
+// subscribes to it, so every partition applies the change at the same
+// logical point of the merged delivery order; a partition off the global
+// ring (born from a split) orders them through its own ring — other
+// partitions' ownership is unaffected, so that is sufficient.
+func (c *Coordinator) orderingRing(p int) msg.RingID {
+	d := c.cfg.Store
+	via := d.GlobalRingID()
+	if via == 0 || !d.PartitionOnGlobal(p) {
+		via = d.PartitionRing(p)
+	}
+	return via
+}
+
+// recordIntent persists the plan (memory always, registry when
+// configured) so a successor coordinator can resolve it after a crash.
+func (c *Coordinator) recordIntent(p *Plan) {
+	c.pending = p
+	if c.cfg.Registry == nil {
+		return
+	}
+	if data, err := json.Marshal(p); err == nil {
+		c.cfg.Registry.Set(reconfigPath, data)
+	}
+}
+
+// clearIntent removes the intent record once the plan is fully resolved.
+func (c *Coordinator) clearIntent() {
+	c.pending = nil
+	if c.cfg.Registry != nil {
+		c.cfg.Registry.Delete(reconfigPath)
+	}
+}
+
+// checkNoPending refuses to start a plan while an unresolved intent
+// record exists — a crashed or abort-failed predecessor. Starting anyway
+// would overwrite the record, making the stuck plan (and its frozen
+// range) unrecoverable.
+func (c *Coordinator) checkNoPending() error {
+	p, err := c.loadIntent()
+	if err != nil {
+		return err
+	}
+	if p != nil {
+		return fmt.Errorf("rebalance: unresolved %s reconfiguration at epoch %d (phase %s); run ResolvePending first",
+			p.Kind, p.Epoch, p.Phase)
+	}
+	return nil
+}
+
+// loadIntent returns the plan to resolve: the in-memory record, else the
+// registry's.
+func (c *Coordinator) loadIntent() (*Plan, error) {
+	if c.pending != nil {
+		cp := *c.pending
+		return &cp, nil
+	}
+	if c.cfg.Registry == nil {
+		return nil, nil
+	}
+	data, _, ok := c.cfg.Registry.Get(reconfigPath)
+	if !ok || len(data) == 0 {
+		return nil, nil
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("rebalance: corrupt intent record: %w", err)
+	}
+	return &p, nil
 }
 
 // SplitPartition splits the key range [splitKey, hi) out of partition src
@@ -137,6 +345,9 @@ func (c *Coordinator) SplitPartition(src int, splitKey string) (int, error) {
 	defer c.mu.Unlock()
 	d := c.cfg.Store
 
+	if err := c.checkNoPending(); err != nil {
+		return 0, err
+	}
 	cur, ok := d.Partitioner().(*store.RangePartitioner)
 	if !ok {
 		return 0, fmt.Errorf("rebalance: split requires range partitioning, deployment uses %T", d.Partitioner())
@@ -154,88 +365,322 @@ func (c *Coordinator) SplitPartition(src int, splitKey string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// The CAS token: the schema version this split supersedes.
-	var schemaVersion uint64
-	if c.cfg.Registry != nil {
-		if _, v, err := store.LoadSchemaAt(c.cfg.Registry); err == nil {
-			schemaVersion = v
-		}
-	}
-
-	// 1. Provision the new partition's replicas on a fresh ring.
-	part, ring, addrs, err := d.AddPartition(next, epoch)
+	version, err := c.schemaVersion()
 	if err != nil {
 		return 0, err
 	}
-	if part != newPart {
-		// A previous failed split left an orphan partition behind; wiring
-		// this one up would route the moved range to the wrong replicas.
-		_ = d.RemovePartition(part)
-		return 0, fmt.Errorf("rebalance: deployment has %d partitions provisioned but %d committed; resolve the stale partition first",
-			part, newPart)
-	}
-	c.client.AddRoute(ring, addrs)
-	c.step("provision")
-
-	// Splits and commits are ordered through the global ring when the
-	// deployment has one and the source subscribes to it, so every
-	// partition applies them at the same logical point of the merged
-	// delivery order. A source off the global ring (itself born from a
-	// split) orders them through its own ring — other partitions'
-	// ownership is unaffected by this split, so that is sufficient.
-	via := d.GlobalRingID()
-	if via == 0 || !d.PartitionOnGlobal(src) {
-		via = d.PartitionRing(src)
+	plan := &Plan{
+		Kind: PlanSplit, Epoch: epoch, Donor: src, Dest: newPart,
+		SplitKey: splitKey, DonorVia: uint16(c.orderingRing(src)),
+		SchemaVersion: version, Phase: phasePrepared,
+		PrevBounds: cur.Bounds(), PrevAssign: cur.Assignments(),
 	}
 
-	// 2. Prepare: freeze and collect the moved range. A failure here means
-	// the freeze was (almost certainly) never ordered — validation errors
-	// and unreachable rings, against a 20 s deadline that dwarfs ordering
-	// latency — so the provisioned partition is rolled back. Failures
-	// after this point leave the split half-applied on purpose: undoing a
-	// frozen range needs an ordered abort command (future work, like
-	// split-partition recovery), not a silent local rollback.
-	moved, err := c.client.PrepareSplit(via, src, splitKey, newPart, epoch)
+	// 1. Provision the new partition's replicas on a ring from the
+	// allocator (recycling retired ring IDs before minting new ones).
+	ring, addrs, err := d.AddPartition(next, newPart, epoch)
 	if err != nil {
-		_ = d.RemovePartition(newPart)
-		return 0, fmt.Errorf("rebalance: prepare: %w", err)
+		return 0, err
 	}
-	c.step("prepare")
+	plan.DestRing = uint16(ring)
+	plan.Provisioned = true
+	c.client.AddRoute(ring, addrs)
+	c.recordIntent(plan)
+	if err := c.step("provision"); err != nil {
+		return 0, c.failed(plan, "provision", err)
+	}
+
+	if err := c.runSplit(plan, next); err != nil {
+		return 0, err
+	}
+	c.splits++
+	return newPart, nil
+}
+
+// runSplit executes the ordered phases of a recorded split plan.
+func (c *Coordinator) runSplit(plan *Plan, next store.Partitioner) error {
+	d := c.cfg.Store
+	via := msg.RingID(plan.DonorVia)
+	ring := msg.RingID(plan.DestRing)
+
+	// 2. Prepare: freeze and collect the moved range.
+	moved, err := c.client.PrepareSplit(via, plan.Donor, plan.SplitKey, plan.Dest, plan.Epoch)
+	if err != nil {
+		return c.failed(plan, "prepare", err)
+	}
+	if err := c.step("prepare"); err != nil {
+		return c.failed(plan, "prepare", err)
+	}
 
 	// 3. Copy the range onto the new ring, chunked.
+	if err := c.copyChunks(ring, plan.Dest, plan.Epoch, moved); err != nil {
+		return c.failed(plan, "copy", err)
+	}
+	if err := c.step("copy"); err != nil {
+		return c.failed(plan, "copy", err)
+	}
+
+	// 4. Activate the new partition.
+	if err := c.client.ActivatePartition(ring, plan.Dest, plan.Epoch); err != nil {
+		return c.failed(plan, "activate", err)
+	}
+	if err := c.step("activate"); err != nil {
+		return c.failed(plan, "activate", err)
+	}
+
+	// 5. Publish the new schema (CAS) and adopt it locally.
+	d.AdoptReconfig(plan.Epoch, next)
+	if err := c.publish(plan); err != nil {
+		return c.failed(plan, "publish", err)
+	}
+	if err := c.step("publish"); err != nil {
+		return c.failed(plan, "publish", err)
+	}
+
+	// 6. Commit: flip ownership and drop the frozen range at the source.
+	if err := c.client.CommitSplit(via, plan.Donor, plan.Epoch); err != nil {
+		return fmt.Errorf("rebalance: commit: %w (schema already published; resolve with ResolvePending)", err)
+	}
+	if err := c.step("commit"); err != nil && !errors.Is(err, errCrash) {
+		return err
+	}
+	c.clearIntent()
+	return nil
+}
+
+// MergePartitions streams partition donor into the adjacent partition
+// survivor, live, then retires the donor's ring: the inverse of
+// SplitPartition. The donor's index drops out of the published assignment
+// without renumbering any surviving partition, and its ring ID returns to
+// the allocator for the next split to recycle. The donor must not
+// subscribe to the global ring (its nodes are torn down whole; partitions
+// born from a split never subscribe, and deployments without a global ring
+// are unrestricted).
+func (c *Coordinator) MergePartitions(survivor, donor int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.cfg.Store
+
+	if err := c.checkNoPending(); err != nil {
+		return err
+	}
+	cur, ok := d.Partitioner().(*store.RangePartitioner)
+	if !ok {
+		return fmt.Errorf("rebalance: merge requires range partitioning, deployment uses %T", d.Partitioner())
+	}
+	next, err := cur.Merge(donor, survivor)
+	if err != nil {
+		return fmt.Errorf("rebalance: %w", err)
+	}
+	if d.GlobalRingID() != 0 && d.PartitionOnGlobal(donor) {
+		return fmt.Errorf("rebalance: donor partition %d subscribes to the global ring; only partitions off it (e.g. born from a split) can be merged away", donor)
+	}
+	epoch := d.Epoch() + 1
+	version, err := c.schemaVersion()
+	if err != nil {
+		return err
+	}
+	plan := &Plan{
+		Kind: PlanMerge, Epoch: epoch, Donor: donor, Dest: survivor,
+		DonorVia: uint16(d.PartitionRing(donor)), DestRing: uint16(d.PartitionRing(survivor)),
+		SchemaVersion: version, Phase: phasePrepared,
+		PrevBounds: cur.Bounds(), PrevAssign: cur.Assignments(),
+	}
+	c.recordIntent(plan)
+
+	if err := c.runMerge(plan, next); err != nil {
+		return err
+	}
+	c.merges++
+	return nil
+}
+
+// runMerge executes the ordered phases of a recorded merge plan.
+func (c *Coordinator) runMerge(plan *Plan, next store.Partitioner) error {
+	d := c.cfg.Store
+	donorRing := msg.RingID(plan.DonorVia)
+	destRing := msg.RingID(plan.DestRing)
+
+	// 2a. Prepare the survivor: arm it to accept epoch-tagged chunks.
+	if err := c.client.PrepareMergeDest(destRing, plan.Donor, plan.Dest, plan.Epoch); err != nil {
+		return c.failed(plan, "prepare", err)
+	}
+	// 2b. Prepare the donor: freeze its whole range and collect it.
+	moved, err := c.client.PrepareMergeDonor(donorRing, plan.Donor, plan.Dest, plan.Epoch)
+	if err != nil {
+		return c.failed(plan, "prepare", err)
+	}
+	if err := c.step("prepare"); err != nil {
+		return c.failed(plan, "prepare", err)
+	}
+
+	// 3. Copy the donor's range onto the survivor's ring, chunked.
+	if err := c.copyChunks(destRing, plan.Dest, plan.Epoch, moved); err != nil {
+		return c.failed(plan, "copy", err)
+	}
+	if err := c.step("copy"); err != nil {
+		return c.failed(plan, "copy", err)
+	}
+
+	// 5. Publish the post-merge schema (CAS) and adopt it locally. (A
+	// merge has no separate activation: the commit below, ordered on the
+	// survivor's ring behind every chunk, plays that role.)
+	d.AdoptReconfig(plan.Epoch, next)
+	if err := c.publish(plan); err != nil {
+		return c.failed(plan, "publish", err)
+	}
+	if err := c.step("publish"); err != nil {
+		return c.failed(plan, "publish", err)
+	}
+
+	// 6. Commit: the survivor adopts the merged mapping and serves the
+	// donor's range; the donor stays frozen until its teardown.
+	if err := c.client.CommitMerge(destRing, plan.Donor, plan.Dest, plan.Epoch); err != nil {
+		return fmt.Errorf("rebalance: commit: %w (schema already published; resolve with ResolvePending)", err)
+	}
+	if err := c.step("commit"); err != nil && !errors.Is(err, errCrash) {
+		return err
+	}
+
+	// 7. Teardown: retire the drained donor ring cluster-wide.
+	if err := d.RetirePartition(plan.Donor); err != nil {
+		return fmt.Errorf("rebalance: retire: %w (merge committed; resolve with ResolvePending)", err)
+	}
+	if err := c.step("retire"); err != nil && !errors.Is(err, errCrash) {
+		return err
+	}
+	c.clearIntent()
+	return nil
+}
+
+// publish compare-and-sets the deployment's (already adopted) schema into
+// the registry and advances the plan's recovery watermark.
+func (c *Coordinator) publish(plan *Plan) error {
+	if c.cfg.Registry != nil {
+		if _, ok, err := c.cfg.Store.PublishSchemaCAS(c.cfg.Registry, plan.SchemaVersion); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("concurrent schema publisher detected (expected version %d)", plan.SchemaVersion)
+		}
+	}
+	plan.Phase = phasePublished
+	c.recordIntent(plan)
+	return nil
+}
+
+// copyChunks streams the frozen entries to the destination ring.
+func (c *Coordinator) copyChunks(ring msg.RingID, dest int, epoch uint64, moved []store.Entry) error {
 	for lo := 0; lo < len(moved); lo += c.cfg.ChunkEntries {
 		hi := lo + c.cfg.ChunkEntries
 		if hi > len(moved) {
 			hi = len(moved)
 		}
-		if err := c.client.MigrateChunk(ring, epoch, moved[lo:hi]); err != nil {
-			return 0, fmt.Errorf("rebalance: copy: %w", err)
+		if err := c.client.MigrateChunk(ring, dest, epoch, moved[lo:hi]); err != nil {
+			return err
 		}
 	}
-	c.step("copy")
+	return nil
+}
 
-	// 4. Activate the new partition.
-	if err := c.client.ActivatePartition(ring, newPart, epoch); err != nil {
-		return 0, fmt.Errorf("rebalance: activate: %w", err)
+// failed handles a phase failure: a simulated coordinator crash returns
+// immediately (the intent record stays for ResolvePending); every real
+// failure between prepare and commit is routed through the ordered abort,
+// so the frozen range unfreezes and orphaned state is removed instead of
+// being left half-applied.
+func (c *Coordinator) failed(plan *Plan, phase string, err error) error {
+	if errors.Is(err, errCrash) {
+		return err
 	}
-	c.step("activate")
+	if aerr := c.abortPlan(plan); aerr != nil {
+		return fmt.Errorf("rebalance: %s: %w (abort also failed: %v)", phase, err, aerr)
+	}
+	return fmt.Errorf("rebalance: %s: %w (rolled back with ordered abort)", phase, err)
+}
 
-	// 5. Publish the new schema (CAS) and adopt it locally.
-	d.AdoptSplit(epoch, next)
+// abortPlan rolls a prepared plan back: ordered opAbortReconfig commands
+// unfreeze the donor and disarm/clean the destination, the deployment's
+// adopted mapping (and a published schema) is reverted if the plan got
+// that far, and a provisioned split partition is removed. Every step is
+// idempotent against replicas that never saw the prepare, so it is safe
+// after a crash at any phase before the commit.
+func (c *Coordinator) abortPlan(plan *Plan) error {
+	d := c.cfg.Store
+	var errs []error
+	if err := c.client.AbortReconfig(msg.RingID(plan.DonorVia), plan.Epoch); err != nil {
+		errs = append(errs, fmt.Errorf("donor abort: %w", err))
+	}
+	if plan.Kind == PlanMerge {
+		if err := c.client.AbortReconfig(msg.RingID(plan.DestRing), plan.Epoch); err != nil {
+			errs = append(errs, fmt.Errorf("destination abort: %w", err))
+		}
+	}
+	if prev, err := plan.prevPartitioner(); err == nil {
+		d.RevertReconfig(plan.Epoch, prev)
+	} else {
+		errs = append(errs, fmt.Errorf("intent record mapping: %w", err))
+	}
 	if c.cfg.Registry != nil {
-		if _, ok, err := d.PublishSchemaCAS(c.cfg.Registry, schemaVersion); err != nil {
-			return 0, fmt.Errorf("rebalance: publish: %w", err)
-		} else if !ok {
-			return 0, fmt.Errorf("rebalance: concurrent schema publisher detected (expected version %d)", schemaVersion)
+		// Reconcile a schema that was already published at the aborted
+		// epoch back to the reverted mapping — republished under the
+		// aborted epoch itself, because clients that saw it refuse (by
+		// design) to install an older one.
+		if s, v, err := store.LoadSchemaAt(c.cfg.Registry); err == nil && s.Epoch == plan.Epoch {
+			if _, ok, err := d.PublishSchemaAsCAS(c.cfg.Registry, plan.Epoch, v); err != nil || !ok {
+				errs = append(errs, fmt.Errorf("republishing reverted schema: %v (cas ok=%v)", err, ok))
+			}
 		}
 	}
-	c.step("publish")
-
-	// 6. Commit: flip ownership and drop the frozen range at the source.
-	if err := c.client.CommitSplit(via, src, epoch); err != nil {
-		return 0, fmt.Errorf("rebalance: commit: %w", err)
+	if plan.Kind == PlanSplit && plan.Provisioned {
+		if err := d.RemovePartition(plan.Dest); err != nil {
+			errs = append(errs, fmt.Errorf("removing provisioned partition: %w", err))
+		}
 	}
-	c.step("commit")
-	c.splits++
-	return newPart, nil
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	c.clearIntent()
+	c.aborts++
+	if c.cfg.OnStep != nil {
+		c.cfg.OnStep("abort")
+	}
+	return nil
+}
+
+// ResolvePending inspects the recorded reconfiguration intent — of this
+// coordinator or a crashed predecessor — and finishes it: a plan that
+// died before its commit is rolled back with the ordered abort (the
+// frozen range unfreezes, a provisioned partition is removed), and a plan
+// that died after publishing its schema is rolled forward (the commit is
+// re-ordered and, for merges, the donor teardown completed; both are
+// idempotent). It returns the plan it resolved, or nil when nothing was
+// pending.
+func (c *Coordinator) ResolvePending() (*Plan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	plan, err := c.loadIntent()
+	if err != nil || plan == nil {
+		return nil, err
+	}
+	if plan.Phase != phasePublished {
+		if err := c.abortPlan(plan); err != nil {
+			return plan, err
+		}
+		return plan, nil
+	}
+	// Published: roll forward.
+	switch plan.Kind {
+	case PlanSplit:
+		if err := c.client.CommitSplit(msg.RingID(plan.DonorVia), plan.Donor, plan.Epoch); err != nil {
+			return plan, fmt.Errorf("rebalance: resuming commit: %w", err)
+		}
+	case PlanMerge:
+		if err := c.client.CommitMerge(msg.RingID(plan.DestRing), plan.Donor, plan.Dest, plan.Epoch); err != nil {
+			return plan, fmt.Errorf("rebalance: resuming commit: %w", err)
+		}
+		if err := c.cfg.Store.RetirePartition(plan.Donor); err != nil {
+			return plan, fmt.Errorf("rebalance: resuming teardown: %w", err)
+		}
+	}
+	c.clearIntent()
+	return plan, nil
 }

@@ -412,8 +412,8 @@ func TestSplitRollbackOnPrepareFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, _, _, err := d.AddPartition(next, d.Epoch()+1)
-	if err != nil {
+	part := 2
+	if _, _, err := d.AddPartition(next, part, d.Epoch()+1); err != nil {
 		t.Fatal(err)
 	}
 	// The coordinator must refuse to wire a new split onto the skewed

@@ -77,6 +77,12 @@ func (s *registrySource) currentView() (routeView, error) {
 	}
 	var globalAddrs []transport.Addr
 	for p := 0; p < sc.Partitions; p++ {
+		if schemaRetired(sc, p) {
+			// Merged-away index: keep array alignment, install no route.
+			v.rings = append(v.rings, 0)
+			v.onGlobal = append(v.onGlobal, false)
+			continue
+		}
 		ring := sc.RingOf(p)
 		v.rings = append(v.rings, ring)
 		on := p >= len(sc.OnGlobal) || sc.OnGlobal[p] // legacy: all on global
@@ -97,6 +103,12 @@ func (s *registrySource) currentView() (routeView, error) {
 // epochRetryDelay paces retries of commands frozen by an in-flight
 // migration (the window between range freeze and schema publish).
 const epochRetryDelay = 2 * time.Millisecond
+
+// execTimeout bounds a single routed attempt. It is deliberately shorter
+// than the client's overall deadline: an attempt that times out against a
+// ring torn down by a merge leaves room to refresh the schema and re-route
+// (a dead ring sends no typed redirect, so the timeout is the signal).
+var execTimeout = 5 * time.Second
 
 // Client accesses an MRP-Store deployment through the operations of
 // Table 1: read, scan, update, insert, delete — plus batched writes
@@ -130,7 +142,7 @@ func newClient(ep transport.Endpoint, id uint64, src viewSource) *Client {
 		smr: smr.NewClient(smr.ClientConfig{
 			ID:       id,
 			Endpoint: ep,
-			Timeout:  20 * time.Second,
+			Timeout:  execTimeout,
 		}),
 		src:     src,
 		timeout: 20 * time.Second,
@@ -173,6 +185,21 @@ func (c *Client) currentView() routeView {
 	return c.view
 }
 
+// viewFor returns the routing view for one attempt, eagerly refreshed
+// when the source exposes a live epoch ahead of the cache. Deployment-
+// backed clients would otherwise learn of a committed merge only from a
+// timeout against the retired ring: the donor's freeze window can be
+// shorter than the gap between a client's visits to its range, so the
+// typed redirect alone may never reach it before the teardown.
+func (c *Client) viewFor() routeView {
+	v := c.currentView()
+	if src, ok := c.src.(interface{ Epoch() uint64 }); ok && src.Epoch() > v.epoch {
+		_ = c.refresh()
+		v = c.currentView()
+	}
+	return v
+}
+
 // Epoch returns the schema epoch the client currently routes under.
 func (c *Client) Epoch() uint64 { return c.currentView().epoch }
 
@@ -203,12 +230,24 @@ func (c *Client) exec(ring msg.RingID, o op) (result, error) {
 	return decodeResult(raw)
 }
 
+// rerouteOnTimeout turns an attempt timeout into a retry when refreshing
+// the view reveals a newer schema: the torn-down ring of a merged-away
+// partition cannot send the typed wrong-epoch redirect, so the timeout
+// plus an epoch advance is how a stale client learns its route died.
+func (c *Client) rerouteOnTimeout(err error, epoch uint64, deadline time.Time) bool {
+	if !errors.Is(err, smr.ErrTimeout) || time.Now().After(deadline) {
+		return false
+	}
+	_ = c.refresh()
+	return c.currentView().epoch > epoch
+}
+
 // callKey routes a single-key op by the cached view and retries through
 // wrong-epoch redirects until the deadline.
 func (c *Client) callKey(o op) (result, error) {
 	deadline := time.Now().Add(c.timeout)
 	for {
-		v := c.currentView()
+		v := c.viewFor()
 		if v.partitioner == nil {
 			if err := c.refresh(); err != nil {
 				return result{}, err
@@ -222,6 +261,9 @@ func (c *Client) callKey(o op) (result, error) {
 		}
 		res, err := c.exec(v.rings[p], o)
 		if err != nil {
+			if c.rerouteOnTimeout(err, v.epoch, deadline) {
+				continue
+			}
 			return result{}, err
 		}
 		if res.status == statusError {
@@ -294,7 +336,7 @@ func (c *Client) Delete(k string) error {
 func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
 	deadline := time.Now().Add(c.timeout)
 	for {
-		v := c.currentView()
+		v := c.viewFor()
 		if v.partitioner == nil {
 			if err := c.refresh(); err != nil {
 				return nil, err
@@ -303,6 +345,9 @@ func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
 		}
 		entries, redirected, err := c.scanOnce(v, from, to, limit)
 		if err != nil {
+			if c.rerouteOnTimeout(err, v.epoch, deadline) {
+				continue
+			}
 			return nil, err
 		}
 		if !redirected {
@@ -331,12 +376,20 @@ func (c *Client) scanOnce(v routeView, from, to string, limit int) ([]Entry, boo
 	}
 	var raws []result
 	if gatherable {
+		// Every global-ring subscriber answers the multicast; only replies
+		// from partitions in the scan's fan-out count toward the gather (a
+		// merge can shrink the fan-out below the subscriber set, and an
+		// uninvolved partition's empty reply must not satisfy it).
+		involved := make(map[int]bool, len(parts))
+		for _, p := range parts {
+			involved[p] = true
+		}
 		results, err := c.smr.ExecuteGather(v.global, o.encode(), len(parts), func(raw []byte) (int, bool) {
 			res, err := decodeResult(raw)
 			if err != nil {
 				return 0, false
 			}
-			return int(res.partition), true
+			return int(res.partition), involved[int(res.partition)]
 		})
 		if err != nil {
 			return nil, false, err
@@ -395,7 +448,7 @@ func (c *Client) WriteBatch(entries []Entry) (int, error) {
 	remaining := entries
 	total := 0
 	for len(remaining) > 0 {
-		v := c.currentView()
+		v := c.viewFor()
 		if v.partitioner == nil {
 			if err := c.refresh(); err != nil {
 				return total, err
@@ -417,6 +470,12 @@ func (c *Client) WriteBatch(entries []Entry) (int, error) {
 			}
 			res, err := c.exec(v.rings[p], op{kind: opBatch, epoch: v.epoch, batch: ops})
 			if err != nil {
+				if c.rerouteOnTimeout(err, v.epoch, deadline) {
+					for _, o := range ops {
+						redirected = append(redirected, Entry{Key: o.key, Value: o.value})
+					}
+					continue
+				}
 				return total, err
 			}
 			switch res.status {

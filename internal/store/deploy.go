@@ -83,6 +83,12 @@ type partMeta struct {
 	ring     msg.RingID
 	addrs    []transport.Addr
 	onGlobal bool
+	// retired marks a partition index merged away by an online merge: its
+	// replicas are stopped, its ring torn down and the ring ID recycled.
+	// The entry stays as a tombstone because partition indexes are never
+	// renumbered; an index at the top of the space can be reused by a
+	// later split (RangePartitioner.N shrinks past it).
+	retired bool
 	// birth, for partitions appended by a live split, records the state
 	// the partition's replicas started from. A recovering replica without
 	// a usable checkpoint restarts from this state and replays its ring
@@ -109,13 +115,23 @@ type Deployment struct {
 	nextID   atomic.Uint64
 
 	// mu guards replacement of Replicas entries (RecoverReplica), growth
-	// of the partition set (AddPartition/AdoptSplit), and the topology
-	// fields below against concurrent inspection while running.
+	// of the partition set (AddPartition/AdoptReconfig/RetirePartition),
+	// and the topology fields below against concurrent inspection while
+	// running.
 	mu          sync.RWMutex
 	epoch       uint64
 	partitioner Partitioner // committed mapping (epoch's partitioner)
-	parts       []partMeta  // includes not-yet-committed split partitions
-	nextRing    msg.RingID  // ring allocator for split partitions
+	// viewEpoch is the highest epoch ever adopted — a watermark for the
+	// epochs handed to client views. An aborted reconfiguration reverts
+	// the committed epoch (the aborted number is reused by the next
+	// plan), but client refreshes rightly refuse to install an older
+	// epoch than they have seen, so views keep carrying the watermark.
+	viewEpoch uint64
+	parts     []partMeta // includes not-yet-committed split partitions
+	nextRing  msg.RingID // ring allocator for split partitions
+	// freeRings holds ring IDs recycled by ring retirement; AddPartition
+	// reuses them (most recently retired first) before minting new IDs.
+	freeRings []msg.RingID
 }
 
 // PartitionRing returns the ring (= multicast group) of a partition.
@@ -215,7 +231,7 @@ var recoverTimeout = 10 * time.Second
 // Deploy builds and starts an MRP-Store cluster.
 func Deploy(cfg DeployConfig) (*Deployment, error) {
 	cfg.withDefaults()
-	d := &Deployment{cfg: cfg, epoch: 1, partitioner: cfg.Partitioner}
+	d := &Deployment{cfg: cfg, epoch: 1, viewEpoch: 1, partitioner: cfg.Partitioner}
 	for p := 0; p < cfg.Partitions; p++ {
 		var addrs []transport.Addr
 		for r := 0; r < cfg.Replicas; r++ {
@@ -514,7 +530,7 @@ func (d *Deployment) RecoverReplica(p, r int) error {
 	cfg := d.cfg
 	d.mu.RLock()
 	committed := d.partitioner.N()
-	valid := p >= 0 && p < committed && p < len(d.parts) &&
+	valid := p >= 0 && p < committed && p < len(d.parts) && !d.parts[p].retired &&
 		r >= 0 && p < len(d.Replicas) && r < len(d.Replicas[p])
 	var meta partMeta
 	var peers []transport.Addr
@@ -530,8 +546,9 @@ func (d *Deployment) RecoverReplica(p, r int) error {
 	}
 	d.mu.RUnlock()
 	if !valid {
-		// Provisioned-but-uncommitted split partitions (mid-protocol) are
-		// not recoverable: their membership is not part of any schema yet.
+		// Provisioned-but-uncommitted partitions (mid-protocol) and retired
+		// tombstones are not recoverable: their membership is not part of
+		// the committed schema.
 		return fmt.Errorf("store: no committed partition %d replica %d to recover", p, r)
 	}
 	members, err := schemaMemberships(s, p, r)
@@ -614,19 +631,38 @@ func (d *Deployment) Stop() {
 	}
 }
 
-// AddPartition builds and starts the replicas of a new partition on a
-// freshly allocated ring, using the runtime subscription path: each
-// replica's node and learner start empty and then splice the new ring in
-// (Node.Subscribe / Learner.Subscribe). The partition starts warming — its
-// state machines reject client commands until an opActivatePart command is
-// delivered on the ring — and is not part of the committed topology until
-// AdoptSplit. partitioner is the post-split mapping; epoch its epoch.
-func (d *Deployment) AddPartition(partitioner Partitioner, epoch uint64) (part int, ring msg.RingID, addrs []transport.Addr, err error) {
+// AddPartition builds and starts the replicas of partition index part on a
+// ring from the allocator (recycling retired ring IDs first), using the
+// runtime subscription path: each replica's node and learner start empty
+// and then splice the new ring in (Node.Subscribe / Learner.Subscribe).
+// The partition starts warming — its state machines reject client commands
+// until an opActivatePart command is delivered on the ring — and is not
+// part of the committed topology until AdoptReconfig. part must be the
+// next free partition index (the committed partitioner's N); it may reuse
+// the tombstone of a retired partition at the top of the index space.
+// partitioner is the post-split mapping; epoch its epoch.
+func (d *Deployment) AddPartition(partitioner Partitioner, part int, epoch uint64) (ring msg.RingID, addrs []transport.Addr, err error) {
 	cfg := d.cfg
 	d.mu.Lock()
-	part = len(d.parts)
-	ring = d.nextRing
-	d.nextRing++
+	switch {
+	case part < len(d.parts) && !d.parts[part].retired:
+		// A previous failed split left an orphan partition behind (or the
+		// index is simply live); wiring a new one up would route the moved
+		// range to the wrong replicas.
+		d.mu.Unlock()
+		return 0, nil, fmt.Errorf("store: partition index %d is already in use (%d provisioned, %d committed); resolve the stale partition first",
+			part, len(d.parts), d.partitioner.N())
+	case part > len(d.parts):
+		d.mu.Unlock()
+		return 0, nil, fmt.Errorf("store: partition index %d skips past %d provisioned partitions", part, len(d.parts))
+	}
+	if n := len(d.freeRings); n > 0 {
+		ring = d.freeRings[n-1]
+		d.freeRings = d.freeRings[:n-1]
+	} else {
+		ring = d.nextRing
+		d.nextRing++
+	}
 	for r := 0; r < cfg.Replicas; r++ {
 		addrs = append(addrs, cfg.AddrFor(part, r))
 	}
@@ -652,32 +688,50 @@ func (d *Deployment) AddPartition(partitioner Partitioner, epoch uint64) (part i
 				built.Learner.Stop()
 				built.Node.Stop()
 			}
-			return 0, 0, nil, herr
+			d.mu.Lock()
+			d.freeRings = append(d.freeRings, ring)
+			d.mu.Unlock()
+			return 0, nil, herr
 		}
 		hs = append(hs, h)
 	}
 	d.mu.Lock()
-	d.Replicas = append(d.Replicas, hs)
-	d.parts = append(d.parts, partMeta{ring: ring, addrs: addrs, birth: birth})
+	meta := partMeta{ring: ring, addrs: addrs, birth: birth}
+	if part == len(d.parts) {
+		d.Replicas = append(d.Replicas, hs)
+		d.parts = append(d.parts, meta)
+	} else {
+		// Rebirth of a retired index: the tombstone's slot is reused.
+		d.Replicas[part] = hs
+		d.parts[part] = meta
+	}
 	d.mu.Unlock()
-	return part, ring, addrs, nil
+	return ring, addrs, nil
 }
 
-// RemovePartition tears down a provisioned-but-uncommitted split
-// partition (rollback of AddPartition when the split protocol fails
-// before anything was ordered). Only the most recently added, not yet
-// committed partition can be removed.
+// RemovePartition tears down a provisioned-but-uncommitted partition
+// (rollback of AddPartition when the reconfiguration protocol aborts). The
+// partition's replicas are stopped and the entry reverts to a tombstone —
+// its ring ID returns to the allocator and the index can be reused by the
+// next split.
 func (d *Deployment) RemovePartition(part int) error {
 	d.mu.Lock()
-	if part != len(d.parts)-1 || part < d.partitioner.N() {
+	if part < 0 || part >= len(d.parts) || part < d.partitioner.N() || d.parts[part].retired {
 		n := len(d.parts)
 		d.mu.Unlock()
-		return fmt.Errorf("store: partition %d is not the last uncommitted partition (%d parts, %d committed)",
+		return fmt.Errorf("store: partition %d is not an uncommitted partition (%d parts, %d committed)",
 			part, n, d.partitioner.N())
 	}
 	hs := d.Replicas[part]
-	d.Replicas = d.Replicas[:part]
-	d.parts = d.parts[:part]
+	ring := d.parts[part].ring
+	if part == len(d.parts)-1 {
+		d.Replicas = d.Replicas[:part]
+		d.parts = d.parts[:part]
+	} else {
+		d.Replicas[part] = nil
+		d.parts[part] = partMeta{retired: true}
+	}
+	d.freeRings = append(d.freeRings, ring)
 	d.mu.Unlock()
 	for _, h := range hs {
 		if h != nil && !h.stopped {
@@ -690,18 +744,88 @@ func (d *Deployment) RemovePartition(part int) error {
 	return nil
 }
 
-// AdoptSplit commits a split into the deployment's topology: the
-// partitioner and epoch advance, and clients created from (or refreshed
-// against) the deployment route under the new mapping. Called by the
-// rebalance coordinator after the moved range is fully migrated and the
-// new partition activated, immediately before the ownership flip is
-// ordered through the rings (opCommitSplit).
-func (d *Deployment) AdoptSplit(epoch uint64, partitioner Partitioner) {
+// RetirePartition tears down the ring of a partition that was merged away:
+// each of its replicas splices the ring out of its deterministic merge
+// (Learner.Unsubscribe at the teardown activation point), unsubscribes the
+// ring at the node (Node.Unsubscribe — the process-level half of the
+// paper's inverted group addressing), and stops. The partition entry
+// becomes a tombstone and the ring ID returns to the allocator for the
+// next split to recycle. The committed partitioner must no longer assign
+// any range to the partition (i.e. the merge was committed first).
+func (d *Deployment) RetirePartition(part int) error {
+	d.mu.Lock()
+	if part < 0 || part >= len(d.parts) || part >= len(d.Replicas) {
+		d.mu.Unlock()
+		return fmt.Errorf("store: no partition %d to retire", part)
+	}
+	if d.parts[part].retired {
+		d.mu.Unlock()
+		return nil // idempotent: a resumed teardown retires at most once
+	}
+	if part < d.partitioner.N() {
+		if rp, ok := d.partitioner.(*RangePartitioner); ok {
+			for _, a := range rp.Assignments() {
+				if a == part {
+					d.mu.Unlock()
+					return fmt.Errorf("store: partition %d still owns a key range; commit the merge before retiring it", part)
+				}
+			}
+		} else {
+			d.mu.Unlock()
+			return fmt.Errorf("store: partition %d is part of the committed topology", part)
+		}
+	}
+	hs := d.Replicas[part]
+	ring := d.parts[part].ring
+	d.Replicas[part] = nil
+	d.parts[part] = partMeta{retired: true}
+	d.freeRings = append(d.freeRings, ring)
+	d.mu.Unlock()
+	for _, h := range hs {
+		if h == nil || h.stopped {
+			continue
+		}
+		h.Learner.Unsubscribe(ring, multiring.Activation{})
+		_ = h.Node.Unsubscribe(ring)
+		h.stopped = true
+		h.Replica.Stop()
+		h.Learner.Stop()
+		h.Node.Stop()
+	}
+	return nil
+}
+
+// AdoptReconfig commits a reconfiguration into the deployment's topology:
+// the partitioner and epoch advance, and clients created from (or
+// refreshed against) the deployment route under the new mapping. Called by
+// the rebalance coordinator after the moved range is fully migrated (and,
+// for a split, the new partition activated), immediately before the
+// ownership flip is ordered through the rings (opCommitReconfig).
+func (d *Deployment) AdoptReconfig(epoch uint64, partitioner Partitioner) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if epoch > d.epoch {
 		d.epoch = epoch
 		d.partitioner = partitioner
+		if epoch > d.viewEpoch {
+			d.viewEpoch = epoch
+		}
+	}
+}
+
+// RevertReconfig undoes AdoptReconfig for an aborted reconfiguration: if
+// the deployment sits exactly at the aborted epoch it falls back to the
+// recorded pre-reconfiguration mapping; any other epoch is left alone (the
+// adopt never happened, or a later reconfiguration superseded it). The
+// committed epoch rolls back — the next plan reuses the aborted number —
+// but the client-view watermark (viewEpoch) does not, so clients that saw
+// the aborted epoch keep refreshing successfully.
+func (d *Deployment) RevertReconfig(epoch uint64, prev Partitioner) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.epoch == epoch && prev != nil {
+		d.epoch = epoch - 1
+		d.partitioner = prev
 	}
 }
 
@@ -710,7 +834,7 @@ func (d *Deployment) currentView() (routeView, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	v := routeView{
-		epoch:       d.epoch,
+		epoch:       d.viewEpoch,
 		partitioner: d.partitioner,
 		global:      d.globalRing(),
 		proposers:   make(map[msg.RingID][]transport.Addr),
@@ -718,6 +842,13 @@ func (d *Deployment) currentView() (routeView, error) {
 	n := d.partitioner.N()
 	for p := 0; p < n && p < len(d.parts); p++ {
 		meta := d.parts[p]
+		if meta.retired {
+			// Tombstone of a merged-away index: keep the arrays aligned but
+			// install no route (no key maps to it).
+			v.rings = append(v.rings, 0)
+			v.onGlobal = append(v.onGlobal, false)
+			continue
+		}
 		v.rings = append(v.rings, meta.ring)
 		v.onGlobal = append(v.onGlobal, meta.onGlobal)
 		v.proposers[meta.ring] = append([]transport.Addr(nil), meta.addrs...)

@@ -32,6 +32,9 @@ func schemaMemberships(s Schema, p, r int) ([]ringMembership, error) {
 	if p < 0 || p >= s.Partitions || p >= len(s.Replicas) {
 		return nil, fmt.Errorf("store: schema (epoch %d) has no partition %d", s.Epoch, p)
 	}
+	if schemaRetired(s, p) {
+		return nil, fmt.Errorf("store: partition %d was retired by a merge (schema epoch %d)", p, s.Epoch)
+	}
 	if r < 0 || r >= len(s.Replicas[p]) {
 		return nil, fmt.Errorf("store: schema (epoch %d) has no replica %d in partition %d", s.Epoch, r, p)
 	}
@@ -87,6 +90,11 @@ func globalPeers(s Schema) []ringpaxos.Peer {
 // it.
 func schemaOnGlobal(s Schema, p int) bool {
 	return p >= len(s.OnGlobal) || s.OnGlobal[p]
+}
+
+// schemaRetired reports whether partition p's index was merged away.
+func schemaRetired(s Schema, p int) bool {
+	return p < len(s.Retired) && s.Retired[p]
 }
 
 // globalRingID returns the global ring's identifier, falling back to the

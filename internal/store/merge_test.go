@@ -1,0 +1,387 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRangePartitionerMerge pins the key-mapping half of a partition
+// merge: slots reassigned without renumbering, same-owner neighbors
+// coalesced (so a later split at the same key works), the index space
+// shrinking only past the top, and range fan-outs deduplicated.
+func TestRangePartitionerMerge(t *testing.T) {
+	base := NewRangePartitioner([]string{"g", "p"}) // 0:[,g) 1:[g,p) 2:[p,)
+	split, err := base.Split("j", 3)                // slot [j,p) -> 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.N() != 4 {
+		t.Fatalf("N after split = %d", split.N())
+	}
+
+	// Merge the split-born top index back into its left neighbor.
+	merged, err := split.Merge(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.N() != 3 {
+		t.Fatalf("N after merge = %d", merged.N())
+	}
+	for k, want := range map[string]int{"a": 0, "g": 1, "j": 1, "o": 1, "p": 2, "z": 2} {
+		if got := merged.PartitionOf(k); got != want {
+			t.Fatalf("merged PartitionOf(%q) = %d, want %d", k, got, want)
+		}
+	}
+	// The boundary "j" was coalesced away: splitting there again works.
+	if _, err := merged.Merge(3, 1); err == nil {
+		t.Fatal("merging a retired index succeeded")
+	}
+	resplit, err := merged.Split("j", 3)
+	if err != nil {
+		t.Fatalf("re-split at coalesced boundary: %v", err)
+	}
+	if resplit.PartitionOf("j") != 3 {
+		t.Fatalf("re-split assignment: %v / %v", resplit.Bounds(), resplit.Assignments())
+	}
+
+	// Merging a mid-space index retires it sparsely: N stays, no slot
+	// assigns to it, and fan-outs over the merged span dedupe the owner.
+	midMerged, err := split.Merge(1, 0) // 1:[g,j) into 0:[,g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if midMerged.N() != 4 {
+		t.Fatalf("N after mid merge = %d", midMerged.N())
+	}
+	for _, a := range midMerged.Assignments() {
+		if a == 1 {
+			t.Fatalf("retired index still assigned: %v", midMerged.Assignments())
+		}
+	}
+	parts := midMerged.PartitionsForRange("a", "k")
+	if len(parts) != 2 || parts[0] != 0 || parts[1] != 3 {
+		t.Fatalf("fan-out over merged span = %v", parts)
+	}
+
+	// Validation: self-merge, empty donor, non-adjacent donors.
+	if _, err := split.Merge(2, 2); err == nil {
+		t.Fatal("self merge succeeded")
+	}
+	if _, err := split.Merge(9, 0); err == nil {
+		t.Fatal("merge of unknown donor succeeded")
+	}
+	if _, err := split.Merge(0, 2); err == nil {
+		t.Fatal("non-adjacent merge succeeded")
+	}
+}
+
+// mergeOps drives one SM through the donor or destination half of the
+// merge protocol ops.
+func prepDest(t *testing.T, sm *SM, donor, dest int, epoch uint64) result {
+	t.Helper()
+	return execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigMergeDest, epoch: epoch,
+		part: uint16(donor), newPart: uint16(dest)})
+}
+
+func prepDonor(t *testing.T, sm *SM, donor, dest int, epoch uint64) result {
+	t.Helper()
+	return execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigMergeDonor, epoch: epoch,
+		part: uint16(donor), newPart: uint16(dest)})
+}
+
+// TestSMMergeLifecycle walks a donor and a survivor SM through prepare,
+// copy, commit: the donor freezes (keyed redirect, scans still served),
+// the survivor hides half-transferred entries until the commit flips the
+// mapping, then serves the donor's range.
+func TestSMMergeLifecycle(t *testing.T) {
+	part := NewRangePartitioner([]string{"m"}) // 0:[,m) 1:[m,)
+	donor := NewSM(1, part)
+	dest := NewSM(0, part)
+	execOp(t, donor, op{kind: opInsert, epoch: 1, key: "q", value: []byte("vq")})
+	execOp(t, donor, op{kind: opInsert, epoch: 1, key: "t", value: []byte("vt")})
+	execOp(t, dest, op{kind: opInsert, epoch: 1, key: "a", value: []byte("va")})
+
+	// Arm the survivor, freeze the donor.
+	if res := prepDest(t, dest, 1, 0, 2); res.status != statusOK {
+		t.Fatalf("dest prepare = %+v", res)
+	}
+	res := prepDonor(t, donor, 1, 0, 2)
+	if res.status != statusOK || len(res.entries) != 2 {
+		t.Fatalf("donor prepare = %+v", res)
+	}
+	// A second prepare at the same epoch resolves the first attempt as
+	// aborted and re-freezes, returning the entries again (retry
+	// semantics; literal duplicates are deduplicated below the SM).
+	if res := prepDonor(t, donor, 1, 0, 2); len(res.entries) != 2 {
+		t.Fatalf("donor re-prepare = %+v", res)
+	}
+	// Frozen donor: every command redirects — including scans, because the
+	// donor never learns of the survivor's commit and serving its frozen
+	// copy afterwards would be a stale read.
+	if r := execOp(t, donor, op{kind: opRead, epoch: 1, key: "q"}); r.status != statusWrongEpoch {
+		t.Fatalf("frozen read = %+v", r)
+	}
+	if r := execOp(t, donor, op{kind: opUpdate, epoch: 1, key: "q", value: []byte("x")}); r.status != statusWrongEpoch {
+		t.Fatalf("frozen write = %+v", r)
+	}
+	if r := execOp(t, donor, op{kind: opScan, epoch: 1, key: "", to: ""}); r.status != statusWrongEpoch {
+		t.Fatalf("frozen scan = %+v", r)
+	}
+
+	// Copy into the live survivor; pre-commit it hides the entries from
+	// scans and redirects post-merge-epoch scans entirely.
+	mig := op{kind: opMigrate, epoch: 2, part: 0}
+	for _, e := range res.entries {
+		mig.batch = append(mig.batch, op{kind: opInsert, epoch: 2, key: e.Key, value: e.Value})
+	}
+	if r := execOp(t, dest, mig); r.status != statusOK || r.count != 2 {
+		t.Fatalf("migrate into survivor = %+v", r)
+	}
+	if r := execOp(t, dest, op{kind: opScan, epoch: 1, key: "", to: ""}); len(r.entries) != 1 {
+		t.Fatalf("pre-commit scan leaked transferred entries: %+v", r.entries)
+	}
+	if r := execOp(t, dest, op{kind: opScan, epoch: 2, key: "", to: ""}); r.status != statusWrongEpoch {
+		t.Fatalf("post-epoch scan before commit = %+v", r)
+	}
+	if r := execOp(t, dest, op{kind: opRead, epoch: 2, key: "q"}); r.status != statusWrongEpoch {
+		t.Fatalf("pre-commit read of donor key = %+v", r)
+	}
+
+	// Commit on the survivor: merged mapping, donor range served.
+	commit := op{kind: opCommitReconfig, rkind: reconfigMergeDest, epoch: 2, part: 1, newPart: 0}
+	if r := execOp(t, dest, commit); r.status != statusOK || r.epoch != 2 {
+		t.Fatalf("commit = %+v", r)
+	}
+	if dest.Epoch() != 2 || dest.Pending() != 0 {
+		t.Fatalf("survivor after commit: epoch=%d pending=%d", dest.Epoch(), dest.Pending())
+	}
+	if r := execOp(t, dest, op{kind: opRead, epoch: 2, key: "q"}); r.status != statusOK || string(r.value) != "vq" {
+		t.Fatalf("post-commit read = %+v", r)
+	}
+	if r := execOp(t, dest, op{kind: opScan, epoch: 2, key: "", to: ""}); len(r.entries) != 3 {
+		t.Fatalf("post-commit scan = %+v", r.entries)
+	}
+	// Replayed commit is idempotent.
+	if r := execOp(t, dest, commit); r.status != statusOK {
+		t.Fatalf("replayed commit = %+v", r)
+	}
+}
+
+// TestSMMergeAbort checks the ordered abort on both sides: the donor
+// unfreezes with its data intact, the survivor drops half-transferred
+// entries and serves exactly its own range again.
+func TestSMMergeAbort(t *testing.T) {
+	part := NewRangePartitioner([]string{"m"})
+	donor := NewSM(1, part)
+	dest := NewSM(0, part)
+	execOp(t, donor, op{kind: opInsert, epoch: 1, key: "q", value: []byte("vq")})
+	execOp(t, dest, op{kind: opInsert, epoch: 1, key: "a", value: []byte("va")})
+	prepDest(t, dest, 1, 0, 2)
+	moved := prepDonor(t, donor, 1, 0, 2)
+	execOp(t, dest, op{kind: opMigrate, epoch: 2, part: 0, batch: []op{
+		{kind: opInsert, epoch: 2, key: moved.entries[0].Key, value: moved.entries[0].Value},
+	}})
+
+	abort := op{kind: opAbortReconfig, epoch: 2}
+	if r := execOp(t, donor, abort); r.status != statusOK {
+		t.Fatalf("donor abort = %+v", r)
+	}
+	if r := execOp(t, dest, abort); r.status != statusOK {
+		t.Fatalf("dest abort = %+v", r)
+	}
+	// Donor serves again, data intact.
+	if r := execOp(t, donor, op{kind: opRead, epoch: 1, key: "q"}); r.status != statusOK {
+		t.Fatalf("post-abort donor read = %+v", r)
+	}
+	// Survivor dropped the transferred chunk.
+	if _, ok := dest.Data().Get("q"); ok {
+		t.Fatal("aborted survivor kept transferred entry")
+	}
+	if donor.Pending() != 0 || dest.Pending() != 0 {
+		t.Fatalf("pending after abort: donor=%d dest=%d", donor.Pending(), dest.Pending())
+	}
+	// A stray abort (no pending state) is an idempotent no-op.
+	if r := execOp(t, donor, abort); r.status != statusOK {
+		t.Fatalf("idempotent abort = %+v", r)
+	}
+	// The same epoch can be prepared again after the abort.
+	if r := prepDonor(t, donor, 1, 0, 2); r.status != statusOK || len(r.entries) != 1 {
+		t.Fatalf("re-prepare after abort = %+v", r)
+	}
+}
+
+// TestSMSplitAbortRestoresMapping checks the split abort restores the
+// pre-split mapping (prev partitioner) so the source serves the whole
+// range again — including after a snapshot/restore cycle taken while the
+// split was pending.
+func TestSMSplitAbortRestoresMapping(t *testing.T) {
+	sm := NewSM(1, NewRangePartitioner([]string{"g"}))
+	execOp(t, sm, op{kind: opInsert, epoch: 1, key: "q", value: []byte("vq")})
+	execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: 2, part: 1, newPart: 2, key: "p"})
+	if r := execOp(t, sm, op{kind: opRead, epoch: 1, key: "q"}); r.status != statusWrongEpoch {
+		t.Fatalf("frozen read = %+v", r)
+	}
+
+	// A replica restored from a mid-split checkpoint aborts identically.
+	restored := NewSM(1, NewRangePartitioner([]string{"g"}))
+	restored.Restore(sm.Snapshot())
+
+	for _, m := range []*SM{sm, restored} {
+		if r := execOp(t, m, op{kind: opAbortReconfig, epoch: 2}); r.status != statusOK {
+			t.Fatalf("abort = %+v", r)
+		}
+		if r := execOp(t, m, op{kind: opRead, epoch: 1, key: "q"}); r.status != statusOK {
+			t.Fatalf("post-abort read = %+v", r)
+		}
+		if m.Epoch() != 1 || m.Pending() != 0 {
+			t.Fatalf("post-abort state: epoch=%d pending=%d", m.Epoch(), m.Pending())
+		}
+	}
+	if !bytes.Equal(sm.Snapshot(), restored.Snapshot()) {
+		t.Fatal("snapshots diverged after abort")
+	}
+	// The split can be prepared again at the same epoch.
+	if r := execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: 2, part: 1, newPart: 2, key: "p"}); r.status != statusOK {
+		t.Fatalf("re-prepare = %+v", r)
+	}
+}
+
+// TestSMSnapshotCarriesMergeState: frozen/receiving flags and the pending
+// kind survive Snapshot/Restore, so a replica recovered mid-merge keeps
+// redirecting (donor) and accepting chunks (survivor).
+func TestSMSnapshotCarriesMergeState(t *testing.T) {
+	part := NewRangePartitioner([]string{"m"})
+	donor := NewSM(1, part)
+	execOp(t, donor, op{kind: opInsert, epoch: 1, key: "q", value: []byte("vq")})
+	prepDonor(t, donor, 1, 0, 2)
+	restoredDonor := NewSM(1, part)
+	restoredDonor.Restore(donor.Snapshot())
+	if r := execOp(t, restoredDonor, op{kind: opRead, epoch: 1, key: "q"}); r.status != statusWrongEpoch {
+		t.Fatalf("restored donor not frozen: %+v", r)
+	}
+
+	dest := NewSM(0, part)
+	prepDest(t, dest, 1, 0, 2)
+	restoredDest := NewSM(0, part)
+	restoredDest.Restore(dest.Snapshot())
+	r := execOp(t, restoredDest, op{kind: opMigrate, epoch: 2, part: 0, batch: []op{
+		{kind: opInsert, epoch: 2, key: "q", value: []byte("vq")},
+	}})
+	if r.status != statusOK || r.count != 1 {
+		t.Fatalf("restored survivor rejects chunks: %+v", r)
+	}
+}
+
+// liveMerge drives the ordered merge protocol inline (the same sequence
+// rebalance.Coordinator orders): survivor armed, donor frozen and
+// collected, chunks copied, mapping committed on the survivor's ring, and
+// the donor's ring retired.
+func liveMerge(t *testing.T, d *Deployment, cl *Client, survivor, donor int) {
+	t.Helper()
+	cur, ok := d.Partitioner().(*RangePartitioner)
+	if !ok {
+		t.Fatalf("not range partitioned: %T", d.Partitioner())
+	}
+	next, err := cur.Merge(donor, survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := d.Epoch() + 1
+	donorRing := d.PartitionRing(donor)
+	destRing := d.PartitionRing(survivor)
+	if err := cl.PrepareMergeDest(destRing, donor, survivor, epoch); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := cl.PrepareMergeDonor(donorRing, donor, survivor, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(moved); lo += 64 {
+		hi := lo + 64
+		if hi > len(moved) {
+			hi = len(moved)
+		}
+		if err := cl.MigrateChunk(destRing, survivor, epoch, moved[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.AdoptReconfig(epoch, next)
+	if err := cl.CommitMerge(destRing, donor, survivor, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RetirePartition(donor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveMergeAndRingRecycling runs split → merge → split against a live
+// deployment: the merge drains the split-born partition back into its
+// neighbor, retires its ring (processes stopped, tombstoned topology,
+// unrecoverable), and the next split recycles the retired ring ID and
+// partition index.
+func TestLiveMergeAndRingRecycling(t *testing.T) {
+	d := deployRangeStore(t, true)
+	cl := d.NewClient()
+	defer cl.Close()
+	for _, k := range []string{"b", "n", "q", "t"} {
+		if err := cl.Insert(k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	newPart := liveSplit(t, d, cl, 1, "p")
+	if newPart != 2 {
+		t.Fatalf("split partition = %d", newPart)
+	}
+	splitRing := d.PartitionRing(newPart)
+	if splitRing == 0 {
+		t.Fatal("no ring for split partition")
+	}
+
+	liveMerge(t, d, cl, 1, newPart)
+	if d.Epoch() != 3 || d.Partitions() != 2 {
+		t.Fatalf("after merge: epoch=%d partitions=%d", d.Epoch(), d.Partitions())
+	}
+	// The donor's topology entry is a tombstone: ring gone, replicas
+	// stopped, recovery refused.
+	if ring := d.PartitionRing(newPart); ring != 0 {
+		t.Fatalf("retired partition still has ring %d", ring)
+	}
+	if h := d.ReplicaAt(newPart, 0); h != nil {
+		t.Fatalf("retired partition still has replica handles")
+	}
+	if err := d.RecoverReplica(newPart, 0); err == nil {
+		t.Fatal("recovery of a retired partition succeeded")
+	}
+	// Retirement is idempotent (a resumed teardown).
+	if err := d.RetirePartition(newPart); err != nil {
+		t.Fatalf("re-retire: %v", err)
+	}
+	// All data lives on the survivor and serves.
+	for _, k := range []string{"q", "t"} {
+		v, err := cl.Read(k)
+		if err != nil || string(v) != "v-"+k {
+			t.Fatalf("post-merge read %q = %q, %v", k, v, err)
+		}
+	}
+	entries, err := cl.Scan("a", "z", 0)
+	if err != nil || len(entries) != 4 {
+		t.Fatalf("post-merge scan = %d entries, %v", len(entries), err)
+	}
+
+	// The next split reuses the retired ring ID and partition index.
+	again := liveSplit(t, d, cl, 1, "p")
+	if again != 2 {
+		t.Fatalf("re-split partition index = %d (retired index not recycled)", again)
+	}
+	if ring := d.PartitionRing(again); ring != splitRing {
+		t.Fatalf("re-split ring = %d, want recycled %d", ring, splitRing)
+	}
+	v, err := cl.Read("q")
+	if err != nil || string(v) != "v-q" {
+		t.Fatalf("read after recycled split = %q, %v", v, err)
+	}
+	if err := cl.Insert("s", []byte("v-s")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,19 +18,44 @@ const (
 	opInsert
 	opDelete
 	opBatch
-	// opPrepareSplit freezes a key range of the source partition and
-	// returns its entries; ordered through the global ring so every
-	// replica applies the schema change at the same logical point.
-	opPrepareSplit
-	// opMigrate installs a chunk of frozen entries on the new partition's
-	// ring while the partition is still warming.
+	// opPrepareReconfig freezes the donor side of a reconfiguration (and,
+	// for a merge, arms the destination); ordered through a ring every
+	// affected replica subscribes to, so the freeze lands at the same
+	// logical point everywhere. The reconfig kind below selects the exact
+	// semantics.
+	opPrepareReconfig
+	// opMigrate installs a chunk of frozen entries on the destination
+	// partition's ring — while the partition is warming (split) or
+	// receiving (merge).
 	opMigrate
-	// opActivatePart ends the new partition's warming phase once the full
+	// opActivatePart ends a new partition's warming phase once the full
 	// range has been migrated; client commands are served afterwards.
 	opActivatePart
-	// opCommitSplit flips ownership atomically: the source partition drops
-	// the moved range and all replicas adopt the new schema epoch.
-	opCommitSplit
+	// opCommitReconfig flips ownership atomically: a split's source drops
+	// the moved range, a merge's survivor adopts the merged mapping, and
+	// the replicas on the ring adopt the new schema epoch.
+	opCommitReconfig
+	// opAbortReconfig is the ordered inverse of opPrepareReconfig: it
+	// unfreezes a prepared range, restores the pre-prepare mapping, and
+	// drops half-transferred entries, so a reconfiguration that dies
+	// between prepare and commit can be rolled back without losing the
+	// range forever.
+	opAbortReconfig
+)
+
+// Reconfiguration kinds carried by prepare/abort/commit commands.
+const (
+	// reconfigSplit: carve [key, hi) out of partition `part` for the new
+	// partition `newPart`; every replica on the ordering ring adopts the
+	// post-split mapping at prepare.
+	reconfigSplit byte = iota + 1
+	// reconfigMergeDonor: freeze partition `part` entirely — its whole
+	// range is moving to `newPart` — and return its entries. The mapping
+	// does not change until the survivor's commit.
+	reconfigMergeDonor
+	// reconfigMergeDest: arm partition `newPart` to accept epoch-tagged
+	// migrate chunks for the range it will own after the commit.
+	reconfigMergeDest
 )
 
 // errBadOp reports a malformed operation or result encoding.
@@ -43,13 +68,14 @@ var errBadOp = errors.New("store: bad encoding")
 type op struct {
 	kind    opKind
 	epoch   uint64
-	key     string // split key for opPrepareSplit
+	key     string // split key for opPrepareReconfig(split)
 	value   []byte
 	to      string // scan upper bound
 	limit   int    // scan limit
 	batch   []op   // for opBatch/opMigrate (write ops only)
-	part    uint16 // source partition (splits) / target partition (activate)
-	newPart uint16 // partition receiving the moved range (opPrepareSplit)
+	part    uint16 // donor partition (reconfig) / target partition (activate, migrate)
+	newPart uint16 // partition receiving the moved range (reconfig)
+	rkind   byte   // reconfiguration kind (reconfigSplit, ...)
 }
 
 func appendString(b []byte, s string) []byte {
@@ -97,17 +123,25 @@ func (o op) encode() []byte {
 		b = appendString(b, o.key)
 		b = appendString(b, o.to)
 		b = binary.BigEndian.AppendUint32(b, uint32(o.limit))
-	case opBatch, opMigrate:
+	case opBatch:
 		b = binary.BigEndian.AppendUint32(b, uint32(len(o.batch)))
 		for _, sub := range o.batch {
 			enc := sub.encode()
 			b = appendBytes(b, enc)
 		}
-	case opPrepareSplit:
+	case opMigrate:
+		b = binary.BigEndian.AppendUint16(b, o.part)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(o.batch)))
+		for _, sub := range o.batch {
+			enc := sub.encode()
+			b = appendBytes(b, enc)
+		}
+	case opPrepareReconfig, opAbortReconfig, opCommitReconfig:
+		b = append(b, o.rkind)
 		b = binary.BigEndian.AppendUint16(b, o.part)
 		b = binary.BigEndian.AppendUint16(b, o.newPart)
 		b = appendString(b, o.key)
-	case opActivatePart, opCommitSplit:
+	case opActivatePart:
 		b = binary.BigEndian.AppendUint16(b, o.part)
 	}
 	return b
@@ -140,6 +174,13 @@ func decodeOp(b []byte) (op, error) {
 			o.limit = int(binary.BigEndian.Uint32(b))
 		}
 	case opBatch, opMigrate:
+		if o.kind == opMigrate {
+			if len(b) < 2 {
+				return op{}, errBadOp
+			}
+			o.part = binary.BigEndian.Uint16(b)
+			b = b[2:]
+		}
 		if len(b) < 4 {
 			return op{}, errBadOp
 		}
@@ -161,14 +202,15 @@ func decodeOp(b []byte) (op, error) {
 			}
 			o.batch = append(o.batch, sub)
 		}
-	case opPrepareSplit:
-		if len(b) < 4 {
+	case opPrepareReconfig, opAbortReconfig, opCommitReconfig:
+		if len(b) < 5 {
 			return op{}, errBadOp
 		}
-		o.part = binary.BigEndian.Uint16(b)
-		o.newPart = binary.BigEndian.Uint16(b[2:])
-		o.key, _, err = takeString(b[4:])
-	case opActivatePart, opCommitSplit:
+		o.rkind = b[0]
+		o.part = binary.BigEndian.Uint16(b[1:])
+		o.newPart = binary.BigEndian.Uint16(b[3:])
+		o.key, _, err = takeString(b[5:])
+	case opActivatePart:
 		if len(b) < 2 {
 			return op{}, errBadOp
 		}

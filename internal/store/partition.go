@@ -58,12 +58,18 @@ func (p *HashPartitioner) PartitionsForRange(_, _ string) []int {
 // [bounds[i-1], bounds[i]), with the first slot unbounded below and the
 // last unbounded above. Each slot maps to a partition index through an
 // assignment table, so an online split can carve a new slot out of an
-// existing partition and hand it to a freshly added partition index
-// without renumbering any other partition (renumbering would silently
-// remap every deployed replica group).
+// existing partition and hand it to a freshly added partition index, and
+// an online merge can hand a partition's slots to a neighbor and drop the
+// partition index — in both cases without renumbering any other partition
+// (renumbering would silently remap every deployed replica group).
+//
+// The partition index space may therefore be sparse: merging away a
+// partition whose index is not the highest leaves that index permanently
+// retired (no slot assigns to it), while merging away the highest index
+// shrinks the space so the index can be recycled by a later split.
 type RangePartitioner struct {
-	bounds []string // len = n-1, sorted
-	assign []int    // len = n; assign[slot] = partition index (a permutation of 0..n-1)
+	bounds []string // len = slots-1, sorted
+	assign []int    // len = slots; assign[slot] = partition index owning it
 }
 
 // NewRangePartitioner creates a range partitioner with the given upper
@@ -80,22 +86,30 @@ func NewRangePartitioner(bounds []string) *RangePartitioner {
 }
 
 // newRangePartitionerAssigned rebuilds a partitioner from published schema
-// state (bounds must already be sorted; assign a permutation of 0..n-1).
+// state (bounds must already be sorted). The assignment need not be a
+// permutation: after a merge a partition owns several slots, and retired
+// indexes of merged-away partitions may be absent entirely. It must only
+// be well-formed — non-negative indexes, one per slot.
 func newRangePartitionerAssigned(bounds []string, assign []int) (*RangePartitioner, error) {
 	if len(assign) != len(bounds)+1 {
 		return nil, fmt.Errorf("store: %d assignments for %d slots", len(assign), len(bounds)+1)
 	}
-	seen := make([]bool, len(assign))
 	for _, a := range assign {
-		if a < 0 || a >= len(assign) || seen[a] {
-			return nil, fmt.Errorf("store: assignment %v is not a permutation", assign)
+		if a < 0 || a > 0xFFFF {
+			return nil, fmt.Errorf("store: assignment %v out of range", assign)
 		}
-		seen[a] = true
 	}
 	return &RangePartitioner{
 		bounds: append([]string(nil), bounds...),
 		assign: append([]int(nil), assign...),
 	}, nil
+}
+
+// NewRangePartitionerAssigned rebuilds a partitioner from recorded bounds
+// and slot assignments (the shape LoadSchema and reconfiguration intent
+// records carry).
+func NewRangePartitionerAssigned(bounds []string, assign []int) (*RangePartitioner, error) {
+	return newRangePartitionerAssigned(bounds, assign)
 }
 
 // Bounds returns the boundary keys (copy).
@@ -104,8 +118,19 @@ func (p *RangePartitioner) Bounds() []string { return append([]string(nil), p.bo
 // Assignments returns the slot-to-partition table (copy).
 func (p *RangePartitioner) Assignments() []int { return append([]int(nil), p.assign...) }
 
-// N implements Partitioner.
-func (p *RangePartitioner) N() int { return len(p.assign) }
+// N implements Partitioner: the size of the partition index space,
+// 1 + the highest assigned index. Retired indexes of merged-away
+// partitions below the maximum still count — indexes are never renumbered,
+// so arrays indexed by partition must span them.
+func (p *RangePartitioner) N() int {
+	max := 0
+	for _, a := range p.assign {
+		if a > max {
+			max = a
+		}
+	}
+	return max + 1
+}
 
 func (p *RangePartitioner) slotOf(key string) int {
 	// First boundary strictly greater than key identifies the slot.
@@ -119,7 +144,8 @@ func (p *RangePartitioner) PartitionOf(key string) int {
 
 // PartitionsForRange implements Partitioner: only partitions overlapping
 // [from, to] are involved (this is what makes range-partitioned scans
-// cheaper, Section 6.1).
+// cheaper, Section 6.1). A partition owning several slots after a merge
+// appears once.
 func (p *RangePartitioner) PartitionsForRange(from, to string) []int {
 	lo := p.slotOf(from)
 	hi := len(p.assign) - 1
@@ -127,8 +153,12 @@ func (p *RangePartitioner) PartitionsForRange(from, to string) []int {
 		hi = p.slotOf(to)
 	}
 	out := make([]int, 0, hi-lo+1)
+	seen := make(map[int]bool, hi-lo+1)
 	for i := lo; i <= hi; i++ {
-		out = append(out, p.assign[i])
+		if !seen[p.assign[i]] {
+			seen[p.assign[i]] = true
+			out = append(out, p.assign[i])
+		}
 	}
 	return out
 }
@@ -155,5 +185,56 @@ func (p *RangePartitioner) Split(splitKey string, newPart int) (*RangePartitione
 	assign = append(assign, p.assign[:s+1]...) // slot s keeps [lo, splitKey)
 	assign = append(assign, newPart)           // new slot [splitKey, hi)
 	assign = append(assign, p.assign[s+1:]...)
+	return &RangePartitioner{bounds: bounds, assign: assign}, nil
+}
+
+// Merge returns a new partitioner in which every slot of partition donor is
+// handed to partition survivor, dropping the donor's index from the
+// assignment without renumbering any other partition — the inverse of
+// Split, and the key-mapping half of an online partition merge. The donor
+// must own a slot adjacent to one of the survivor's (merging adjacent
+// ranges is what keeps range scans contiguous). Adjacent slots with the
+// same owner are coalesced, removing the boundary between them, so a later
+// split at the same key works again; when the donor held the highest index
+// the index space shrinks and the index can be recycled.
+func (p *RangePartitioner) Merge(donor, survivor int) (*RangePartitioner, error) {
+	if donor == survivor {
+		return nil, fmt.Errorf("store: merge of partition %d into itself", donor)
+	}
+	donorSlots, survivorSlots, adjacent := 0, 0, false
+	for i, a := range p.assign {
+		switch a {
+		case donor:
+			donorSlots++
+			if (i > 0 && p.assign[i-1] == survivor) || (i+1 < len(p.assign) && p.assign[i+1] == survivor) {
+				adjacent = true
+			}
+		case survivor:
+			survivorSlots++
+		}
+	}
+	if donorSlots == 0 {
+		return nil, fmt.Errorf("store: merge donor %d owns no range", donor)
+	}
+	if survivorSlots == 0 {
+		return nil, fmt.Errorf("store: merge survivor %d owns no range", survivor)
+	}
+	if !adjacent {
+		return nil, fmt.Errorf("store: partitions %d and %d are not adjacent", donor, survivor)
+	}
+	bounds := append([]string(nil), p.bounds...)
+	assign := append([]int(nil), p.assign...)
+	for i, a := range assign {
+		if a == donor {
+			assign[i] = survivor
+		}
+	}
+	// Coalesce same-owner neighbors: drop the boundary between them.
+	for i := len(assign) - 1; i > 0; i-- {
+		if assign[i] == assign[i-1] {
+			assign = append(assign[:i], assign[i+1:]...)
+			bounds = append(bounds[:i-1], bounds[i:]...)
+		}
+	}
 	return &RangePartitioner{bounds: bounds, assign: assign}, nil
 }

@@ -27,16 +27,19 @@ func TestSMPrepareFreezesMovedRange(t *testing.T) {
 		t.Fatalf("foreign key read = %+v", res)
 	}
 
-	res := execOp(t, sm, op{kind: opPrepareSplit, epoch: 2, part: 1, newPart: 2, key: "p"})
+	res := execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: 2, part: 1, newPart: 2, key: "p"})
 	if res.status != statusOK || len(res.entries) != 2 {
 		t.Fatalf("prepare = %+v", res)
 	}
 	if res.entries[0].Key != "q" || res.entries[1].Key != "t" {
 		t.Fatalf("moved entries = %+v", res.entries)
 	}
-	// Duplicate prepare (recovery replay) is a no-op.
-	if res := execOp(t, sm, op{kind: opPrepareSplit, epoch: 2, part: 1, newPart: 2, key: "p"}); len(res.entries) != 0 {
-		t.Fatalf("duplicate prepare returned entries: %+v", res)
+	// A second prepare at the same epoch is a retry after an abort whose
+	// ordered abort may still be in flight: it resolves the old attempt
+	// and re-freezes, returning the entries again. (Literal duplicates
+	// cannot reach the SM — the SMR layer deduplicates client commands.)
+	if res := execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: 2, part: 1, newPart: 2, key: "p"}); len(res.entries) != 2 {
+		t.Fatalf("re-prepare = %+v", res)
 	}
 	// Frozen range: reads and writes redirect with the current epoch.
 	res = execOp(t, sm, op{kind: opRead, epoch: 1, key: "q"})
@@ -66,7 +69,7 @@ func TestSMPrepareFreezesMovedRange(t *testing.T) {
 		t.Fatal("rejected batch partially applied")
 	}
 
-	execOp(t, sm, op{kind: opCommitSplit, epoch: 2, part: 1})
+	execOp(t, sm, op{kind: opCommitReconfig, rkind: reconfigSplit, epoch: 2, part: 1})
 	if sm.Epoch() != 2 {
 		t.Fatalf("epoch after commit = %d", sm.Epoch())
 	}
@@ -103,7 +106,7 @@ func TestSMWarmingLifecycle(t *testing.T) {
 	if res := execOp(t, sm, op{kind: opRead, epoch: 2, key: "q"}); res.status != statusWrongEpoch {
 		t.Fatalf("warming read = %+v", res)
 	}
-	res := execOp(t, sm, op{kind: opMigrate, epoch: 2, batch: []op{
+	res := execOp(t, sm, op{kind: opMigrate, epoch: 2, part: 2, batch: []op{
 		{kind: opInsert, key: "q", value: []byte("vq")},
 		{kind: opInsert, key: "t", value: []byte("vt")},
 	}})
@@ -119,7 +122,7 @@ func TestSMWarmingLifecycle(t *testing.T) {
 		t.Fatalf("activated read = %+v", res)
 	}
 	// Migration chunks are only valid while warming.
-	if res := execOp(t, sm, op{kind: opMigrate, epoch: 2, batch: nil}); res.status != statusError {
+	if res := execOp(t, sm, op{kind: opMigrate, epoch: 2, part: 2, batch: nil}); res.status != statusError {
 		t.Fatalf("late migrate = %+v", res)
 	}
 }
@@ -132,7 +135,7 @@ func TestSMSnapshotCarriesSchemaState(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		execOp(t, sm, op{kind: opInsert, epoch: 1, key: fmt.Sprintf("k%02d", i), value: []byte("v")})
 	}
-	execOp(t, sm, op{kind: opPrepareSplit, epoch: 2, part: 1, newPart: 2, key: "k05"})
+	execOp(t, sm, op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: 2, part: 1, newPart: 2, key: "k05"})
 
 	restored := NewSM(1, NewRangePartitioner([]string{"g"}))
 	restored.Restore(sm.Snapshot())
@@ -143,8 +146,8 @@ func TestSMSnapshotCarriesSchemaState(t *testing.T) {
 		t.Fatalf("restored kept read = %+v", res)
 	}
 	// The restored replica applies the commit exactly like the original.
-	execOp(t, sm, op{kind: opCommitSplit, epoch: 2, part: 1})
-	execOp(t, restored, op{kind: opCommitSplit, epoch: 2, part: 1})
+	execOp(t, sm, op{kind: opCommitReconfig, rkind: reconfigSplit, epoch: 2, part: 1})
+	execOp(t, restored, op{kind: opCommitReconfig, rkind: reconfigSplit, epoch: 2, part: 1})
 	if string(sm.Snapshot()) != string(restored.Snapshot()) {
 		t.Fatal("snapshots diverged after commit")
 	}
@@ -158,17 +161,17 @@ func TestSMSnapshotCarriesSchemaState(t *testing.T) {
 func TestOpCodecSplitKinds(t *testing.T) {
 	ops := []op{
 		{kind: opRead, epoch: 7, key: "k"},
-		{kind: opPrepareSplit, epoch: 9, part: 3, newPart: 4, key: "split"},
+		{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: 9, part: 3, newPart: 4, key: "split"},
 		{kind: opActivatePart, epoch: 9, part: 4},
-		{kind: opCommitSplit, epoch: 9, part: 3},
-		{kind: opMigrate, epoch: 9, batch: []op{{kind: opInsert, epoch: 9, key: "x", value: []byte("1")}}},
+		{kind: opCommitReconfig, rkind: reconfigSplit, epoch: 9, part: 3},
+		{kind: opMigrate, epoch: 9, part: 4, batch: []op{{kind: opInsert, epoch: 9, key: "x", value: []byte("1")}}},
 	}
 	for _, o := range ops {
 		got, err := decodeOp(o.encode())
 		if err != nil {
 			t.Fatalf("%d: %v", o.kind, err)
 		}
-		if got.kind != o.kind || got.epoch != o.epoch || got.key != o.key ||
+		if got.kind != o.kind || got.rkind != o.rkind || got.epoch != o.epoch || got.key != o.key ||
 			got.part != o.part || got.newPart != o.newPart || len(got.batch) != len(o.batch) {
 			t.Fatalf("round trip %+v -> %+v", o, got)
 		}

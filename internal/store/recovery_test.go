@@ -56,7 +56,7 @@ func liveSplit(t *testing.T, d *Deployment, cl *Client, src int, splitKey string
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ring, addrs, err := d.AddPartition(next, epoch)
+	ring, addrs, err := d.AddPartition(next, newPart, epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,14 +74,14 @@ func liveSplit(t *testing.T, d *Deployment, cl *Client, src int, splitKey string
 		if hi > len(moved) {
 			hi = len(moved)
 		}
-		if err := cl.MigrateChunk(ring, epoch, moved[lo:hi]); err != nil {
+		if err := cl.MigrateChunk(ring, newPart, epoch, moved[lo:hi]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := cl.ActivatePartition(ring, newPart, epoch); err != nil {
 		t.Fatal(err)
 	}
-	d.AdoptSplit(epoch, next)
+	d.AdoptReconfig(epoch, next)
 	if err := cl.CommitSplit(via, src, epoch); err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,8 @@ func TestRecoverUncommittedSplitPartitionFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, _, _, err := d.AddPartition(next, d.Epoch()+1)
+	part := 2
+	_, _, err = d.AddPartition(next, part, d.Epoch()+1)
 	if err != nil {
 		t.Fatal(err)
 	}

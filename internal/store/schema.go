@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"mrp/internal/msg"
@@ -9,10 +10,15 @@ import (
 	"mrp/internal/transport"
 )
 
-// schemaPath is where the partitioning schema lives in the coordination
+// SchemaPath is where the partitioning schema lives in the coordination
 // service ("the partitioning schema is stored in Zookeeper and accessible
 // to all processes", Section 7.2).
-const schemaPath = "/mrp-store/schema"
+const SchemaPath = "/mrp-store/schema"
+
+// ErrNoSchema reports that the coordination service has no published
+// schema yet — a legitimate state for a deployment that never published,
+// as opposed to a registry error or a corrupt schema node.
+var ErrNoSchema = errors.New("store: no schema published")
 
 // Schema is the client-visible description of a deployment: how keys map
 // to partitions, which ring orders each partition's commands, and where
@@ -28,18 +34,21 @@ const schemaPath = "/mrp-store/schema"
 //     using compare-and-set on the registry node so a concurrent publisher
 //     is detected instead of silently overwritten (PublishSchemaCAS).
 //  2. Replicas learn epoch changes only through totally-ordered commands
-//     on their rings (opPrepareSplit / opCommitSplit), never by watching
-//     the registry — so all replicas of a partition switch mappings at the
-//     same logical point in the delivery order.
+//     on their rings (opPrepareReconfig / opCommitReconfig /
+//     opAbortReconfig), never by watching the registry — so all replicas
+//     of a partition switch mappings at the same logical point in the
+//     delivery order.
 //  3. Clients cache the schema and watch the registry node
 //     (WatchSchema); a replica answering statusWrongEpoch is the typed
 //     redirect telling a stale client to refresh and re-route before
 //     retrying. Watch delivery is coalescing and non-blocking, so slow
 //     clients can never stall the registry.
 //
-// A schema with a higher Epoch always describes a superset of the
-// partitions of its predecessor: splits only append partition indexes,
-// they never renumber existing ones (see RangePartitioner.Split).
+// Partition indexes are stable across epochs: splits only append indexes
+// and merges only retire them — neither renumbers a surviving partition
+// (see RangePartitioner.Split and RangePartitioner.Merge). A retired
+// index keeps its slot in the per-partition arrays, marked in Retired,
+// until the index space shrinks past it.
 type Schema struct {
 	// Epoch is the schema version; bumped by one on every rebalance.
 	Epoch uint64 `json:"epoch"`
@@ -67,6 +76,10 @@ type Schema struct {
 	// the global ring. Partitions added by a live split are not members of
 	// the global ring; scans touching them fan out per partition.
 	OnGlobal []bool `json:"onGlobal,omitempty"`
+	// Retired marks partition indexes merged away by an online merge: no
+	// key routes to them, their rings are torn down, and their replica
+	// lists are empty. Clients skip them when building routes.
+	Retired []bool `json:"retired,omitempty"`
 }
 
 // topologySchema snapshots the membership half of the schema — the
@@ -85,9 +98,17 @@ func (d *Deployment) topologySchema() Schema {
 		s.GlobalRingID = uint16(d.globalRing())
 	}
 	for p := 0; p < s.Partitions && p < len(d.parts); p++ {
+		if d.parts[p].retired {
+			s.Replicas = append(s.Replicas, nil)
+			s.Rings = append(s.Rings, 0)
+			s.OnGlobal = append(s.OnGlobal, false)
+			s.Retired = append(s.Retired, true)
+			continue
+		}
 		s.Replicas = append(s.Replicas, append([]transport.Addr(nil), d.parts[p].addrs...))
 		s.Rings = append(s.Rings, uint16(d.parts[p].ring))
 		s.OnGlobal = append(s.OnGlobal, d.parts[p].onGlobal)
+		s.Retired = append(s.Retired, false)
 	}
 	return s
 }
@@ -123,7 +144,7 @@ func (d *Deployment) PublishSchema(reg *registry.Registry) error {
 	if err != nil {
 		return err
 	}
-	reg.Set(schemaPath, data)
+	reg.Set(SchemaPath, data)
 	return nil
 }
 
@@ -142,7 +163,33 @@ func (d *Deployment) PublishSchemaCAS(reg *registry.Registry, expect uint64) (ui
 	if err != nil {
 		return 0, false, err
 	}
-	v, ok := reg.CompareAndSet(schemaPath, data, expect)
+	v, ok := reg.CompareAndSet(SchemaPath, data, expect)
+	return v, ok, nil
+}
+
+// PublishSchemaAsCAS publishes the deployment's current schema under the
+// caller-chosen epoch instead of the committed one. It exists for exactly
+// one caller: an aborted reconfiguration that already published its
+// schema must overwrite it with the reverted mapping, and republishing at
+// the (lower) reverted epoch would wedge every client that saw the
+// aborted epoch — client refreshes rightly refuse to install an older
+// epoch. Republishing the reverted mapping under the aborted epoch keeps
+// client epochs monotonic; the next reconfiguration reuses the same epoch
+// with a new mapping, which watchers install because refreshes accept
+// equal epochs.
+func (d *Deployment) PublishSchemaAsCAS(reg *registry.Registry, epoch, expect uint64) (uint64, bool, error) {
+	d.mu.RLock()
+	s, err := d.buildSchema()
+	d.mu.RUnlock()
+	if err != nil {
+		return 0, false, err
+	}
+	s.Epoch = epoch
+	data, err := json.Marshal(s)
+	if err != nil {
+		return 0, false, err
+	}
+	v, ok := reg.CompareAndSet(SchemaPath, data, expect)
 	return v, ok, nil
 }
 
@@ -155,9 +202,9 @@ func LoadSchema(reg *registry.Registry) (Schema, error) {
 // LoadSchemaAt reads the published schema together with its registry
 // version (the CAS token for the next publish).
 func LoadSchemaAt(reg *registry.Registry) (Schema, uint64, error) {
-	data, version, ok := reg.Get(schemaPath)
+	data, version, ok := reg.Get(SchemaPath)
 	if !ok {
-		return Schema{}, 0, fmt.Errorf("store: no schema published at %s", schemaPath)
+		return Schema{}, 0, fmt.Errorf("%w at %s", ErrNoSchema, SchemaPath)
 	}
 	var s Schema
 	if err := json.Unmarshal(data, &s); err != nil {
@@ -169,7 +216,7 @@ func LoadSchemaAt(reg *registry.Registry) (Schema, uint64, error) {
 // WatchSchema returns a coalescing event channel that fires whenever the
 // published schema changes; watchers re-read with LoadSchema on wakeup.
 func WatchSchema(reg *registry.Registry) <-chan registry.Event {
-	return reg.Watch(schemaPath)
+	return reg.Watch(SchemaPath)
 }
 
 // PartitionerFor builds the partitioner the schema describes.
@@ -178,13 +225,16 @@ func (s Schema) PartitionerFor() (Partitioner, error) {
 	case "hash":
 		return NewHashPartitioner(s.Partitions), nil
 	case "range":
-		if len(s.Bounds) != s.Partitions-1 {
-			return nil, fmt.Errorf("store: schema has %d bounds for %d partitions",
-				len(s.Bounds), s.Partitions)
-		}
 		if s.Assign == nil {
+			// Legacy schema: slot i is partition i, so slots == partitions.
+			if len(s.Bounds) != s.Partitions-1 {
+				return nil, fmt.Errorf("store: schema has %d bounds for %d partitions",
+					len(s.Bounds), s.Partitions)
+			}
 			return NewRangePartitioner(s.Bounds), nil
 		}
+		// Assigned schema: slot and partition counts diverge once a merge
+		// coalesces slots or retires an index; only their relation holds.
 		return newRangePartitionerAssigned(s.Bounds, s.Assign)
 	default:
 		return nil, fmt.Errorf("store: unknown partitioning kind %q", s.Kind)

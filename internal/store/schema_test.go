@@ -138,9 +138,19 @@ func TestSchemaAssignRoundTrip(t *testing.T) {
 	if split.PartitionOf("i") != 1 || split.PartitionOf("j") != 3 || split.PartitionOf("z") != 2 {
 		t.Fatalf("split assignment wrong: %v / %v", split.Bounds(), split.Assignments())
 	}
-	bad := Schema{Kind: "range", Partitions: 4, Bounds: split.Bounds(), Assign: []int{0, 0, 1, 2}}
+	// Duplicate assignments are legal (a merge survivor owns several
+	// slots), but malformed ones are still rejected.
+	dup := Schema{Kind: "range", Partitions: 3, Bounds: split.Bounds(), Assign: []int{0, 0, 1, 2}}
+	if _, err := dup.PartitionerFor(); err != nil {
+		t.Fatalf("merge-shaped assignment rejected: %v", err)
+	}
+	bad := Schema{Kind: "range", Partitions: 4, Bounds: split.Bounds(), Assign: []int{0, -1, 1, 2}}
 	if _, err := bad.PartitionerFor(); err == nil {
-		t.Fatal("non-permutation assignment accepted")
+		t.Fatal("negative assignment accepted")
+	}
+	short := Schema{Kind: "range", Partitions: 4, Bounds: split.Bounds(), Assign: []int{0, 1}}
+	if _, err := short.PartitionerFor(); err == nil {
+		t.Fatal("short assignment accepted")
 	}
 }
 

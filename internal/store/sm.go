@@ -13,13 +13,17 @@ import (
 // reply per partition.
 //
 // The SM also carries the replica's view of the partitioning schema: the
-// current epoch, the partitioner, and — while an online split is in flight
-// — the frozen key range being moved. Commands addressing keys the
-// partition does not own under the current mapping are answered with
-// statusWrongEpoch (the typed redirect clients react to by refreshing the
-// published schema and retrying). All of this state changes only through
-// ordered commands (opPrepareSplit/opActivatePart/opCommitSplit), so every
-// replica of a partition transitions at the same logical point.
+// current epoch, the partitioner, and — while an online reconfiguration is
+// in flight — the pending state between the ordered prepare and its
+// ordered commit or abort. Commands addressing keys the partition does not
+// own (or cannot currently serve) under the current mapping are answered
+// with statusWrongEpoch (the typed redirect clients react to by refreshing
+// the published schema and retrying). All of this state changes only
+// through ordered commands (opPrepareReconfig / opActivatePart /
+// opCommitReconfig / opAbortReconfig), so every replica of a partition
+// transitions at the same logical point — which is also what makes every
+// phase crash-recoverable: replaying the ring reproduces the exact same
+// schema state, including a prepare that was later aborted.
 type SM struct {
 	partition   int
 	partitioner Partitioner
@@ -27,17 +31,35 @@ type SM struct {
 
 	// epoch is the schema epoch this replica has committed.
 	epoch uint64
-	// pendingEpoch is the epoch of a prepared-but-uncommitted split.
-	pendingEpoch uint64
 	// warming marks a freshly added partition that has not yet received
 	// its full key range; it rejects client commands until activated.
 	warming bool
+
+	// Pending reconfiguration state, set by opPrepareReconfig and cleared
+	// by opCommitReconfig / opAbortReconfig.
+	//
+	// pendingEpoch is the epoch of the prepared-but-uncommitted change and
+	// pendingKind its reconfig kind. prev is the mapping to restore on
+	// abort (a split installs the post-split mapping already at prepare).
+	pendingEpoch uint64
+	pendingKind  byte
+	prev         Partitioner
 	// migrating marks the split source between prepare and commit: the
 	// moved range [movedFrom, ...) is frozen (reads and writes redirected)
 	// but still physically present so scans stay complete.
 	migrating bool
 	movedFrom string
 	movedPart int
+	// frozen marks the merge donor from its prepare until its ring is
+	// torn down: its whole range is moving, so every command — keyed ops
+	// and scans alike — is redirected. (Scans of the frozen data would be
+	// exact until the survivor's commit, but the donor never learns of
+	// that commit — it rides the survivor's ring — so serving them would
+	// risk a stale read the moment the survivor starts accepting writes.)
+	frozen bool
+	// receiving marks the merge survivor between prepare and commit: it
+	// accepts epoch-tagged migrate chunks for the range it will own.
+	receiving bool
 }
 
 var _ smr.StateMachine = (*SM)(nil)
@@ -65,6 +87,10 @@ func (s *SM) Epoch() uint64 { return s.epoch }
 // Warming reports whether the partition still awaits activation.
 func (s *SM) Warming() bool { return s.warming }
 
+// Pending reports the epoch of a prepared-but-unresolved reconfiguration
+// (0 when none is in flight; test/inspection helper).
+func (s *SM) Pending() uint64 { return s.pendingEpoch }
+
 // Execute implements smr.StateMachine.
 func (s *SM) Execute(raw []byte) []byte {
 	o, err := decodeOp(raw)
@@ -81,8 +107,8 @@ func (s *SM) wrongEpoch() result {
 }
 
 // owns reports whether this partition serves key under the current
-// mapping. During a migration the moved range is already assigned to the
-// new partition, so frozen keys fail this check — which is exactly the
+// mapping. During a split migration the moved range is already assigned to
+// the new partition, so frozen keys fail this check — which is exactly the
 // redirect the protocol wants.
 func (s *SM) owns(key string) bool {
 	return s.partitioner.PartitionOf(key) == s.partition
@@ -92,19 +118,25 @@ func (s *SM) apply(o op) result {
 	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
 	switch o.kind {
 	case opRead, opUpdate, opInsert, opDelete:
-		if s.warming || !s.owns(o.key) {
+		if s.warming || s.frozen || !s.owns(o.key) {
 			return s.wrongEpoch()
 		}
 		return s.applyKeyed(o)
 	case opScan:
-		if s.warming || (o.epoch != 0 && o.epoch < s.epoch) {
+		if s.warming || s.frozen || (o.epoch != 0 && o.epoch < s.epoch) {
 			// A scan routed under a superseded schema may be missing whole
 			// partitions from its fan-out; make the client re-plan it.
 			return s.wrongEpoch()
 		}
+		if s.receiving && o.epoch != 0 && o.epoch >= s.pendingEpoch {
+			// The client already routes under the post-merge schema but the
+			// survivor has not committed the merged mapping yet: serving now
+			// would silently omit the donor's range. Redirect until commit.
+			return s.wrongEpoch()
+		}
 		res.entries = s.scanOwned(o.key, o.to, o.limit)
 	case opBatch:
-		if s.warming {
+		if s.warming || s.frozen {
 			return s.wrongEpoch()
 		}
 		for _, sub := range o.batch {
@@ -120,15 +152,16 @@ func (s *SM) apply(o op) result {
 			}
 		}
 	case opMigrate:
-		if !s.warming {
+		accepting := s.warming || (s.receiving && o.epoch == s.pendingEpoch)
+		if !accepting || int(o.part) != s.partition {
 			return result{status: statusError, partition: uint16(s.partition), epoch: s.epoch}
 		}
 		for _, sub := range o.batch {
 			s.data.Put(sub.key, sub.value)
 			res.count++
 		}
-	case opPrepareSplit:
-		return s.applyPrepareSplit(o)
+	case opPrepareReconfig:
+		return s.applyPrepare(o)
 	case opActivatePart:
 		switch {
 		case s.partition == int(o.part) && s.warming:
@@ -144,17 +177,10 @@ func (s *SM) apply(o op) result {
 			// the coordinator proceed while the partition stays warming.
 			res.status = statusError
 		}
-	case opCommitSplit:
-		if o.epoch > s.epoch {
-			s.epoch = o.epoch
-			if s.migrating && s.partition == int(o.part) {
-				s.dropMovedRange()
-			}
-			s.migrating = false
-			s.movedFrom = ""
-			s.movedPart = 0
-		}
-		res.epoch = s.epoch
+	case opCommitReconfig:
+		return s.applyCommit(o)
+	case opAbortReconfig:
+		return s.applyAbort(o)
 	default:
 		res.status = statusError
 	}
@@ -195,12 +221,14 @@ func (s *SM) applyKeyed(o op) result {
 }
 
 // scanOwned scans the shard, filtered to keys this partition currently
-// owns — plus, while migrating, the frozen moved range (still physically
-// present here and not yet served anywhere else; the client keeps the
-// owner's copy when both sides report a key).
+// owns — plus, while a split is migrating, the frozen moved range (still
+// physically present here and not yet served anywhere else; the client
+// keeps the owner's copy when both sides report a key). A receiving merge
+// survivor filters half-transferred donor entries out the same way: they
+// are not owned until the commit.
 func (s *SM) scanOwned(from, to string, limit int) []Entry {
-	if !s.migrating {
-		// Outside a migration the shard holds only owned keys (inserts are
+	if !s.migrating && !s.receiving {
+		// The common case: the shard holds only owned keys (inserts are
 		// ownership-checked and commits drop moved ranges), so the limit
 		// pushes down to the sorted map and the filter is a cheap
 		// invariant guard.
@@ -213,13 +241,14 @@ func (s *SM) scanOwned(from, to string, limit int) []Entry {
 		}
 		return out
 	}
-	// Migration window: the frozen moved range is interleaved with owned
-	// keys, so the limit only applies after filtering.
+	// Reconfiguration window: a split donor's frozen moved range, or a
+	// merge survivor's half-received chunks, interleave with owned keys —
+	// the limit only applies after filtering.
 	raw := s.data.Scan(from, to, 0)
 	out := make([]Entry, 0, len(raw))
 	for _, e := range raw {
 		p := s.partitioner.PartitionOf(e.Key)
-		if p == s.partition || p == s.movedPart {
+		if p == s.partition || (s.migrating && p == s.movedPart) {
 			out = append(out, e)
 			if limit > 0 && len(out) >= limit {
 				break
@@ -229,14 +258,109 @@ func (s *SM) scanOwned(from, to string, limit int) []Entry {
 	return out
 }
 
+// resolveStraggler reconciles pending state left by an earlier epoch
+// before a newer ordered admin command applies. A reconfiguration's
+// commit and the next reconfiguration's prepare can ride different rings,
+// and the deterministic merge may deliver them in either order — the same
+// order on every replica, but possibly prepare-first. The epoch arithmetic
+// disambiguates: the coordinator reuses an aborted epoch for its next plan
+// and only advances past an epoch that committed, so an admin command for
+// a strictly newer epoch proves the pending epoch committed. Apply the
+// lagging commit's effects here; its eventual delivery becomes a no-op.
+func (s *SM) resolveStraggler(epoch uint64) {
+	if s.pendingEpoch == 0 || s.pendingEpoch >= epoch {
+		return
+	}
+	switch s.pendingKind {
+	case reconfigSplit:
+		if s.pendingEpoch > s.epoch {
+			s.epoch = s.pendingEpoch
+		}
+		if s.migrating {
+			s.dropMovedRange()
+		}
+	case reconfigMergeDest:
+		if rp, ok := s.partitioner.(*RangePartitioner); ok {
+			if np, err := rp.Merge(s.movedPart, s.partition); err == nil {
+				s.partitioner = np
+			}
+		}
+		if s.pendingEpoch > s.epoch {
+			s.epoch = s.pendingEpoch
+		}
+	case reconfigMergeDonor:
+		// A committed merge leaves the donor frozen until its teardown;
+		// nothing newer can legitimately target it.
+		return
+	}
+	s.clearPending()
+}
+
+// resolveAbort applies the effects of aborting the pending
+// reconfiguration: restore the pre-prepare mapping, unfreeze, drop
+// half-transferred entries.
+func (s *SM) resolveAbort() {
+	switch s.pendingKind {
+	case reconfigSplit:
+		if s.prev != nil {
+			s.partitioner = s.prev
+		}
+	case reconfigMergeDonor:
+		// Unfreezing is all it takes: the mapping never changed and the
+		// donor's data never left.
+	case reconfigMergeDest:
+		s.dropUnowned()
+	}
+	s.clearPending()
+}
+
+// applyPrepare dispatches an ordered reconfiguration prepare.
+func (s *SM) applyPrepare(o op) result {
+	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
+	s.resolveStraggler(o.epoch)
+	if o.epoch <= s.epoch {
+		return res // duplicate delivery of an already-committed change
+	}
+	if s.pendingEpoch == o.epoch {
+		// A retry of this epoch: the previous attempt aborted (a committed
+		// epoch would have advanced s.epoch past the guard above) and its
+		// ordered abort is still in flight on another ring. Resolve it
+		// before arming the retry. (Literal duplicate deliveries cannot
+		// reach the state machine: the SMR layer deduplicates per-client
+		// commands deterministically.)
+		s.resolveAbort()
+	}
+	switch o.rkind {
+	case reconfigSplit:
+		return s.applyPrepareSplit(o)
+	case reconfigMergeDonor:
+		s.pendingEpoch = o.epoch
+		s.pendingKind = o.rkind
+		if s.partition == int(o.part) {
+			s.frozen = true
+			s.movedPart = int(o.newPart)
+			res.entries = s.ownedEntries()
+		}
+	case reconfigMergeDest:
+		if s.warming || s.partition != int(o.newPart) {
+			res.status = statusError
+			return res
+		}
+		s.pendingEpoch = o.epoch
+		s.pendingKind = o.rkind
+		s.movedPart = int(o.part) // the donor, for a lagging-commit resolve
+		s.receiving = true
+	default:
+		res.status = statusError
+	}
+	return res
+}
+
 // applyPrepareSplit adopts the split partitioning and, on the source
 // partition, freezes the moved range and returns its entries so the
 // coordinator can stream them to the new partition's replicas.
 func (s *SM) applyPrepareSplit(o op) result {
 	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
-	if o.epoch <= s.epoch || o.epoch <= s.pendingEpoch {
-		return res // duplicate delivery of an already-prepared split
-	}
 	rp, ok := s.partitioner.(*RangePartitioner)
 	if !ok {
 		res.status = statusError
@@ -247,8 +371,10 @@ func (s *SM) applyPrepareSplit(o op) result {
 		res.status = statusError
 		return res
 	}
+	s.prev = s.partitioner
 	s.partitioner = np
 	s.pendingEpoch = o.epoch
+	s.pendingKind = reconfigSplit
 	if s.partition == int(o.part) {
 		s.migrating = true
 		s.movedFrom = o.key
@@ -256,6 +382,71 @@ func (s *SM) applyPrepareSplit(o op) result {
 		res.entries = s.movedEntries()
 	}
 	return res
+}
+
+// applyCommit finishes a prepared reconfiguration: the split source drops
+// the moved range, the merge survivor adopts the merged mapping, and the
+// replicas on the ring adopt the new epoch.
+func (s *SM) applyCommit(o op) result {
+	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
+	s.resolveStraggler(o.epoch)
+	if o.epoch <= s.epoch {
+		return res // duplicate delivery (or an already-resolved straggler)
+	}
+	switch o.rkind {
+	case reconfigSplit:
+		s.epoch = o.epoch
+		if s.migrating && s.partition == int(o.part) {
+			s.dropMovedRange()
+		}
+		s.clearPending()
+	case reconfigMergeDest:
+		rp, ok := s.partitioner.(*RangePartitioner)
+		if !ok {
+			res.status = statusError
+			return res
+		}
+		np, err := rp.Merge(int(o.part), int(o.newPart))
+		if err != nil {
+			res.status = statusError
+			return res
+		}
+		s.partitioner = np
+		s.epoch = o.epoch
+		s.clearPending()
+	default:
+		res.status = statusError
+		return res
+	}
+	res.epoch = s.epoch
+	return res
+}
+
+// applyAbort rolls a prepared reconfiguration back: the pre-prepare
+// mapping is restored, frozen ranges unfreeze, and half-transferred
+// entries are dropped. A replica with no matching pending state treats the
+// abort as an idempotent duplicate.
+func (s *SM) applyAbort(o op) result {
+	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
+	s.resolveStraggler(o.epoch)
+	if s.pendingEpoch == 0 || o.epoch != s.pendingEpoch {
+		return res
+	}
+	s.resolveAbort()
+	return res
+}
+
+// clearPending resets the prepared-reconfiguration state (the committed
+// mapping and epoch are managed by the caller).
+func (s *SM) clearPending() {
+	s.pendingEpoch = 0
+	s.pendingKind = 0
+	s.prev = nil
+	s.migrating = false
+	s.movedFrom = ""
+	s.movedPart = 0
+	s.frozen = false
+	s.receiving = false
 }
 
 // movedEntries returns the frozen entries of the moved range.
@@ -269,6 +460,18 @@ func (s *SM) movedEntries() []Entry {
 	return out
 }
 
+// ownedEntries returns every entry the partition owns (the merge donor's
+// transfer set: its whole range).
+func (s *SM) ownedEntries() []Entry {
+	var out []Entry
+	for _, e := range s.data.Scan("", "", 0) {
+		if s.owns(e.Key) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // dropMovedRange deletes the frozen entries after ownership has flipped.
 func (s *SM) dropMovedRange() {
 	for _, e := range s.movedEntries() {
@@ -276,29 +479,30 @@ func (s *SM) dropMovedRange() {
 	}
 }
 
-// Snapshot format version tag; bumped when schema state joined the data.
-const snapshotV2 = 2
+// dropUnowned deletes every entry the partition does not own under the
+// current mapping — on an aborting merge survivor that is exactly the set
+// of half-transferred donor chunks (everything else it holds is
+// ownership-checked on the way in).
+func (s *SM) dropUnowned() {
+	var doomed []string
+	s.data.Ascend(func(e Entry) bool {
+		if !s.owns(e.Key) {
+			doomed = append(doomed, e.Key)
+		}
+		return true
+	})
+	for _, k := range doomed {
+		s.data.Delete(k)
+	}
+}
 
-// Snapshot implements smr.StateMachine: the schema state (epoch, warming
-// and migration flags, partitioner) followed by the full shard as
-// length-prefixed key/value pairs. All fields evolve deterministically, so
-// snapshots of converged replicas remain byte-identical.
-func (s *SM) Snapshot() []byte {
-	var b []byte
-	b = append(b, snapshotV2)
-	b = binary.BigEndian.AppendUint64(b, s.epoch)
-	b = binary.BigEndian.AppendUint64(b, s.pendingEpoch)
-	var flags byte
-	if s.warming {
-		flags |= 1
-	}
-	if s.migrating {
-		flags |= 2
-	}
-	b = append(b, flags)
-	b = binary.BigEndian.AppendUint16(b, uint16(s.movedPart))
-	b = appendString(b, s.movedFrom)
-	switch p := s.partitioner.(type) {
+// Snapshot format version tag; bumped when the generalized reconfiguration
+// state (pending kind, abort-restore mapping, merge flags) joined.
+const snapshotV3 = 3
+
+// appendPartitioner encodes a partitioner for snapshots.
+func appendPartitioner(b []byte, p Partitioner) []byte {
+	switch p := p.(type) {
 	case *HashPartitioner:
 		b = append(b, 0)
 		b = binary.BigEndian.AppendUint32(b, uint32(p.n))
@@ -314,6 +518,87 @@ func (s *SM) Snapshot() []byte {
 	default:
 		b = append(b, 0xFF)
 	}
+	return b
+}
+
+// takePartitioner decodes a snapshot-encoded partitioner.
+func takePartitioner(b []byte) (Partitioner, []byte, bool) {
+	if len(b) < 1 {
+		return nil, nil, false
+	}
+	pkind := b[0]
+	b = b[1:]
+	switch pkind {
+	case 0:
+		if len(b) < 4 {
+			return nil, nil, false
+		}
+		return NewHashPartitioner(int(binary.BigEndian.Uint32(b))), b[4:], true
+	case 1:
+		if len(b) < 4 {
+			return nil, nil, false
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		bounds := make([]string, 0, n-1)
+		for i := 0; i < n-1; i++ {
+			var bound string
+			var err error
+			bound, b, err = takeString(b)
+			if err != nil {
+				return nil, nil, false
+			}
+			bounds = append(bounds, bound)
+		}
+		if len(b) < 4*n {
+			return nil, nil, false
+		}
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			assign[i] = int(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		rp, err := newRangePartitionerAssigned(bounds, assign)
+		if err != nil {
+			return nil, nil, false
+		}
+		return rp, b[4*n:], true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Snapshot implements smr.StateMachine: the schema state (epoch, pending
+// reconfiguration, partitioners) followed by the full shard as
+// length-prefixed key/value pairs. All fields evolve deterministically, so
+// snapshots of converged replicas remain byte-identical.
+func (s *SM) Snapshot() []byte {
+	var b []byte
+	b = append(b, snapshotV3)
+	b = binary.BigEndian.AppendUint64(b, s.epoch)
+	b = binary.BigEndian.AppendUint64(b, s.pendingEpoch)
+	var flags byte
+	if s.warming {
+		flags |= 1
+	}
+	if s.migrating {
+		flags |= 2
+	}
+	if s.frozen {
+		flags |= 4
+	}
+	if s.receiving {
+		flags |= 8
+	}
+	b = append(b, flags, s.pendingKind)
+	b = binary.BigEndian.AppendUint16(b, uint16(s.movedPart))
+	b = appendString(b, s.movedFrom)
+	b = appendPartitioner(b, s.partitioner)
+	if s.prev != nil {
+		b = append(b, 1)
+		b = appendPartitioner(b, s.prev)
+	} else {
+		b = append(b, 0)
+	}
 	b = binary.BigEndian.AppendUint32(b, uint32(s.data.Len()))
 	s.data.Ascend(func(e Entry) bool {
 		b = appendString(b, e.Key)
@@ -326,11 +611,12 @@ func (s *SM) Snapshot() []byte {
 // Restore implements smr.StateMachine.
 func (s *SM) Restore(b []byte) {
 	s.data = NewSortedMap()
-	if len(b) < 1 || b[0] != snapshotV2 {
+	s.clearPending()
+	if len(b) < 1 || b[0] != snapshotV3 {
 		return
 	}
 	b = b[1:]
-	if len(b) < 19 {
+	if len(b) < 20 {
 		return
 	}
 	s.epoch = binary.BigEndian.Uint64(b)
@@ -338,52 +624,28 @@ func (s *SM) Restore(b []byte) {
 	flags := b[16]
 	s.warming = flags&1 != 0
 	s.migrating = flags&2 != 0
-	s.movedPart = int(binary.BigEndian.Uint16(b[17:]))
-	b = b[19:]
+	s.frozen = flags&4 != 0
+	s.receiving = flags&8 != 0
+	s.pendingKind = b[17]
+	s.movedPart = int(binary.BigEndian.Uint16(b[18:]))
+	b = b[20:]
 	var err error
 	s.movedFrom, b, err = takeString(b)
-	if err != nil || len(b) < 1 {
+	if err != nil {
 		return
 	}
-	pkind := b[0]
-	b = b[1:]
-	switch pkind {
-	case 0:
-		if len(b) < 4 {
-			return
-		}
-		s.partitioner = NewHashPartitioner(int(binary.BigEndian.Uint32(b)))
-		b = b[4:]
-	case 1:
-		if len(b) < 4 {
-			return
-		}
-		n := int(binary.BigEndian.Uint32(b))
-		b = b[4:]
-		bounds := make([]string, 0, n-1)
-		for i := 0; i < n-1; i++ {
-			var bound string
-			bound, b, err = takeString(b)
-			if err != nil {
-				return
-			}
-			bounds = append(bounds, bound)
-		}
-		if len(b) < 4*n {
-			return
-		}
-		assign := make([]int, n)
-		for i := 0; i < n; i++ {
-			assign[i] = int(binary.BigEndian.Uint32(b[4*i:]))
-		}
-		b = b[4*n:]
-		rp, perr := newRangePartitionerAssigned(bounds, assign)
-		if perr != nil {
-			return
-		}
-		s.partitioner = rp
-	default:
+	var ok bool
+	s.partitioner, b, ok = takePartitioner(b)
+	if !ok || len(b) < 1 {
 		return
+	}
+	hasPrev := b[0] != 0
+	b = b[1:]
+	if hasPrev {
+		s.prev, b, ok = takePartitioner(b)
+		if !ok {
+			return
+		}
 	}
 	if len(b) < 4 {
 		return
