@@ -1,0 +1,29 @@
+package rebalance
+
+import (
+	"testing"
+
+	"mrp/internal/ycsb"
+)
+
+// Review scratch: split p1 -> p2, merge p2 back into p1, then try to split
+// partition 0 (a global-ring partition uninvolved in the merge).
+func TestReviewSplitOtherPartitionAfterMerge(t *testing.T) {
+	d, reg := deploySplitStore(t, true)
+	coord, err := New(Config{Store: d, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	newPart, err := coord.SplitPartition(1, ycsb.Key(750))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.MergePartitions(1, newPart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.SplitPartition(0, ycsb.Key(200)); err != nil {
+		t.Fatalf("split of partition 0 after merge: %v", err)
+	}
+}
