@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|ablations|all] [-seconds 1.5]
+//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|ablations|all] [-seconds 1.5]
 //	          [-scale 0.25] [-clients 40] [-records 5000] [-v]
 //
 // Absolute numbers depend on the host; the shapes (who wins, scaling
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,ablations,all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,ablations,all")
 	seconds := flag.Float64("seconds", 1.5, "measured seconds per data point")
 	scale := flag.Float64("scale", 0.25, "time scale for WAN latencies and disk service times")
 	clients := flag.Int("clients", 40, "client threads for the YCSB comparison")
@@ -54,6 +54,7 @@ func main() {
 	run("8", func(w io.Writer, o bench.Options) { bench.RenderFig8(w, bench.Fig8(o)) })
 	run("rebalance", func(w io.Writer, o bench.Options) { bench.RenderRebalance(w, bench.Rebalance(o)) })
 	run("merge", func(w io.Writer, o bench.Options) { bench.RenderMerge(w, bench.Merge(o)) })
+	run("autoshard", func(w io.Writer, o bench.Options) { bench.RenderAutoshard(w, bench.Autoshard(o)) })
 	run("ablations", func(w io.Writer, o bench.Options) {
 		rows := append(bench.AblationBatching(o), bench.AblationTransportBatch(o)...)
 		rows = append(rows, bench.AblationSkip(o)...)

@@ -1,0 +1,193 @@
+package autoshard
+
+import (
+	"time"
+)
+
+// Load is one partition's sampled signal for a policy tick: the op rate
+// over the last sampling interval plus the current size, from the store's
+// stats surface (store.PartitionStats).
+type Load struct {
+	// Partition is the committed partition index.
+	Partition int
+	// OpsRate is data operations per second over the last tick.
+	OpsRate float64
+	// Keys and Bytes are the partition's current size.
+	Keys  uint64
+	Bytes uint64
+	// Mergeable reports that the deployment could merge this partition
+	// away (it is off the global ring and has an adjacent survivor); the
+	// policy never proposes merging a partition the engine must refuse.
+	Mergeable bool
+}
+
+// ActionKind is what the policy wants done to a partition.
+type ActionKind int
+
+// Policy decisions.
+const (
+	// ActionNone: keep watching.
+	ActionNone ActionKind = iota
+	// ActionSplit: the partition is hot (or oversized); carve off the
+	// upper half of its range at the median key.
+	ActionSplit
+	// ActionMerge: the partition is cold and small; merge it into an
+	// adjacent survivor and retire its ring.
+	ActionMerge
+)
+
+// Action is one policy decision.
+type Action struct {
+	Kind      ActionKind
+	Partition int
+}
+
+// policy is the pure decision core of the controller: thresholds with
+// hysteresis. It is deliberately free of clocks, clusters, and goroutines
+// so the flapping properties can be unit-tested tick by tick.
+//
+// Hysteresis has three guards:
+//
+//   - Time-in-violation: a partition must violate its threshold for
+//     ViolationTicks consecutive samples before the policy acts; one
+//     oscillation below the threshold resets the streak.
+//   - Cool-down: after any action (including a failed one) the policy is
+//     silent for Cooldown, so one reconfiguration's transient — the
+//     freeze-window dip, the post-split rate redistribution — cannot
+//     trigger the next.
+//   - Split-protect: the two sides of a recent split are never merge
+//     candidates for SplitProtect, so a split followed by the load
+//     disappearing does not immediately un-split (the flap the issue's
+//     acceptance criterion forbids).
+type policy struct {
+	cfg Config
+
+	splitStreak   map[int]int
+	mergeStreak   map[int]int
+	cooldownUntil time.Time
+	protected     map[int]time.Time // split sides, by when the split happened
+}
+
+func newPolicy(cfg Config) *policy {
+	return &policy{
+		cfg:         cfg,
+		splitStreak: make(map[int]int),
+		mergeStreak: make(map[int]int),
+		protected:   make(map[int]time.Time),
+	}
+}
+
+// splitViolation reports whether a partition's sample crosses the split
+// thresholds: hot by rate, or oversized by keys — and big enough that a
+// median split is meaningful.
+func (p *policy) splitViolation(l Load) bool {
+	if l.Keys < p.cfg.MinSplitKeys {
+		return false
+	}
+	if p.cfg.SplitOpsPerSec > 0 && l.OpsRate > p.cfg.SplitOpsPerSec {
+		return true
+	}
+	return p.cfg.SplitMaxKeys > 0 && l.Keys > p.cfg.SplitMaxKeys
+}
+
+// mergeViolation reports whether a partition's sample crosses the merge
+// thresholds: cold by rate and small by keys, mergeable by the engine, and
+// not a side of a recent split.
+func (p *policy) mergeViolation(now time.Time, l Load) bool {
+	if !l.Mergeable || p.cfg.MergeOpsPerSec <= 0 {
+		return false
+	}
+	if since, ok := p.protected[l.Partition]; ok && now.Sub(since) < p.cfg.SplitProtect {
+		return false
+	}
+	if l.OpsRate >= p.cfg.MergeOpsPerSec {
+		return false
+	}
+	return p.cfg.MergeMaxKeys == 0 || l.Keys <= p.cfg.MergeMaxKeys
+}
+
+// observe ingests one sampling tick and returns at most one action — the
+// migration budget allows a single plan at a time, and the controller
+// executes it synchronously before the next tick is even read. live is
+// the committed live partition count, which the MaxPartitions cap is
+// checked against — loads may be a subset (partitions with no rate
+// baseline yet or no live replica are not sampled, but they still count
+// toward the growth bound).
+func (p *policy) observe(now time.Time, loads []Load, live int) Action {
+	seen := make(map[int]bool, len(loads))
+	var hottest, coldest *Load
+	for i := range loads {
+		l := loads[i]
+		seen[l.Partition] = true
+		if p.splitViolation(l) {
+			p.splitStreak[l.Partition]++
+			if p.splitStreak[l.Partition] >= p.cfg.ViolationTicks &&
+				(hottest == nil || l.OpsRate > hottest.OpsRate) {
+				hottest = &loads[i]
+			}
+		} else {
+			delete(p.splitStreak, l.Partition)
+		}
+		if p.mergeViolation(now, l) {
+			p.mergeStreak[l.Partition]++
+			if p.mergeStreak[l.Partition] >= p.cfg.ViolationTicks &&
+				(coldest == nil || l.OpsRate < coldest.OpsRate) {
+				coldest = &loads[i]
+			}
+		} else {
+			delete(p.mergeStreak, l.Partition)
+		}
+	}
+	// Partitions that disappeared (merged away) drop their streaks.
+	for part := range p.splitStreak {
+		if !seen[part] {
+			delete(p.splitStreak, part)
+		}
+	}
+	for part := range p.mergeStreak {
+		if !seen[part] {
+			delete(p.mergeStreak, part)
+		}
+	}
+	if now.Before(p.cooldownUntil) {
+		return Action{}
+	}
+	if live < len(loads) {
+		live = len(loads)
+	}
+	if hottest != nil && (p.cfg.MaxPartitions == 0 || live < p.cfg.MaxPartitions) {
+		return Action{Kind: ActionSplit, Partition: hottest.Partition}
+	}
+	if coldest != nil {
+		return Action{Kind: ActionMerge, Partition: coldest.Partition}
+	}
+	return Action{}
+}
+
+// acted records a completed action: cool-down starts, every streak resets,
+// and a split's two sides become merge-protected.
+func (p *policy) acted(now time.Time, a Action, newPart int) {
+	p.cooldownUntil = now.Add(p.cfg.Cooldown)
+	p.splitStreak = make(map[int]int)
+	p.mergeStreak = make(map[int]int)
+	if a.Kind == ActionSplit {
+		p.protected[a.Partition] = now
+		p.protected[newPart] = now
+	}
+}
+
+// failed records a failed action: same cool-down, so a reconfiguration
+// that cannot succeed (e.g. a stuck predecessor plan) is retried at the
+// cool-down cadence instead of hot-looping every tick.
+func (p *policy) failed(now time.Time) {
+	p.cooldownUntil = now.Add(p.cfg.Cooldown)
+	p.splitStreak = make(map[int]int)
+	p.mergeStreak = make(map[int]int)
+}
+
+// reset clears all hysteresis state; a controller losing leadership resets
+// so a later takeover starts from fresh observations.
+func (p *policy) reset() {
+	p.splitStreak = make(map[int]int)
+	p.mergeStreak = make(map[int]int)
+}

@@ -1,0 +1,198 @@
+package autoshard
+
+import (
+	"testing"
+	"time"
+)
+
+// testPolicy builds a policy with explicit thresholds: hot above 100
+// ops/s, cold below 10 ops/s, three ticks in violation, 1 s cool-down,
+// 2 s split-protect.
+func testPolicy() *policy {
+	return newPolicy(Config{
+		SplitOpsPerSec: 100,
+		MergeOpsPerSec: 10,
+		MinSplitKeys:   16,
+		ViolationTicks: 3,
+		Cooldown:       time.Second,
+		SplitProtect:   2 * time.Second,
+	})
+}
+
+func at(s float64) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(s * float64(time.Second)))
+}
+
+func hot(p int, rate float64) Load {
+	return Load{Partition: p, OpsRate: rate, Keys: 1000}
+}
+
+func cold(p int) Load {
+	return Load{Partition: p, OpsRate: 1, Keys: 100, Mergeable: true}
+}
+
+// TestPolicyOscillationDoesNotFlap feeds load oscillating around the split
+// threshold: the violation streak resets on every dip, so the policy never
+// acts no matter how long the oscillation lasts.
+func TestPolicyOscillationDoesNotFlap(t *testing.T) {
+	p := testPolicy()
+	for i := 0; i < 50; i++ {
+		rate := 150.0 // above
+		if i%3 == 2 {
+			rate = 50 // periodic dip below
+		}
+		if a := p.observe(at(float64(i)/10), []Load{hot(1, rate)}, 1); a.Kind != ActionNone {
+			t.Fatalf("tick %d: oscillating load triggered %v", i, a.Kind)
+		}
+	}
+}
+
+// TestPolicySustainedViolationSplits checks the time-in-violation guard:
+// exactly ViolationTicks consecutive hot samples trigger the split, not
+// one fewer.
+func TestPolicySustainedViolationSplits(t *testing.T) {
+	p := testPolicy()
+	for i := 0; i < 2; i++ {
+		if a := p.observe(at(float64(i)/10), []Load{hot(1, 200)}, 1); a.Kind != ActionNone {
+			t.Fatalf("tick %d: acted before the violation streak completed", i)
+		}
+	}
+	a := p.observe(at(0.2), []Load{hot(1, 200)}, 1)
+	if a.Kind != ActionSplit || a.Partition != 1 {
+		t.Fatalf("third hot tick = %+v, want split of partition 1", a)
+	}
+}
+
+// TestPolicyTooSmallToSplit: a hot partition below MinSplitKeys is never a
+// split candidate (there is nothing worth carving off).
+func TestPolicyTooSmallToSplit(t *testing.T) {
+	p := testPolicy()
+	for i := 0; i < 10; i++ {
+		l := Load{Partition: 0, OpsRate: 500, Keys: 4}
+		if a := p.observe(at(float64(i)/10), []Load{l}, 1); a.Kind != ActionNone {
+			t.Fatalf("tick %d: split of a %d-key partition", i, l.Keys)
+		}
+	}
+}
+
+// TestPolicyCooldownHonored: after an action, a sustained violation stays
+// unanswered until the cool-down expires.
+func TestPolicyCooldownHonored(t *testing.T) {
+	p := testPolicy()
+	var a Action
+	for i := 0; a.Kind == ActionNone && i < 5; i++ {
+		a = p.observe(at(float64(i)/10), []Load{hot(1, 200)}, 1)
+	}
+	if a.Kind != ActionSplit {
+		t.Fatalf("no split after sustained violation (got %+v)", a)
+	}
+	p.acted(at(0.5), a, 2)
+	// Still hot through the whole 1 s cool-down: silence.
+	for i := 0; i < 10; i++ {
+		now := at(0.5 + float64(i)/10)
+		if a := p.observe(now, []Load{hot(1, 200)}, 1); a.Kind != ActionNone {
+			t.Fatalf("acted at %v, inside the cool-down", now)
+		}
+	}
+	// First tick past the cool-down with the streak already full: act.
+	if a := p.observe(at(1.6), []Load{hot(1, 200)}, 1); a.Kind != ActionSplit {
+		t.Fatalf("no split after the cool-down expired (got %+v)", a)
+	}
+}
+
+// TestPolicyBudgetOnePlanAtATime: two simultaneously hot partitions yield
+// one decision — the hottest — and the second must wait out the cool-down
+// of the first.
+func TestPolicyBudgetOnePlanAtATime(t *testing.T) {
+	p := testPolicy()
+	loads := []Load{hot(0, 300), hot(1, 500)}
+	var a Action
+	for i := 0; a.Kind == ActionNone && i < 5; i++ {
+		a = p.observe(at(float64(i)/10), loads, len(loads))
+	}
+	if a.Kind != ActionSplit || a.Partition != 1 {
+		t.Fatalf("first decision = %+v, want split of the hottest (1)", a)
+	}
+	p.acted(at(0.4), a, 2)
+	if a := p.observe(at(0.5), loads, len(loads)); a.Kind != ActionNone {
+		t.Fatalf("second hot partition split inside the first's cool-down: %+v", a)
+	}
+	// After the cool-down — with the first split's load redistributed —
+	// the other hot partition gets its turn.
+	after := []Load{hot(0, 300), hot(1, 50), hot(2, 60)}
+	var b Action
+	for i := 0; b.Kind == ActionNone && i < 10; i++ {
+		b = p.observe(at(1.5+float64(i)/10), after, len(after))
+	}
+	if b.Kind != ActionSplit || b.Partition != 0 {
+		t.Fatalf("second decision = %+v, want split of partition 0", b)
+	}
+}
+
+// TestPolicyMaxPartitionsCapsGrowth: the budget's partition cap blocks
+// splits once the live partition count reaches it.
+func TestPolicyMaxPartitionsCapsGrowth(t *testing.T) {
+	cfg := Config{
+		SplitOpsPerSec: 100, MinSplitKeys: 16,
+		ViolationTicks: 2, Cooldown: time.Second, SplitProtect: 2 * time.Second,
+		MaxPartitions: 2,
+	}
+	p := newPolicy(cfg)
+	loads := []Load{hot(0, 300), hot(1, 500)}
+	for i := 0; i < 10; i++ {
+		if a := p.observe(at(float64(i)/10), loads, len(loads)); a.Kind != ActionNone {
+			t.Fatalf("split beyond MaxPartitions: %+v", a)
+		}
+	}
+}
+
+// TestPolicyNeverMergesFreshSplit: the cold split-born partition stays
+// merge-protected until SplitProtect has passed, then becomes a candidate.
+func TestPolicyNeverMergesFreshSplit(t *testing.T) {
+	p := testPolicy()
+	p.acted(at(0), Action{Kind: ActionSplit, Partition: 1}, 2)
+	// Partition 2 (just split off) goes cold immediately. Protected: the
+	// policy must not merge it before SplitProtect (2 s) has passed, even
+	// though the cool-down (1 s) expired earlier.
+	for i := 0; i < 19; i++ {
+		now := at(float64(i) / 10)
+		if a := p.observe(now, []Load{cold(2)}, 1); a.Kind != ActionNone {
+			t.Fatalf("merged a fresh split at %v: %+v", now, a)
+		}
+	}
+	var a Action
+	for i := 0; a.Kind == ActionNone && i < 10; i++ {
+		a = p.observe(at(2.1+float64(i)/10), []Load{cold(2)}, 1)
+	}
+	if a.Kind != ActionMerge || a.Partition != 2 {
+		t.Fatalf("protected partition never became a merge candidate (got %+v)", a)
+	}
+}
+
+// TestPolicyUnmergeablePartitionIgnored: a cold partition the engine
+// cannot merge (on the global ring, or no adjacent survivor) is never
+// proposed.
+func TestPolicyUnmergeablePartitionIgnored(t *testing.T) {
+	p := testPolicy()
+	l := cold(0)
+	l.Mergeable = false
+	for i := 0; i < 10; i++ {
+		if a := p.observe(at(float64(i)/10), []Load{l}, 1); a.Kind != ActionNone {
+			t.Fatalf("proposed merging an unmergeable partition: %+v", a)
+		}
+	}
+}
+
+// TestPolicySplitPriorityOverMerge: when a split and a merge are both due,
+// the hot partition wins the single budget slot.
+func TestPolicySplitPriorityOverMerge(t *testing.T) {
+	p := testPolicy()
+	loads := []Load{hot(0, 300), cold(1)}
+	var a Action
+	for i := 0; a.Kind == ActionNone && i < 5; i++ {
+		a = p.observe(at(float64(i)/10), loads, len(loads))
+	}
+	if a.Kind != ActionSplit || a.Partition != 0 {
+		t.Fatalf("decision = %+v, want the split to win the budget slot", a)
+	}
+}

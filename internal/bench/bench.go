@@ -11,6 +11,8 @@
 //	Rebalance impact of a live partition split (elastic rebalancing)
 //	Merge    split → merge round trip with ring retirement (bidirectional
 //	         elasticity)
+//	Autoshard load-driven controller splitting a hot partition and merging
+//	         it back after the skew shifts (auto-sharding policy)
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
 // one host, not a 32-core cluster), but the shapes — who wins, by what

@@ -192,6 +192,42 @@ func TestRebalanceSmoke(t *testing.T) {
 	}
 }
 
+func TestAutoshardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("compressed controller timeline is timing-sensitive under the race detector (the autoshard acceptance test covers -race)")
+	}
+	opts := tiny()
+	opts.PointSeconds = 0.6 // total timeline = 6s
+	res := Autoshard(opts)
+	if res.HotRate <= 0 || res.SteadyOps <= 0 {
+		t.Fatalf("no load measured: %+v", res)
+	}
+	// The controller must split under the skew and merge after the shift —
+	// exactly once each (no flapping).
+	if res.Splits != 1 || res.Merges != 1 {
+		t.Fatalf("controller splits=%d merges=%d, want 1 and 1\nevents: %v",
+			res.Splits, res.Merges, res.Events)
+	}
+	// Client throughput never collapses to zero for a full window: the
+	// controller's migrations freeze only the moving range.
+	for i, s := range res.Samples {
+		if i == 0 || !s.Complete {
+			continue
+		}
+		if s.Throughput == 0 {
+			t.Fatalf("window %d (%v): throughput hit zero\nevents: %v", i, s.At, res.Events)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAutoshard(&buf, res)
+	if !strings.Contains(buf.String(), "load-driven split") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
 func TestAblationSkipSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -14,7 +14,13 @@ type Timeline struct {
 	window time.Duration
 	ops    []uint64
 	lat    []*Histogram
+	skew   []bool // slots that absorbed clamped far-future records
 	events []Event
+	// skewedOps counts records whose timestamp lay beyond the wall-clock
+	// present (a skewed caller clock); they are folded into the newest
+	// legitimate window instead of allocating one histogram per bogus
+	// window in between.
+	skewedOps uint64
 }
 
 // Event marks a point in time with a label (e.g. "replica terminated",
@@ -39,16 +45,43 @@ func (t *Timeline) Start() time.Time {
 	return t.start
 }
 
+// slotSlack is how far past the wall-clock present a record's window may
+// lie before it is treated as clock skew. Small synthetic lookahead (tests
+// and simulators stamp ops a few windows ahead) stays allocatable; a badly
+// skewed clock cannot make the timeline allocate one histogram (~8 KB)
+// per window between now and the bogus timestamp.
+const slotSlack = 64
+
 func (t *Timeline) slotLocked(at time.Time) int {
 	idx := int(at.Sub(t.start) / t.window)
 	if idx < 0 {
 		idx = 0
 	}
+	clamped := false
+	if limit := int(time.Since(t.start)/t.window) + slotSlack; idx > limit {
+		// Far-future timestamp: clamp into the newest legitimate window and
+		// mark that slot as skew-polluted instead of allocating gigabytes.
+		t.skewedOps++
+		idx = limit
+		clamped = true
+	}
 	for len(t.ops) <= idx {
 		t.ops = append(t.ops, 0)
 		t.lat = append(t.lat, &Histogram{})
+		t.skew = append(t.skew, false)
+	}
+	if clamped {
+		t.skew[idx] = true
 	}
 	return idx
+}
+
+// SkewedOps reports how many records carried a timestamp so far past the
+// wall clock that they were clamped into an error-marked slot.
+func (t *Timeline) SkewedOps() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.skewedOps
 }
 
 // RecordOp records one completed operation with its latency at time now.
@@ -73,19 +106,49 @@ type Sample struct {
 	Throughput float64       // ops per second
 	MeanLat    time.Duration
 	P99Lat     time.Duration
+	// Complete reports that the window's full duration had elapsed when it
+	// was sampled. The final window is usually still in progress; its
+	// throughput is computed over the elapsed fraction, but consumers
+	// comparing windows (or asserting "never zero for a full window")
+	// should filter on Complete.
+	Complete bool
+	// Skewed marks a slot that absorbed records clamped from a far-future
+	// timestamp (see SkewedOps); its numbers are not trustworthy.
+	Skewed bool
 }
 
-// Samples returns all aggregated windows.
+// Samples returns all aggregated windows. Windows before the last cover
+// their full duration; the last window's throughput is computed over the
+// time actually elapsed within it — dividing a barely-started window's op
+// count by the full window length would under-report the current rate
+// exactly when a load controller samples it.
 func (t *Timeline) Samples() []Sample {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	now := time.Now()
 	out := make([]Sample, len(t.ops))
 	for i := range t.ops {
+		div := t.window
+		complete := true
+		if i == len(t.ops)-1 {
+			elapsed := now.Sub(t.start) - time.Duration(i)*t.window
+			if elapsed < t.window {
+				complete = false
+				// elapsed <= 0 means the window's records carry synthetic
+				// future timestamps (simulated clocks); keep the full-window
+				// divisor rather than dividing by a nonsense wall duration.
+				if elapsed > 0 {
+					div = elapsed
+				}
+			}
+		}
 		out[i] = Sample{
 			At:         time.Duration(i) * t.window,
-			Throughput: float64(t.ops[i]) / t.window.Seconds(),
+			Throughput: float64(t.ops[i]) / div.Seconds(),
 			MeanLat:    t.lat[i].Mean(),
 			P99Lat:     t.lat[i].Quantile(0.99),
+			Complete:   complete,
+			Skewed:     t.skew[i],
 		}
 	}
 	return out

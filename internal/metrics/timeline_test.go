@@ -41,6 +41,78 @@ func TestTimelineEvents(t *testing.T) {
 	}
 }
 
+// TestTimelinePartialFinalWindow is the regression test for the windowed-
+// rate bug: ops recorded in a window that has barely started must be
+// divided by the elapsed fraction, not the full window length — otherwise
+// the current rate is under-reported exactly when a controller samples it.
+func TestTimelinePartialFinalWindow(t *testing.T) {
+	tl := NewTimeline(10 * time.Second)
+	for i := 0; i < 100; i++ {
+		tl.RecordOp(time.Now(), time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	s := tl.Samples()
+	if len(s) != 1 {
+		t.Fatalf("len(samples) = %d, want 1", len(s))
+	}
+	// The naive ops/window computation would report 100/10s = 10 ops/s; the
+	// elapsed-time divisor reports the true current rate (>> 100 ops/s even
+	// on a slow host, since well under a second has elapsed).
+	if s[0].Throughput <= 100 {
+		t.Fatalf("partial-window throughput = %.1f ops/s, want the elapsed-time rate (> 100)", s[0].Throughput)
+	}
+	if s[0].Complete {
+		t.Fatal("in-progress window reported Complete")
+	}
+}
+
+// TestTimelineCompleteWindows checks the completeness flag: every window
+// before the last is complete, and the last becomes complete once its full
+// duration has elapsed.
+func TestTimelineCompleteWindows(t *testing.T) {
+	tl := NewTimeline(5 * time.Millisecond)
+	tl.RecordOp(time.Now(), time.Millisecond)
+	time.Sleep(12 * time.Millisecond)
+	tl.RecordOp(time.Now(), time.Millisecond)
+	time.Sleep(7 * time.Millisecond)
+	s := tl.Samples()
+	for i, x := range s {
+		if !x.Complete {
+			t.Fatalf("window %d not complete after its duration fully elapsed", i)
+		}
+	}
+}
+
+// TestTimelineSkewedClockClamped is the regression test for the unbounded
+// slot growth bug: a record stamped in the far future (a bad clock) must
+// not allocate one histogram per window between now and the bogus
+// timestamp — it is clamped into an error-marked slot instead.
+func TestTimelineSkewedClockClamped(t *testing.T) {
+	tl := NewTimeline(time.Millisecond)
+	tl.RecordOp(tl.Start().Add(365*24*time.Hour), time.Millisecond) // one year ahead
+	s := tl.Samples()
+	// Unclamped, this would be ~3e10 slots (~250 TB of histograms). The
+	// clamp bounds growth to the wall-clock present plus a small slack.
+	if len(s) > 10*slotSlack {
+		t.Fatalf("skewed record grew the timeline to %d slots", len(s))
+	}
+	if tl.SkewedOps() != 1 {
+		t.Fatalf("SkewedOps = %d, want 1", tl.SkewedOps())
+	}
+	last := s[len(s)-1]
+	if !last.Skewed {
+		t.Fatal("clamped slot not marked Skewed")
+	}
+	if last.Throughput <= 0 {
+		t.Fatal("clamped record not counted anywhere")
+	}
+	// Legitimate records keep flowing into unmarked slots.
+	tl.RecordOp(time.Now(), time.Millisecond)
+	if got := tl.SkewedOps(); got != 1 {
+		t.Fatalf("legitimate record counted as skewed (SkewedOps = %d)", got)
+	}
+}
+
 func TestTimelineBeforeStartClamps(t *testing.T) {
 	tl := NewTimeline(time.Second)
 	tl.RecordOp(tl.Start().Add(-5*time.Second), time.Millisecond)

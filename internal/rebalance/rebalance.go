@@ -60,9 +60,10 @@
 // engine records the plan as an intent record in the coordination service;
 // a coordinator that dies between prepare and commit is recovered by a
 // successor calling ResolvePending, which aborts an uncommitted plan (or
-// rolls a published one forward). What remains of coordinator failover is
-// electing that successor automatically — a lease on the coordinator role
-// in the registry (see ROADMAP).
+// rolls a published one forward). Electing that successor automatically is
+// the auto-sharding controller's leader lease (internal/autoshard): the
+// elected controller drives exactly one coordinator, and a takeover runs
+// ResolvePending before the policy resumes.
 //
 // # Crash recovery of replicas
 //
@@ -81,6 +82,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mrp/internal/msg"
 	"mrp/internal/registry"
@@ -156,6 +158,23 @@ func (p *Plan) prevPartitioner() (store.Partitioner, error) {
 	return store.NewRangePartitionerAssigned(p.PrevBounds, p.PrevAssign)
 }
 
+// nextPartitioner rebuilds the post-reconfiguration mapping from the
+// recorded pre-reconfiguration one — what a successor rolling the plan
+// forward must carry in the ordered commit.
+func (p *Plan) nextPartitioner() (store.Partitioner, error) {
+	prev, err := store.NewRangePartitionerAssigned(p.PrevBounds, p.PrevAssign)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Kind {
+	case PlanSplit:
+		return prev.Split(p.SplitKey, p.Dest)
+	case PlanMerge:
+		return prev.Merge(p.Donor, p.Dest)
+	}
+	return nil, fmt.Errorf("rebalance: unknown plan kind %q", p.Kind)
+}
+
 // Config parametrizes a rebalance coordinator.
 type Config struct {
 	// Store is the deployment to rebalance.
@@ -169,6 +188,13 @@ type Config struct {
 	// (default 256 — the paper's clients batch commands the same way,
 	// Section 7.2).
 	ChunkEntries int
+	// ChunkInterval, when > 0, pauses between consecutive migrate chunks —
+	// the migration budget's rate limit: a large range copy trickles onto
+	// the destination ring instead of saturating it, so client commands
+	// keep interleaving with the migration. The freeze window grows
+	// accordingly; frozen-range commands retry until the commit either
+	// way.
+	ChunkInterval time.Duration
 	// OnStep, when set, observes protocol steps ("prepare", "copy", ...)
 	// as they complete; benchmarks mark them on a metrics.Timeline.
 	OnStep func(step string)
@@ -199,6 +225,24 @@ type Coordinator struct {
 // signal: the engine returns immediately without running its abort path,
 // leaving the intent record for ResolvePending.
 var errCrash = errors.New("rebalance: simulated coordinator crash")
+
+// CrashAfter arms a one-shot simulated coordinator crash: the next plan
+// returns mid-protocol after the named step completes, without running its
+// abort path, leaving the intent record for a successor's ResolvePending.
+// It exists for failover tests of packages built on the coordinator (the
+// auto-sharding controller kills its leader mid-plan this way); production
+// code has no reason to call it.
+func (c *Coordinator) CrashAfter(step string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failpoint = func(s string) error {
+		if s == step {
+			c.failpoint = nil
+			return errCrash
+		}
+		return nil
+	}
+}
 
 // New creates a coordinator for the deployment.
 func New(cfg Config) (*Coordinator, error) {
@@ -403,8 +447,11 @@ func (c *Coordinator) runSplit(plan *Plan, next store.Partitioner) error {
 	via := msg.RingID(plan.DonorVia)
 	ring := msg.RingID(plan.DestRing)
 
-	// 2. Prepare: freeze and collect the moved range.
-	moved, err := c.client.PrepareSplit(via, plan.Donor, plan.SplitKey, plan.Dest, plan.Epoch)
+	// 2. Prepare: freeze and collect the moved range. The command carries
+	// the authoritative post-split mapping: replicas install it instead of
+	// deriving it from views that reconfigurations on other rings may have
+	// left stale.
+	moved, err := c.client.PrepareSplit(via, plan.Donor, plan.SplitKey, plan.Dest, plan.Epoch, next)
 	if err != nil {
 		return c.failed(plan, "prepare", err)
 	}
@@ -533,9 +580,10 @@ func (c *Coordinator) runMerge(plan *Plan, next store.Partitioner) error {
 		return c.failed(plan, "publish", err)
 	}
 
-	// 6. Commit: the survivor adopts the merged mapping and serves the
-	// donor's range; the donor stays frozen until its teardown.
-	if err := c.client.CommitMerge(destRing, plan.Donor, plan.Dest, plan.Epoch); err != nil {
+	// 6. Commit: the survivor adopts the merged mapping (carried with the
+	// command) and serves the donor's range; the donor stays frozen until
+	// its teardown.
+	if err := c.client.CommitMerge(destRing, plan.Donor, plan.Dest, plan.Epoch, next); err != nil {
 		return fmt.Errorf("rebalance: commit: %w (schema already published; resolve with ResolvePending)", err)
 	}
 	if err := c.step("commit"); err != nil && !errors.Is(err, errCrash) {
@@ -568,9 +616,13 @@ func (c *Coordinator) publish(plan *Plan) error {
 	return nil
 }
 
-// copyChunks streams the frozen entries to the destination ring.
+// copyChunks streams the frozen entries to the destination ring, pacing
+// consecutive chunks by the configured migration budget.
 func (c *Coordinator) copyChunks(ring msg.RingID, dest int, epoch uint64, moved []store.Entry) error {
 	for lo := 0; lo < len(moved); lo += c.cfg.ChunkEntries {
+		if lo > 0 && c.cfg.ChunkInterval > 0 {
+			time.Sleep(c.cfg.ChunkInterval)
+		}
 		hi := lo + c.cfg.ChunkEntries
 		if hi > len(moved) {
 			hi = len(moved)
@@ -674,7 +726,11 @@ func (c *Coordinator) ResolvePending() (*Plan, error) {
 			return plan, fmt.Errorf("rebalance: resuming commit: %w", err)
 		}
 	case PlanMerge:
-		if err := c.client.CommitMerge(msg.RingID(plan.DestRing), plan.Donor, plan.Dest, plan.Epoch); err != nil {
+		next, err := plan.nextPartitioner()
+		if err != nil {
+			return plan, fmt.Errorf("rebalance: resuming commit: %w", err)
+		}
+		if err := c.client.CommitMerge(msg.RingID(plan.DestRing), plan.Donor, plan.Dest, plan.Epoch, next); err != nil {
 			return plan, fmt.Errorf("rebalance: resuming commit: %w", err)
 		}
 		if err := c.cfg.Store.RetirePartition(plan.Donor); err != nil {

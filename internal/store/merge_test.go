@@ -306,7 +306,7 @@ func liveMerge(t *testing.T, d *Deployment, cl *Client, survivor, donor int) {
 		}
 	}
 	d.AdoptReconfig(epoch, next)
-	if err := cl.CommitMerge(destRing, donor, survivor, epoch); err != nil {
+	if err := cl.CommitMerge(destRing, donor, survivor, epoch, next); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.RetirePartition(donor); err != nil {

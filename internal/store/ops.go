@@ -41,6 +41,11 @@ const (
 	// between prepare and commit can be rolled back without losing the
 	// range forever.
 	opAbortReconfig
+	// opStats reads one partition's load/size accounting (key count, byte
+	// size, cumulative data ops executed) — the signal surface the
+	// auto-sharding controller samples. It is a read: it mutates nothing
+	// and does not itself count as load.
+	opStats
 )
 
 // Reconfiguration kinds carried by prepare/abort/commit commands.
@@ -76,6 +81,12 @@ type op struct {
 	part    uint16 // donor partition (reconfig) / target partition (activate, migrate)
 	newPart uint16 // partition receiving the moved range (reconfig)
 	rkind   byte   // reconfiguration kind (reconfigSplit, ...)
+	// pmap is the authoritative post-reconfiguration mapping carried by a
+	// split's prepare and a merge's commit. Replicas install it instead of
+	// deriving the next mapping from their own — a replica whose rings saw
+	// none of the intervening reconfigurations (they ride other rings) has
+	// a stale view that a local Split/Merge would reject or corrupt.
+	pmap Partitioner
 }
 
 func appendString(b []byte, s string) []byte {
@@ -141,7 +152,13 @@ func (o op) encode() []byte {
 		b = binary.BigEndian.AppendUint16(b, o.part)
 		b = binary.BigEndian.AppendUint16(b, o.newPart)
 		b = appendString(b, o.key)
-	case opActivatePart:
+		if o.pmap != nil {
+			b = append(b, 1)
+			b = appendPartitioner(b, o.pmap)
+		} else {
+			b = append(b, 0)
+		}
+	case opActivatePart, opStats:
 		b = binary.BigEndian.AppendUint16(b, o.part)
 	}
 	return b
@@ -209,8 +226,22 @@ func decodeOp(b []byte) (op, error) {
 		o.rkind = b[0]
 		o.part = binary.BigEndian.Uint16(b[1:])
 		o.newPart = binary.BigEndian.Uint16(b[3:])
-		o.key, _, err = takeString(b[5:])
-	case opActivatePart:
+		o.key, b, err = takeString(b[5:])
+		if err == nil {
+			if len(b) < 1 {
+				return op{}, errBadOp
+			}
+			hasMap := b[0] != 0
+			b = b[1:]
+			if hasMap {
+				var ok bool
+				o.pmap, _, ok = takePartitioner(b)
+				if !ok {
+					return op{}, errBadOp
+				}
+			}
+		}
+	case opActivatePart, opStats:
 		if len(b) < 2 {
 			return op{}, errBadOp
 		}

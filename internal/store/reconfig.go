@@ -25,10 +25,13 @@ func (c *Client) AddRoute(ring msg.RingID, addrs []transport.Addr) {
 // when available, else the source partition's own ring) and returns the
 // frozen entries of the moved range, gathered specifically from the source
 // partition src. epoch is the post-split epoch; newPart the partition
-// index receiving [splitKey, ...).
-func (c *Client) PrepareSplit(via msg.RingID, src int, splitKey string, newPart int, epoch uint64) ([]Entry, error) {
+// index receiving [splitKey, ...); next the authoritative post-split
+// mapping every replica installs (a replica's own mapping may be stale:
+// reconfigurations ordered on rings it does not subscribe to never
+// reached it).
+func (c *Client) PrepareSplit(via msg.RingID, src int, splitKey string, newPart int, epoch uint64, next Partitioner) ([]Entry, error) {
 	o := op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: epoch,
-		part: uint16(src), newPart: uint16(newPart), key: splitKey}
+		part: uint16(src), newPart: uint16(newPart), key: splitKey, pmap: next}
 	results, err := c.smr.ExecuteGather(via, o.encode(), 1, func(raw []byte) (int, bool) {
 		res, err := decodeResult(raw)
 		if err != nil || res.status != statusOK {
@@ -136,12 +139,12 @@ func (c *Client) CommitSplit(via msg.RingID, src int, epoch uint64) error {
 
 // CommitMerge orders the merge's ownership flip through the survivor's
 // ring, after every migrate chunk: the survivor replicas adopt the merged
-// mapping (the donor's index drops out of the assignment) and the new
+// mapping next (the donor's index drops out of the assignment) and the new
 // epoch, and start serving the donor's range. The donor never commits — it
 // stays frozen until RetirePartition tears its ring down.
-func (c *Client) CommitMerge(destRing msg.RingID, donor, dest int, epoch uint64) error {
+func (c *Client) CommitMerge(destRing msg.RingID, donor, dest int, epoch uint64, next Partitioner) error {
 	o := op{kind: opCommitReconfig, rkind: reconfigMergeDest, epoch: epoch,
-		part: uint16(donor), newPart: uint16(dest)}
+		part: uint16(donor), newPart: uint16(dest), pmap: next}
 	res, err := c.exec(destRing, o)
 	if err != nil {
 		return err

@@ -65,7 +65,7 @@ func liveSplit(t *testing.T, d *Deployment, cl *Client, src int, splitKey string
 	if via == 0 || !d.PartitionOnGlobal(src) {
 		via = d.PartitionRing(src)
 	}
-	moved, err := cl.PrepareSplit(via, src, splitKey, newPart, epoch)
+	moved, err := cl.PrepareSplit(via, src, splitKey, newPart, epoch, next)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 
 	"mrp/internal/smr"
 )
@@ -60,6 +61,14 @@ type SM struct {
 	// receiving marks the merge survivor between prepare and commit: it
 	// accepts epoch-tagged migrate chunks for the range it will own.
 	receiving bool
+
+	// statOps counts client data operations this replica executed (reads,
+	// writes, scans, and batch sub-ops — not admin or migration commands).
+	// It is atomic because the auto-sharding controller samples it from
+	// outside the execution goroutine; it is process-local (not part of
+	// the snapshot), so a recovered replica restarts it at zero — the
+	// controller consumes rate deltas, which self-heal after one tick.
+	statOps atomic.Uint64
 }
 
 var _ smr.StateMachine = (*SM)(nil)
@@ -121,7 +130,10 @@ func (s *SM) apply(o op) result {
 		if s.warming || s.frozen || !s.owns(o.key) {
 			return s.wrongEpoch()
 		}
+		s.statOps.Add(1)
 		return s.applyKeyed(o)
+	case opStats:
+		return s.applyStats(o)
 	case opScan:
 		if s.warming || s.frozen || (o.epoch != 0 && o.epoch < s.epoch) {
 			// A scan routed under a superseded schema may be missing whole
@@ -135,6 +147,7 @@ func (s *SM) apply(o op) result {
 			return s.wrongEpoch()
 		}
 		res.entries = s.scanOwned(o.key, o.to, o.limit)
+		s.statOps.Add(1)
 	case opBatch:
 		if s.warming || s.frozen {
 			return s.wrongEpoch()
@@ -146,6 +159,7 @@ func (s *SM) apply(o op) result {
 				return s.wrongEpoch()
 			}
 		}
+		s.statOps.Add(uint64(len(o.batch)))
 		for _, sub := range o.batch {
 			if r := s.applyKeyed(sub); r.status == statusOK {
 				res.count++
@@ -358,18 +372,27 @@ func (s *SM) applyPrepare(o op) result {
 
 // applyPrepareSplit adopts the split partitioning and, on the source
 // partition, freezes the moved range and returns its entries so the
-// coordinator can stream them to the new partition's replicas.
+// coordinator can stream them to the new partition's replicas. The
+// coordinator sends the authoritative post-split mapping with the
+// command; deriving it locally would fail on replicas whose own mapping
+// is stale (reconfigurations their rings never carried — e.g. a merge
+// ordered on the survivor's ring alone — leave their view behind).
 func (s *SM) applyPrepareSplit(o op) result {
 	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
-	rp, ok := s.partitioner.(*RangePartitioner)
-	if !ok {
-		res.status = statusError
-		return res
-	}
-	np, err := rp.Split(o.key, int(o.newPart))
-	if err != nil {
-		res.status = statusError
-		return res
+	np := o.pmap
+	if np == nil {
+		// Mapping-free prepare (tests): derive the split locally.
+		rp, ok := s.partitioner.(*RangePartitioner)
+		if !ok {
+			res.status = statusError
+			return res
+		}
+		var err error
+		np, err = rp.Split(o.key, int(o.newPart))
+		if err != nil {
+			res.status = statusError
+			return res
+		}
 	}
 	s.prev = s.partitioner
 	s.partitioner = np
@@ -401,15 +424,20 @@ func (s *SM) applyCommit(o op) result {
 		}
 		s.clearPending()
 	case reconfigMergeDest:
-		rp, ok := s.partitioner.(*RangePartitioner)
-		if !ok {
-			res.status = statusError
-			return res
-		}
-		np, err := rp.Merge(int(o.part), int(o.newPart))
-		if err != nil {
-			res.status = statusError
-			return res
+		np := o.pmap
+		if np == nil {
+			// Mapping-free commit (tests): derive the merge locally.
+			rp, ok := s.partitioner.(*RangePartitioner)
+			if !ok {
+				res.status = statusError
+				return res
+			}
+			var err error
+			np, err = rp.Merge(int(o.part), int(o.newPart))
+			if err != nil {
+				res.status = statusError
+				return res
+			}
 		}
 		s.partitioner = np
 		s.epoch = o.epoch

@@ -32,6 +32,7 @@ type SortedMap struct {
 	head  *skipNode
 	level int
 	size  int
+	bytes int // total key+value payload bytes currently stored
 	rng   *rand.Rand
 }
 
@@ -80,6 +81,7 @@ func (m *SortedMap) Put(key string, value []byte) bool {
 	var prev [maxLevel]*skipNode
 	x := m.findPredecessors(key, &prev)
 	if x != nil && x.key == key {
+		m.bytes += len(value) - len(x.value)
 		x.value = value
 		return true
 	}
@@ -99,6 +101,7 @@ func (m *SortedMap) Put(key string, value []byte) bool {
 		prev[i].next[i] = n
 	}
 	m.size++
+	m.bytes += len(key) + len(value)
 	return false
 }
 
@@ -120,6 +123,7 @@ func (m *SortedMap) Delete(key string) bool {
 		m.level--
 	}
 	m.size--
+	m.bytes -= len(x.key) + len(x.value)
 	return true
 }
 
@@ -128,6 +132,15 @@ func (m *SortedMap) Len() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.size
+}
+
+// Bytes returns the total key+value payload bytes currently stored — the
+// size half of the per-partition accounting the auto-sharding controller
+// watches.
+func (m *SortedMap) Bytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
 }
 
 // Entry is one key-value pair.

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSortedMapBytes(t *testing.T) {
+	m := NewSortedMap()
+	if m.Bytes() != 0 {
+		t.Fatalf("empty map bytes = %d", m.Bytes())
+	}
+	m.Put("key", []byte("value")) // 3 + 5
+	if m.Bytes() != 8 {
+		t.Fatalf("bytes after insert = %d, want 8", m.Bytes())
+	}
+	m.Put("key", []byte("v")) // overwrite: 3 + 1
+	if m.Bytes() != 4 {
+		t.Fatalf("bytes after overwrite = %d, want 4", m.Bytes())
+	}
+	m.Put("k2", []byte("xx")) // + 4
+	if m.Bytes() != 8 {
+		t.Fatalf("bytes after second insert = %d, want 8", m.Bytes())
+	}
+	m.Delete("key")
+	if m.Bytes() != 4 {
+		t.Fatalf("bytes after delete = %d, want 4", m.Bytes())
+	}
+	m.Delete("nope")
+	if m.Bytes() != 4 {
+		t.Fatalf("bytes after no-op delete = %d, want 4", m.Bytes())
+	}
+}
+
+func TestSMStatsAccounting(t *testing.T) {
+	sm := NewSM(0, NewHashPartitioner(1))
+	for i := 0; i < 10; i++ {
+		sm.Execute(op{kind: opInsert, key: fmt.Sprintf("k%02d", i), value: []byte("val")}.encode())
+	}
+	sm.Execute(op{kind: opRead, key: "k03"}.encode())
+	sm.Execute(op{kind: opScan, key: "k00", to: "k05"}.encode())
+	sm.Execute(op{kind: opBatch, batch: []op{
+		{kind: opInsert, key: "b1", value: []byte("x")},
+		{kind: opInsert, key: "b2", value: []byte("y")},
+	}}.encode())
+
+	st := sm.Stats()
+	if st.Keys != 12 {
+		t.Fatalf("keys = %d, want 12", st.Keys)
+	}
+	wantBytes := uint64(10*(3+3) + 2*(2+1))
+	if st.Bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+	// 10 inserts + 1 read + 1 scan + 2 batch sub-ops.
+	if st.Ops != 14 {
+		t.Fatalf("ops = %d, want 14", st.Ops)
+	}
+
+	// The ordered stats read itself is not load: issue it twice and check
+	// the op counter did not move.
+	res, err := decodeResult(sm.Execute(op{kind: opStats, part: 0}.encode()))
+	if err != nil || res.status != statusOK {
+		t.Fatalf("stats read = %+v, %v", res, err)
+	}
+	decoded, err := decodeStatsPayload(res.value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Keys != st.Keys || decoded.Bytes != st.Bytes || decoded.Ops != st.Ops {
+		t.Fatalf("payload %+v != direct %+v", decoded, st)
+	}
+	if got := sm.Stats().Ops; got != 14 {
+		t.Fatalf("stats read counted as load (ops = %d)", got)
+	}
+
+	// A stats read that reached the wrong partition (stale route onto a
+	// recycled ring ID) gets the typed redirect, not a silent wrong answer.
+	res, _ = decodeResult(sm.Execute(op{kind: opStats, part: 7}.encode()))
+	if res.status != statusWrongEpoch {
+		t.Fatalf("misaddressed stats read = %+v, want wrong-epoch redirect", res)
+	}
+}
+
+func TestStatsEndToEnd(t *testing.T) {
+	d := testDeploy(t, true, 2)
+	cl := d.NewClient()
+	defer cl.Close()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := cl.Insert(fmt.Sprintf("user%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var totalKeys uint64
+	for p := 0; p < d.Partitions(); p++ {
+		remote, err := cl.Stats(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remote.Partition != p {
+			t.Fatalf("remote stats partition = %d, want %d", remote.Partition, p)
+		}
+		// The locally sampled replica can lag the one that answered the
+		// ordered read by a few in-flight commands; poll for convergence.
+		var local PartitionStats
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var ok bool
+			local, ok = d.PartitionStats(p)
+			if !ok {
+				t.Fatalf("no deployment stats for partition %d", p)
+			}
+			if local.Keys == remote.Keys && local.Bytes == remote.Bytes || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if remote.Keys != local.Keys || remote.Bytes != local.Bytes {
+			t.Fatalf("partition %d: remote %+v != local %+v", p, remote, local)
+		}
+		if local.Ops == 0 && local.Keys > 0 {
+			t.Fatalf("partition %d served %d inserts but counted no ops", p, local.Keys)
+		}
+		totalKeys += local.Keys
+	}
+	if totalKeys != n {
+		t.Fatalf("total keys = %d, want %d", totalKeys, n)
+	}
+
+	if _, ok := d.PartitionStats(99); ok {
+		t.Fatal("stats for a non-existent partition")
+	}
+	if _, err := cl.Stats(99); err == nil {
+		t.Fatal("client stats for a non-existent partition")
+	}
+}

@@ -1,6 +1,7 @@
 package mrp
 
 import (
+	"mrp/internal/autoshard"
 	"mrp/internal/dlog"
 	"mrp/internal/rebalance"
 	"mrp/internal/store"
@@ -63,6 +64,24 @@ type (
 
 // NewRebalancer creates a rebalance coordinator for a deployment.
 var NewRebalancer = rebalance.New
+
+// Auto-sharding: a load-driven controller that watches per-partition load
+// and size through the store's stats surface and drives the rebalancer on
+// its own — split/merge thresholds with hysteresis, median-key split
+// selection, a migration budget, and a leader lease through the registry
+// (see internal/autoshard).
+type (
+	// AutoSharder is the auto-sharding control loop.
+	AutoSharder = autoshard.Controller
+	// AutoShardConfig parametrizes a controller.
+	AutoShardConfig = autoshard.Config
+	// StorePartitionStats is one partition's load/size accounting, read
+	// from Store.PartitionStats or StoreClient.Stats.
+	StorePartitionStats = store.PartitionStats
+)
+
+// NewAutoSharder creates an auto-sharding controller (call Start on it).
+var NewAutoSharder = autoshard.New
 
 // dLog, the distributed shared log service (Section 6.2, Table 2).
 type (
