@@ -71,7 +71,8 @@ func main() {
 		panic("moved key not owned by the new partition")
 	}
 	must(cl.Update("tomato", []byte("fresh tomatoes")))
-	v, _ = cl.Read("tomato")
+	v, err = cl.Read("tomato")
+	must(err)
 	fmt.Printf("post-split write readback: %s\n", v)
 }
 

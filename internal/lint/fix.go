@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// ApplyFixes applies the suggested fixes of the given diagnostics to the
+// files on disk (gofmt-formatting the result) and returns the changed
+// file names. Diagnostics without fixes are ignored. Overlapping fixes in
+// one file are applied first-wins.
+func ApplyFixes(m *Module, diags []Diagnostic) ([]string, error) {
+	type fileEdits struct {
+		edits   []TextEdit
+		imports map[string]bool
+	}
+	byFile := make(map[string]*fileEdits)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			name := m.Fset.Position(e.Pos).Filename
+			fe := byFile[name]
+			if fe == nil {
+				fe = &fileEdits{imports: make(map[string]bool)}
+				byFile[name] = fe
+			}
+			fe.edits = append(fe.edits, e)
+			if d.Fix.NeedsImport != "" {
+				fe.imports[d.Fix.NeedsImport] = true
+			}
+		}
+	}
+	var changed []string
+	for name, fe := range byFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return changed, err
+		}
+		tf := m.Fset.File(fe.edits[0].Pos)
+		if tf == nil {
+			return changed, fmt.Errorf("lint: no file for fix in %s", name)
+		}
+		sort.Slice(fe.edits, func(i, j int) bool { return fe.edits[i].Pos > fe.edits[j].Pos })
+		out := src
+		var lastStart int = len(out) + 1
+		for _, e := range fe.edits {
+			start, end := tf.Offset(e.Pos), tf.Offset(e.End)
+			if end > lastStart {
+				continue // overlapping fix: first (later-sorted) one wins
+			}
+			out = append(out[:start:start], append([]byte(e.NewText), out[end:]...)...)
+			lastStart = start
+		}
+		for imp := range fe.imports {
+			out = addImport(m, name, out, tf.Offset(fe.edits[len(fe.edits)-1].Pos), imp)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return changed, fmt.Errorf("lint: fixed %s does not parse: %w", name, err)
+		}
+		if err := os.WriteFile(name, formatted, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// addImport inserts an import into the edited source if the original file
+// does not already import it. offsetHint is unused beyond locating the
+// file's AST. The insertion is textual; format.Source normalizes it.
+func addImport(m *Module, filename string, src []byte, offsetHint int, path string) []byte {
+	var file *ast.File
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			if m.Fset.Position(f.Pos()).Filename == filename {
+				file = f
+			}
+		}
+	}
+	if file == nil {
+		return src
+	}
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return src
+		}
+	}
+	tf := m.Fset.File(file.Pos())
+	quoted := strconv.Quote(path)
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok.String() != "import" {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			at := tf.Offset(gd.Lparen) + 1
+			return append(src[:at:at], append([]byte("\n\t"+quoted), src[at:]...)...)
+		}
+		// Single-spec import: turn the insertion point into an extra line
+		// before it; format.Source will merge.
+		at := tf.Offset(gd.Pos())
+		return append(src[:at:at], append([]byte("import "+quoted+"\n"), src[at:]...)...)
+	}
+	// No imports at all: insert after the package clause line.
+	at := tf.Offset(file.Name.End())
+	return append(src[:at:at], append([]byte("\n\nimport "+quoted), src[at:]...)...)
+}

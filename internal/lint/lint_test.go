@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks fixture packages from testdata/src. Each name
+// is both the directory and the import path, so fixtures can import each
+// other by directory name.
+func loadFixture(t *testing.T, names ...string) *Module {
+	t.Helper()
+	ld := newLoader(false)
+	for _, name := range names {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ld.srcs[name] = abs
+	}
+	m := &Module{Fset: ld.fset, Info: ld.info, byPath: make(map[string]*Package)}
+	for _, name := range names {
+		pkg, err := ld.load(name, ld.srcs[name])
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		if m.byPath[name] == nil {
+			m.add(pkg)
+		}
+	}
+	return m
+}
+
+// wantRE extracts the quoted expectations of one `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectations scans fixture sources for `// want` comments and returns
+// file:line -> pending expectation substrings.
+func expectations(t *testing.T, m *Module) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	seen := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			name := m.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				_, spec, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
+				}
+				key := lineKey(name, i+1)
+				for _, match := range wantRE.FindAllStringSubmatch(spec, -1) {
+					text, err := strconv.Unquote(`"` + match[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want %q: %v", key, match[1], err)
+					}
+					wants[key] = append(wants[key], text)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs analyzers over fixture packages and diffs the findings
+// against the `// want` expectations.
+func runFixture(t *testing.T, analyzers []*Analyzer, names ...string) {
+	t.Helper()
+	m := loadFixture(t, names...)
+	wants := expectations(t, m)
+	diags := Run(m, analyzers)
+	for _, d := range diags {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		idx := -1
+		for i, w := range wants[key] {
+			if strings.Contains(d.Message, w) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+			continue
+		}
+		wants[key] = append(wants[key][:idx], wants[key][idx+1:]...)
+	}
+	for key, remaining := range wants {
+		for _, w := range remaining {
+			t.Errorf("missing finding at %s: want %q", key, w)
+		}
+	}
+}
+
+func TestDetMapFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{DetMap}, "detmapa")
+}
+
+func TestWallClockFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{WallClock}, "wallclocka")
+}
+
+func TestLockedBlockFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{LockedBlock}, "lockedblocka")
+}
+
+func TestOrderedResultFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{OrderedResult}, "ordereda")
+}
+
+// TestPropagationFixture proves the scope crosses package boundaries
+// through interfaces (CHA), descends only into marked packages, and
+// stops at //mrp:nondeterministic.
+func TestPropagationFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{DetMap, WallClock}, "propa", "propb", "propc")
+}
+
+// TestPropagationProvenance pins the scope computation itself: which
+// functions ended up deterministic and why.
+func TestPropagationProvenance(t *testing.T) {
+	m := loadFixture(t, "propa", "propb", "propc")
+	mk := CollectMarkers(m)
+	scope := BuildScope(m, mk)
+	got := make(map[string]bool)
+	for fn := range scope.deterministic {
+		got[fn.Pkg().Name()+"."+relName(fn)] = true
+	}
+	for _, want := range []string{"propa.Apply", "propb.*Machine.Execute", "propb.*Machine.stamp"} {
+		if !got[want] {
+			t.Errorf("expected %s in deterministic scope; scope = %v", want, keysOf(got))
+		}
+	}
+	for _, bad := range []string{"propb.*Machine.observe", "propc.Boundary"} {
+		if got[bad] {
+			t.Errorf("%s must not be in deterministic scope", bad)
+		}
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestDetMapSuggestedFix pins the mechanical sorted-keys rewrite text.
+func TestDetMapSuggestedFix(t *testing.T) {
+	m := loadFixture(t, "detmapa")
+	diags := Run(m, []*Analyzer{DetMap})
+	var fixed *Diagnostic
+	for i, d := range diags {
+		if d.Fix != nil && strings.Contains(d.Pos.Filename, "detmapa") && d.Pos.Line < 20 {
+			fixed = &diags[i]
+			break
+		}
+	}
+	if fixed == nil {
+		t.Fatalf("no suggested fix produced for encode's map range; diags: %v", diags)
+	}
+	if fixed.Fix.NeedsImport != "sort" {
+		t.Errorf("fix should need the sort import, got %q", fixed.Fix.NeedsImport)
+	}
+	text := fixed.Fix.Edits[0].NewText
+	for _, want := range []string{
+		"keys := make([]string, 0, len(m))",
+		"keys = append(keys, k)",
+		"sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })",
+		"for _, k := range keys {",
+		"v := m[k]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("suggested fix missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func ExampleAnalyzers() {
+	for _, a := range Analyzers() {
+		fmt.Println(a.Name)
+	}
+	// Output:
+	// detmap
+	// wallclock
+	// lockedblock
+	// orderedresult
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockedBlock flags blocking operations performed while holding a
+// sync.Mutex / sync.RWMutex: channel sends and receives, selects without
+// a default case, time.Sleep, and sync.WaitGroup.Wait. A goroutine parked
+// on a channel while holding a lock is the classic SMR-executor deadlock:
+// the goroutine that would drain the channel needs the same lock (the
+// shape that has bitten the executor and recovery paths before).
+//
+// The analysis is intra-procedural and flow-aware along straight-line
+// statement order: a Lock() opens a held region that a matching Unlock()
+// on the same receiver closes; a deferred Unlock holds until function
+// exit. Branch bodies are analyzed with a copy of the held set. Bodies of
+// `go` statements and function literals run on other goroutines (or later)
+// and are not charged to the enclosing lock region. Non-blocking channel
+// use (select with default) is allowed. It runs over every function of
+// the module, not only deterministic ones.
+var LockedBlock = &Analyzer{
+	Name: "lockedblock",
+	Doc:  "flag blocking operations while holding a mutex",
+	Run:  runLockedBlock,
+}
+
+func runLockedBlock(p *Pass) {
+	p.Module.eachFuncDecl(func(pkg *Package, file *ast.File, decl *ast.FuncDecl) {
+		if decl.Body == nil {
+			return
+		}
+		lb := &lockWalker{pass: p, info: p.Module.Info}
+		lb.stmts(decl.Body.List, make(heldLocks))
+	})
+}
+
+// heldLocks maps the source text of a lock's receiver ("r.mu") to the
+// position where it was acquired.
+type heldLocks map[string]token.Pos
+
+func (h heldLocks) clone() heldLocks {
+	c := make(heldLocks, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// stmts walks a statement list in order, threading the held-lock set.
+func (w *lockWalker) stmts(list []ast.Stmt, held heldLocks) heldLocks {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held heldLocks) heldLocks {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := w.lockOp(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return held
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the remainder of the
+		// function (correct and idiomatic); a deferred anything-else runs
+		// later and is not charged here.
+	case *ast.GoStmt:
+		// Runs on another goroutine without the caller's locks.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Pos(), held, "channel send")
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.checkExpr(r, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.stmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, held.clone())
+		}
+	case *ast.BlockStmt:
+		held = w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		if t := w.info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && len(held) > 0 {
+				w.report(s.Pos(), held, "range over channel")
+			}
+		}
+		w.stmts(s.Body.List, held.clone())
+	case *ast.SelectStmt:
+		if len(held) > 0 && !hasDefault(s) {
+			w.report(s.Pos(), held, "select without default")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+// checkExpr scans an expression for blocking operations while locks are
+// held, skipping function literals (they run later / elsewhere).
+func (w *lockWalker) checkExpr(x ast.Expr, held heldLocks) {
+	if len(held) == 0 || x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.report(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if callee := calleeOf(w.info, n); callee != nil && callee.Pkg() != nil {
+				switch {
+				case callee.Pkg().Path() == "time" && callee.Name() == "Sleep":
+					w.report(n.Pos(), held, "time.Sleep")
+				case callee.Pkg().Path() == "sync" && callee.Name() == "Wait" && recvNamed(callee) == "WaitGroup":
+					w.report(n.Pos(), held, "sync.WaitGroup.Wait")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) report(pos token.Pos, held heldLocks, what string) {
+	// Name one held lock (the map is tiny; pick deterministically).
+	var lock string
+	var lockPos token.Pos
+	for name, p := range held {
+		if lock == "" || name < lock {
+			lock, lockPos = name, p
+		}
+	}
+	at := w.pass.Module.Fset.Position(lockPos)
+	w.pass.Report(pos, "%s while holding %s (locked at %s:%d); blocking under a mutex is the executor-deadlock shape — release the lock first or make the operation non-blocking",
+		what, lock, at.Filename, at.Line)
+}
+
+// lockOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on
+// sync.Mutex, sync.RWMutex, and sync.Locker receivers (including locks
+// embedded in structs) and returns the receiver's source text.
+func (w *lockWalker) lockOp(x ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(x).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	callee := calleeOf(w.info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprString(w.pass.Module.Fset, sel.X), name, true
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recvNamed returns the name of a method's receiver named type ("" for
+// functions).
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Marker comments understood by the suite. Markers are ordinary line
+// comments with no space after "//", mirroring "//go:" directives:
+//
+//	//mrp:deterministic
+//	    On a function's doc comment: the function is a deterministic
+//	    root — it and everything it (statically) calls inside marked
+//	    packages must be replica-deterministic. On a package doc
+//	    comment: every function of the package is a root.
+//
+//	//mrp:nondeterministic
+//	    On a function's doc comment: stop propagation here. Used for
+//	    deliberate boundaries (e.g. a scheduling loop whose timing is
+//	    free but whose callees are not).
+//
+//	//mrp:ordered [status]
+//	    On a function's doc comment: calls to it are ordered-command
+//	    submissions. Callers must consume its error result; with the
+//	    "status" argument they must also consume its first result
+//	    (the reply carrying typed redirects such as statusWrongEpoch).
+//
+//	//mrp:nolint analyzer[,analyzer] — reason
+//	    On the offending line, or alone on the line above: suppress the
+//	    named analyzers' findings there. A reason is required.
+//
+//	//mrp:orderinsensitive — reason
+//	    Sugar for "//mrp:nolint detmap": asserts a map iteration is
+//	    order-insensitive for a reason the analyzer cannot prove.
+const markerPrefix = "//mrp:"
+
+// Markers is the parsed marker set of a module.
+type Markers struct {
+	// det holds explicitly marked deterministic roots.
+	det map[*types.Func]bool
+	// nondet holds explicit propagation stops.
+	nondet map[*types.Func]bool
+	// ordered maps marked ordered-command functions to their argument
+	// ("" or "status").
+	ordered map[*types.Func]string
+	// pkgDet marks packages whose package doc declares //mrp:deterministic.
+	pkgDet map[*types.Package]bool
+	// eligible marks packages containing at least one mrp marker: the
+	// deterministic call graph only descends into eligible packages, so
+	// unmarked layers (transport, registry) are propagation boundaries.
+	eligible map[*types.Package]bool
+	// suppress maps analyzer name -> "file:line" keys where findings are
+	// muted by //mrp:nolint (or //mrp:orderinsensitive).
+	suppress map[string]map[string]bool
+}
+
+// CollectMarkers parses every marker comment of the module.
+func CollectMarkers(m *Module) *Markers {
+	mk := &Markers{
+		det:      make(map[*types.Func]bool),
+		nondet:   make(map[*types.Func]bool),
+		ordered:  make(map[*types.Func]string),
+		pkgDet:   make(map[*types.Package]bool),
+		eligible: make(map[*types.Package]bool),
+		suppress: make(map[string]map[string]bool),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			if hasMarker(file.Doc, "deterministic") {
+				mk.pkgDet[pkg.Types] = true
+				mk.eligible[pkg.Types] = true
+			}
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn := m.funcFor(fd)
+				if fn == nil {
+					continue
+				}
+				if hasMarker(fd.Doc, "deterministic") {
+					mk.det[fn] = true
+					mk.eligible[pkg.Types] = true
+				}
+				if hasMarker(fd.Doc, "nondeterministic") {
+					mk.nondet[fn] = true
+					mk.eligible[pkg.Types] = true
+				}
+				if arg, ok := markerArg(fd.Doc, "ordered"); ok {
+					mk.ordered[fn] = arg
+					mk.eligible[pkg.Types] = true
+				}
+			}
+			mk.collectSuppressions(m, file)
+		}
+	}
+	return mk
+}
+
+// collectSuppressions records //mrp:nolint and //mrp:orderinsensitive
+// comments: they mute the named analyzers on their own line and on the
+// following line (covering both trailing and preceding placement).
+func (mk *Markers) collectSuppressions(m *Module, file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, markerPrefix)
+			if !ok {
+				continue
+			}
+			verb, rest, _ := strings.Cut(text, " ")
+			var names []string
+			switch verb {
+			case "nolint":
+				args, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				names = strings.Split(args, ",")
+			case "orderinsensitive":
+				names = []string{"detmap"}
+			default:
+				continue
+			}
+			pos := m.Fset.Position(c.Pos())
+			for _, name := range names {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				set := mk.suppress[name]
+				if set == nil {
+					set = make(map[string]bool)
+					mk.suppress[name] = set
+				}
+				set[lineKey(pos.Filename, pos.Line)] = true
+				set[lineKey(pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// suppressed reports whether a finding of the analyzer at the position is
+// muted by a nolint marker.
+func (mk *Markers) suppressed(analyzer string, pos token.Position) bool {
+	set := mk.suppress[analyzer]
+	if set == nil {
+		return false
+	}
+	return set[lineKey(pos.Filename, pos.Line)]
+}
+
+// hasMarker reports whether a comment group contains the marker verb with
+// no argument required.
+func hasMarker(doc *ast.CommentGroup, verb string) bool {
+	_, ok := markerArg(doc, verb)
+	return ok
+}
+
+// markerArg returns the argument of a marker comment ("//mrp:verb arg")
+// within a doc comment group, and whether the marker is present.
+func markerArg(doc *ast.CommentGroup, verb string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, markerPrefix)
+		if !ok {
+			continue
+		}
+		v, rest, _ := strings.Cut(text, " ")
+		if v != verb {
+			continue
+		}
+		arg, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		return arg, true
+	}
+	return "", false
+}
+
+// OrderedArg returns the //mrp:ordered argument for fn ("" when unmarked;
+// use the second result to distinguish).
+func (mk *Markers) OrderedArg(fn *types.Func) (string, bool) {
+	arg, ok := mk.ordered[fn]
+	return arg, ok
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OrderedResult guards the call sites of ordered commands — submissions
+// that go through consensus and come back with an error and, for some
+// calls, a typed reply carrying redirects (statusWrongEpoch). Dropping
+// either silently loses a redirect or a failed reconfiguration step:
+// exactly the mistakes that turn a clean schema change into divergence.
+//
+// Functions opt in with "//mrp:ordered" on their doc comment. At every
+// call site of a marked function the analyzer flags:
+//
+//   - the whole call used as a statement, or behind go/defer (every
+//     result dropped),
+//   - the error result assigned to the blank identifier,
+//   - with the "status" marker argument ("//mrp:ordered status"), the
+//     first result (the reply) assigned to the blank identifier.
+var OrderedResult = &Analyzer{
+	Name: "orderedresult",
+	Doc:  "flag dropped errors and discarded replies at ordered-command call sites",
+	Run:  runOrderedResult,
+}
+
+func runOrderedResult(p *Pass) {
+	info := p.Module.Info
+	p.Module.eachFuncDecl(func(pkg *Package, file *ast.File, decl *ast.FuncDecl) {
+		if decl.Body == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					p.orderedDropped(info, call, "all results of ordered command %s are dropped")
+				}
+			case *ast.GoStmt:
+				p.orderedDropped(info, n.Call, "all results of ordered command %s are dropped (go statement)")
+			case *ast.DeferStmt:
+				p.orderedDropped(info, n.Call, "all results of ordered command %s are dropped (deferred)")
+			case *ast.AssignStmt:
+				p.orderedAssign(info, n)
+			}
+			return true
+		})
+	})
+}
+
+// orderedDropped reports a call whose results are discarded wholesale.
+func (p *Pass) orderedDropped(info *types.Info, call *ast.CallExpr, format string) {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return
+	}
+	if _, ok := p.Markers.OrderedArg(callee); !ok {
+		return
+	}
+	p.Report(call.Pos(), format+"; handle the error (and any typed redirect)", relName(callee))
+}
+
+// orderedAssign reports blank-assigned error (and, for "status" markers,
+// blank-assigned reply) results of an ordered call.
+func (p *Pass) orderedAssign(info *types.Info, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return
+	}
+	arg, ok := p.Markers.OrderedArg(callee)
+	if !ok {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(s.Lhs) {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		id, isIdent := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+		if !isIdent || id.Name != "_" {
+			continue
+		}
+		rt := sig.Results().At(i).Type()
+		switch {
+		case isErrorType(rt):
+			p.Report(s.Pos(), "error of ordered command %s assigned to _; a dropped error hides a failed ordered step", relName(callee))
+		case i == 0 && arg == "status":
+			p.Report(s.Pos(), "reply of ordered command %s assigned to _; the reply carries typed redirects (statusWrongEpoch) that must be checked", relName(callee))
+		}
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

@@ -1,0 +1,117 @@
+// Package detmapa exercises the detmap analyzer: map ranges in
+// deterministic functions, the order-insensitive allowlist, and the
+// collect-then-sort idiom.
+package detmapa
+
+import "sort"
+
+// encode is the canonical true positive: checkpoint bytes built in map
+// iteration order.
+//
+//mrp:deterministic
+func encode(m map[string]uint64) []byte {
+	var out []byte
+	for k, v := range m { // want "map iteration order reaches deterministic state"
+		out = append(out, byte(len(k)), byte(v))
+	}
+	return out
+}
+
+// encodeSorted is the fixed form: collect keys, sort, then iterate.
+//
+//mrp:deterministic
+func encodeSorted(m map[string]uint64) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, byte(m[k]))
+	}
+	return out
+}
+
+// count accumulates commutatively: order-insensitive, allowed.
+//
+//mrp:deterministic
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes keyed by the iteration variable: allowed.
+//
+//mrp:deterministic
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// has sets a constant flag and breaks: membership is order-insensitive.
+//
+//mrp:deterministic
+func has(m map[string]int, want string) bool {
+	found := false
+	for k := range m {
+		if k == want {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// collectThenSort is the storage.Log idiom: keys gathered then sorted
+// before use.
+//
+//mrp:deterministic
+func collectThenSort(m map[uint64]int) []uint64 {
+	var ids []uint64
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sumUntil accumulates AND exits early: the sum depends on visit order.
+//
+//mrp:deterministic
+func sumUntil(m map[string]int, limit int) int {
+	n := 0
+	for _, v := range m { // want "map iteration order reaches deterministic state"
+		n += v
+		if n > limit {
+			break
+		}
+	}
+	return n
+}
+
+// unmarked is outside the deterministic scope: no findings.
+func unmarked(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// justified shows the escape hatch for order-insensitivity the analyzer
+// cannot prove.
+//
+//mrp:deterministic
+func justified(m map[string]func()) {
+	//mrp:orderinsensitive — callbacks are independent and effect-free
+	for _, fn := range m {
+		fn()
+	}
+}

@@ -1,0 +1,52 @@
+// Package ordereda exercises the orderedresult analyzer: dropped errors
+// and discarded replies at marked ordered-command call sites.
+package ordereda
+
+import "errors"
+
+type reply struct{ status byte }
+
+// Submit orders one command and returns the typed reply.
+//
+//mrp:ordered status
+func Submit(op []byte) (reply, error) { return reply{}, errors.New("x") }
+
+// Fire orders one command, error-only.
+//
+//mrp:ordered
+func Fire(op []byte) error { return errors.New("x") }
+
+// plain is unmarked: dropping its results is fine.
+func plain() error { return nil }
+
+func good() bool {
+	r, err := Submit(nil)
+	if err != nil {
+		return false
+	}
+	if err := Fire(nil); err != nil {
+		return false
+	}
+	plain()
+	return r.status == 0
+}
+
+func dropped() {
+	Fire(nil)           // want "all results of ordered command Fire are dropped"
+	_ = Fire(nil)       // want "error of ordered command Fire assigned to _"
+	r, _ := Submit(nil) // want "error of ordered command Submit assigned to _"
+	_ = r
+	_, err := Submit(nil) // want "reply of ordered command Submit assigned to _"
+	_ = err
+	go Fire(nil)    // want "go statement"
+	defer Fire(nil) // want "deferred"
+}
+
+func doubleBlank() {
+	_, _ = Submit(nil) // want "error of ordered command Submit" "reply of ordered command Submit"
+}
+
+func justified() {
+	//mrp:nolint orderedresult — fire-and-forget load generation
+	Fire(nil)
+}

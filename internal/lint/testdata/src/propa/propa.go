@@ -1,0 +1,25 @@
+// Package propa exercises deterministic-scope propagation: a marked root
+// whose calls cross a package boundary through an interface (class
+// hierarchy analysis) into propb, while unmarked propc stays a boundary.
+package propa
+
+import (
+	"propb"
+	"propc"
+)
+
+// SM mirrors smr.StateMachine.
+type SM interface {
+	Execute(op []byte) []byte
+}
+
+// NewSM wires the concrete machine in, mirroring replica construction.
+func NewSM() SM { return &propb.Machine{} }
+
+// Apply mirrors the replica executor entry point.
+//
+//mrp:deterministic
+func Apply(sm SM, op []byte) []byte {
+	propc.Boundary() // unmarked package: propagation stops here
+	return sm.Execute(op)
+}

@@ -1,0 +1,35 @@
+// Package propb is the concrete state machine reached from propa.Apply
+// through the SM interface; its helpers inherit the deterministic scope
+// transitively, except where //mrp:nondeterministic stops propagation.
+package propb
+
+import "time"
+
+// Machine implements propa.SM.
+type Machine struct {
+	state map[string]int
+}
+
+// Execute is never annotated: it enters the scope via CHA from
+// propa.Apply's sm.Execute call.
+func (m *Machine) Execute(op []byte) []byte {
+	var out []byte
+	for k := range m.state { // want "map iteration order reaches deterministic state"
+		out = append(out, k...)
+	}
+	out = append(out, m.stamp()...)
+	m.observe()
+	return out
+}
+
+// stamp is reached transitively (Execute -> stamp).
+func (m *Machine) stamp() []byte {
+	return []byte(time.Now().String()) // want "time.Now reads the wall clock"
+}
+
+// observe is a deliberate boundary: its timing is free.
+//
+//mrp:nondeterministic
+func (m *Machine) observe() {
+	_ = time.Now()
+}

@@ -1,0 +1,11 @@
+// Package propc carries no mrp markers: deterministic propagation must
+// not descend into it.
+package propc
+
+import "time"
+
+// Boundary would be a wallclock finding if propagation crossed into an
+// unmarked package.
+func Boundary() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,50 @@
+// Package wallclocka exercises the wallclock analyzer: wall-clock reads
+// and unseeded randomness in deterministic functions, with the
+// seeded-generator allowlist.
+package wallclocka
+
+import (
+	"math/rand"
+	"time"
+)
+
+// levels mirrors store.SortedMap: an explicitly seeded generator and its
+// methods are allowed.
+//
+//mrp:deterministic
+func levels() int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Intn(4)
+}
+
+//mrp:deterministic
+func bad() (int64, int) {
+	t := time.Now().UnixNano() // want "time.Now reads the wall clock"
+	n := rand.Intn(4)          // want "unseeded process-global generator"
+	return t, n
+}
+
+//mrp:deterministic
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+//mrp:deterministic
+func timers(stop chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want "timer channel"
+	case <-stop:
+	}
+}
+
+// freeRunning is outside the deterministic scope: no findings.
+func freeRunning() int64 {
+	return time.Now().UnixNano()
+}
+
+// pause only affects timing, never state: allowed.
+//
+//mrp:deterministic
+func pause() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids reading the wall clock or drawing from the unseeded
+// global math/rand inside deterministic functions: both produce values
+// that differ between replicas executing the same command. Flagged:
+//
+//   - time.Now / time.Since / time.Until (clock values),
+//   - time.After / time.Tick / time.NewTimer / time.NewTicker /
+//     time.AfterFunc (timer channels steer control flow by real time),
+//   - package-level math/rand and math/rand/v2 draws (Int, Intn,
+//     Float64, Perm, Shuffle, ...), which use the randomly seeded
+//     process-global generator.
+//
+// Allowed: time.Sleep (affects timing, never state), rand.New /
+// rand.NewSource / rand.NewPCG / rand.NewChaCha8 / rand.NewZipf
+// (construction from an explicit seed), and every method on an explicitly
+// constructed *rand.Rand — which is exactly the seeded generator
+// store.SortedMap uses for skiplist levels.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads and unseeded randomness in deterministic functions",
+	Run:  runWallClock,
+}
+
+var wallClockBanned = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"After":     "creates a real-time timer channel",
+	"Tick":      "creates a real-time ticker channel",
+	"NewTimer":  "creates a real-time timer",
+	"NewTicker": "creates a real-time ticker",
+	"AfterFunc": "schedules by real time",
+}
+
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runWallClock(p *Pass) {
+	info := p.Module.Info
+	p.Module.eachFuncDecl(func(pkg *Package, file *ast.File, decl *ast.FuncDecl) {
+		fn := p.Module.funcFor(decl)
+		if fn == nil || decl.Body == nil {
+			return
+		}
+		why, ok := p.Scope.Deterministic(fn)
+		if !ok {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			sig, _ := callee.Type().(*types.Signature)
+			isMethod := sig != nil && sig.Recv() != nil
+			switch callee.Pkg().Path() {
+			case "time":
+				if isMethod {
+					return true
+				}
+				if what, banned := wallClockBanned[callee.Name()]; banned {
+					p.Report(call.Pos(), "time.%s %s inside deterministic function %s (%s)",
+						callee.Name(), what, relName(fn), why)
+				}
+			case "math/rand", "math/rand/v2":
+				if isMethod || randAllowed[callee.Name()] {
+					return true // methods run on an explicitly seeded generator
+				}
+				p.Report(call.Pos(), "rand.%s draws from the unseeded process-global generator inside deterministic function %s (%s); use an explicitly seeded *rand.Rand",
+					callee.Name(), relName(fn), why)
+			}
+			return true
+		})
+	})
+}

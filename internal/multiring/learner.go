@@ -161,6 +161,12 @@ func (l *Learner) Stop() {
 	<-l.done
 }
 
+// run is the deterministic merge (Algorithm 1): every learner subscribed
+// to the same rings with the same M consumes decisions in the same
+// round-robin order, so the delivery sequence — the input to every
+// replica's state machine — is identical across the group.
+//
+//mrp:deterministic
 func (l *Learner) run() {
 	defer close(l.done)
 	// frontier[r] is the highest instance of ring r the merge has consumed

@@ -140,6 +140,8 @@ func (c *Client) proposerFor(ring msg.RingID, rotate bool) (transport.Addr, erro
 
 // Execute multicasts op to the group (ring) and returns the first replica
 // response (single-partition command).
+//
+//mrp:ordered
 func (c *Client) Execute(ring msg.RingID, op []byte) ([]byte, error) {
 	results, err := c.execute(ring, op, 1, nil)
 	if err != nil {
@@ -154,6 +156,8 @@ func (c *Client) Execute(ring msg.RingID, op []byte) ([]byte, error) {
 // ExecuteGather multicasts op and collects responses until classify has
 // produced `want` distinct classes (e.g. one response per partition for a
 // scan). classify returns the class of a result and whether it counts.
+//
+//mrp:ordered
 func (c *Client) ExecuteGather(ring msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
 	return c.execute(ring, op, want, classify)
 }

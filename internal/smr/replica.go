@@ -1,6 +1,7 @@
 package smr
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -285,7 +286,11 @@ func (r *Replica) Checkpoint() {
 }
 
 // checkpoint does the work of Checkpoint; it must run on the execution
-// goroutine (or after it has exited).
+// goroutine (or after it has exited). Checkpoint bytes feed collision-free
+// recovery: every replica of the partition must encode the same state for
+// the same applied tuple.
+//
+//mrp:deterministic
 func (r *Replica) checkpoint() {
 	if r.cfg.Ckpt == nil {
 		return
@@ -353,7 +358,11 @@ func (r *Replica) StateSnapshot() []byte {
 	return r.cfg.SM.Snapshot()
 }
 
-// apply executes one delivery and advances the applied tuple.
+// apply executes one delivery and advances the applied tuple. Every
+// replica of the partition applies the same delivery stream; anything
+// this reaches must be a pure function of that stream.
+//
+//mrp:deterministic
 func (r *Replica) apply(d multiring.Delivery) {
 	if d.Skip {
 		r.mu.Lock()
@@ -425,10 +434,6 @@ func tupleOf(m map[msg.RingID]msg.Instance) []msg.RingInstance {
 	for ring, inst := range m {
 		out = append(out, msg.RingInstance{Ring: ring, Instance: inst})
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1].Ring > out[j].Ring; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ring < out[j].Ring })
 	return out
 }

@@ -1,6 +1,9 @@
 package smr
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 // Replica checkpoints wrap the state machine's snapshot with the replica's
 // own metadata (the client-dedup table), framed as:
@@ -30,9 +33,18 @@ func decodeReplicaState(b []byte) (dedup, smState []byte, err error) {
 	return b[4 : 4+n], b[4+n:], nil
 }
 
+// encodeDedup serializes the dedup table in ascending client-ID order:
+// the bytes land in the checkpoint, and replicas compare checkpoints by
+// content, so map iteration order must not leak into the encoding.
 func encodeDedup(m map[uint64]clientEntry) []byte {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var out []byte
-	for id, e := range m {
+	for _, id := range ids {
+		e := m[id]
 		out = binary.BigEndian.AppendUint64(out, id)
 		out = binary.BigEndian.AppendUint64(out, e.seq)
 		out = binary.BigEndian.AppendUint64(out, e.bits)

@@ -22,7 +22,10 @@ type Checkpoint struct {
 // TupleLE reports a <= b pointwise over the rings both tuples mention.
 // Checkpoint tuples of replicas in the same partition are totally ordered
 // (Predicate 1 establishes this), so pointwise comparison is a total order
-// within a partition.
+// within a partition. Recovery decisions hang off this comparison, so
+// every replica must evaluate it identically.
+//
+//mrp:deterministic
 func TupleLE(a, b []msg.RingInstance) bool {
 	bi := make(map[msg.RingID]msg.Instance, len(b))
 	for _, e := range b {
@@ -66,6 +69,12 @@ func NewCheckpointStore(disk *Disk) *CheckpointStore {
 // Save synchronously persists a checkpoint, replacing the previous one.
 // The tuple is copied; the state slice is retained and must not be modified
 // by the caller afterwards.
+//
+// Save is a persistence sink: the checkpoint bytes are fully determined
+// before the call, and the simulated device timing below is free to read
+// real clocks.
+//
+//mrp:nondeterministic
 func (s *CheckpointStore) Save(ckpt Checkpoint) {
 	tuple := make([]msg.RingInstance, len(ckpt.Tuple))
 	copy(tuple, ckpt.Tuple)

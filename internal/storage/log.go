@@ -146,6 +146,11 @@ func (l *Log) Get(inst msg.Instance) (Record, bool) {
 // Ranges spanning far more instance numbers than live records (common when
 // rate-leveling skips consume large instance ranges) are served by sorting
 // the live keys instead of walking every instance number.
+//
+// Replay served from this walk must be ascending and identical everywhere,
+// so the function is in deterministic scope.
+//
+//mrp:deterministic
 func (l *Log) Range(from, to msg.Instance, fn func(msg.Instance, Record)) (trimmed bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

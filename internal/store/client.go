@@ -221,7 +221,11 @@ func (c *Client) refresh() error {
 	return nil
 }
 
-// exec submits one op to a ring and decodes the first reply.
+// exec submits one op to a ring and decodes the first reply. The result
+// carries the typed status — including the statusWrongEpoch redirect —
+// that every caller must route on.
+//
+//mrp:ordered status
 func (c *Client) exec(ring msg.RingID, o op) (result, error) {
 	raw, err := c.smr.Execute(ring, o.encode())
 	if err != nil {
@@ -286,6 +290,8 @@ func (c *Client) callKey(o op) (result, error) {
 }
 
 // Read returns the value of entry k, if existent.
+//
+//mrp:ordered
 func (c *Client) Read(k string) ([]byte, error) {
 	res, err := c.callKey(op{kind: opRead, key: k})
 	if err != nil {
@@ -298,6 +304,8 @@ func (c *Client) Read(k string) ([]byte, error) {
 }
 
 // Update updates entry k with value v, if existent.
+//
+//mrp:ordered
 func (c *Client) Update(k string, v []byte) error {
 	res, err := c.callKey(op{kind: opUpdate, key: k, value: v})
 	if err != nil {
@@ -310,12 +318,16 @@ func (c *Client) Update(k string, v []byte) error {
 }
 
 // Insert inserts tuple (k, v) in the database.
+//
+//mrp:ordered
 func (c *Client) Insert(k string, v []byte) error {
 	_, err := c.callKey(op{kind: opInsert, key: k, value: v})
 	return err
 }
 
 // Delete deletes entry k from the database.
+//
+//mrp:ordered
 func (c *Client) Delete(k string) error {
 	res, err := c.callKey(op{kind: opDelete, key: k})
 	if err != nil {
@@ -333,6 +345,8 @@ func (c *Client) Delete(k string) error {
 // fans out per partition (the weaker of the two Figure 4 configurations —
 // partitions added by a live split are not global-ring members, so scans
 // touching them always fan out).
+//
+//mrp:ordered
 func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
 	deadline := time.Now().Add(c.timeout)
 	for {
@@ -443,6 +457,8 @@ func (c *Client) scanOnce(v routeView, from, to string, limit int) ([]Entry, boo
 // 32 KB per partition, Section 7.2). Groups redirected by a schema change
 // are regrouped under the refreshed schema and retried. It returns the
 // number of applied writes.
+//
+//mrp:ordered
 func (c *Client) WriteBatch(entries []Entry) (int, error) {
 	deadline := time.Now().Add(c.timeout)
 	remaining := entries

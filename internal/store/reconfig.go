@@ -29,6 +29,8 @@ func (c *Client) AddRoute(ring msg.RingID, addrs []transport.Addr) {
 // mapping every replica installs (a replica's own mapping may be stale:
 // reconfigurations ordered on rings it does not subscribe to never
 // reached it).
+//
+//mrp:ordered
 func (c *Client) PrepareSplit(via msg.RingID, src int, splitKey string, newPart int, epoch uint64, next Partitioner) ([]Entry, error) {
 	o := op{kind: opPrepareReconfig, rkind: reconfigSplit, epoch: epoch,
 		part: uint16(src), newPart: uint16(newPart), key: splitKey, pmap: next}
@@ -58,6 +60,8 @@ func (c *Client) PrepareSplit(via msg.RingID, src int, splitKey string, newPart 
 // it will own once the merge commits. Ordered before the donor freeze so
 // an abort between the two has only this (side-effect-free) arming to
 // undo.
+//
+//mrp:ordered
 func (c *Client) PrepareMergeDest(destRing msg.RingID, donor, dest int, epoch uint64) error {
 	o := op{kind: opPrepareReconfig, rkind: reconfigMergeDest, epoch: epoch,
 		part: uint16(donor), newPart: uint16(dest)}
@@ -76,6 +80,8 @@ func (c *Client) PrepareMergeDest(destRing msg.RingID, donor, dest int, epoch ui
 // command on the donor — keyed ops and scans alike — is redirected, so
 // the returned entries are exactly the state the survivor must end up
 // with and nothing stale can be read from the donor afterwards.
+//
+//mrp:ordered
 func (c *Client) PrepareMergeDonor(donorRing msg.RingID, donor, dest int, epoch uint64) ([]Entry, error) {
 	o := op{kind: opPrepareReconfig, rkind: reconfigMergeDonor, epoch: epoch,
 		part: uint16(donor), newPart: uint16(dest)}
@@ -93,6 +99,8 @@ func (c *Client) PrepareMergeDonor(donorRing msg.RingID, donor, dest int, epoch 
 // partition's ring; its replicas — warming (split) or receiving (merge) —
 // install the entries in delivery order, before any client command can
 // observe them.
+//
+//mrp:ordered
 func (c *Client) MigrateChunk(ring msg.RingID, dest int, epoch uint64, entries []Entry) error {
 	o := op{kind: opMigrate, epoch: epoch, part: uint16(dest)}
 	for _, e := range entries {
@@ -111,6 +119,8 @@ func (c *Client) MigrateChunk(ring msg.RingID, dest int, epoch uint64, entries [
 // ActivatePartition ends the new partition's warming phase: ordered on its
 // ring after every migrated chunk, so a replica that serves any client
 // command has necessarily installed the full moved range first.
+//
+//mrp:ordered
 func (c *Client) ActivatePartition(ring msg.RingID, part int, epoch uint64) error {
 	res, err := c.exec(ring, op{kind: opActivatePart, epoch: epoch, part: uint16(part)})
 	if err != nil {
@@ -126,6 +136,8 @@ func (c *Client) ActivatePartition(ring msg.RingID, part int, epoch uint64) erro
 // source partition drops the moved range and every replica on the ring
 // adopts the new epoch. From this point stale clients are redirected to
 // the published schema.
+//
+//mrp:ordered
 func (c *Client) CommitSplit(via msg.RingID, src int, epoch uint64) error {
 	res, err := c.exec(via, op{kind: opCommitReconfig, rkind: reconfigSplit, epoch: epoch, part: uint16(src)})
 	if err != nil {
@@ -142,6 +154,8 @@ func (c *Client) CommitSplit(via msg.RingID, src int, epoch uint64) error {
 // mapping next (the donor's index drops out of the assignment) and the new
 // epoch, and start serving the donor's range. The donor never commits — it
 // stays frozen until RetirePartition tears its ring down.
+//
+//mrp:ordered
 func (c *Client) CommitMerge(destRing msg.RingID, donor, dest int, epoch uint64, next Partitioner) error {
 	o := op{kind: opCommitReconfig, rkind: reconfigMergeDest, epoch: epoch,
 		part: uint16(donor), newPart: uint16(dest), pmap: next}
@@ -161,6 +175,8 @@ func (c *Client) CommitMerge(destRing msg.RingID, donor, dest int, epoch uint64,
 // entries; everyone else treats it as an idempotent duplicate, so it is
 // safe to issue against a ring that never saw the prepare (a coordinator
 // that crashed before ordering anything).
+//
+//mrp:ordered
 func (c *Client) AbortReconfig(via msg.RingID, epoch uint64) error {
 	res, err := c.exec(via, op{kind: opAbortReconfig, epoch: epoch})
 	if err != nil {

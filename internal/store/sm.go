@@ -101,6 +101,8 @@ func (s *SM) Warming() bool { return s.warming }
 func (s *SM) Pending() uint64 { return s.pendingEpoch }
 
 // Execute implements smr.StateMachine.
+//
+//mrp:deterministic
 func (s *SM) Execute(raw []byte) []byte {
 	o, err := decodeOp(raw)
 	if err != nil {
@@ -599,6 +601,8 @@ func takePartitioner(b []byte) (Partitioner, []byte, bool) {
 // reconfiguration, partitioners) followed by the full shard as
 // length-prefixed key/value pairs. All fields evolve deterministically, so
 // snapshots of converged replicas remain byte-identical.
+//
+//mrp:deterministic
 func (s *SM) Snapshot() []byte {
 	var b []byte
 	b = append(b, snapshotV3)
@@ -637,6 +641,8 @@ func (s *SM) Snapshot() []byte {
 }
 
 // Restore implements smr.StateMachine.
+//
+//mrp:deterministic
 func (s *SM) Restore(b []byte) {
 	s.data = NewSortedMap()
 	s.clearPending()

@@ -98,6 +98,8 @@ func (d *Deployment) PartitionStats(p int) (PartitionStats, bool) {
 // (multicast on the partition's ring, answered by the first replica) — the
 // client-visible half of the stats surface, for controllers and tools not
 // co-located with the deployment.
+//
+//mrp:ordered
 func (c *Client) Stats(partition int) (PartitionStats, error) {
 	deadline := time.Now().Add(c.timeout)
 	for {
