@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|ablations|all] [-seconds 1.5]
+//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|txn|ablations|all] [-seconds 1.5]
 //	          [-scale 0.25] [-clients 40] [-records 5000] [-v]
+//
+// The txn figure additionally writes its rows as machine-readable JSON
+// (BENCH_txn.json, uploaded as a CI artifact).
 //
 // Absolute numbers depend on the host; the shapes (who wins, scaling
 // factors, crossovers) are the reproduction target — see EXPERIMENTS.md.
@@ -20,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,ablations,all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,txn,ablations,all")
 	seconds := flag.Float64("seconds", 1.5, "measured seconds per data point")
 	scale := flag.Float64("scale", 0.25, "time scale for WAN latencies and disk service times")
 	clients := flag.Int("clients", 40, "client threads for the YCSB comparison")
@@ -55,6 +58,14 @@ func main() {
 	run("rebalance", func(w io.Writer, o bench.Options) { bench.RenderRebalance(w, bench.Rebalance(o)) })
 	run("merge", func(w io.Writer, o bench.Options) { bench.RenderMerge(w, bench.Merge(o)) })
 	run("autoshard", func(w io.Writer, o bench.Options) { bench.RenderAutoshard(w, bench.Autoshard(o)) })
+	run("txn", func(w io.Writer, o bench.Options) {
+		rows := bench.Txn(o)
+		bench.RenderTxn(w, rows)
+		if err := bench.WriteTxnJSON("BENCH_txn.json", rows); err != nil {
+			fmt.Fprintf(os.Stderr, "write BENCH_txn.json: %v\n", err)
+			os.Exit(1)
+		}
+	})
 	run("ablations", func(w io.Writer, o bench.Options) {
 		rows := append(bench.AblationBatching(o), bench.AblationTransportBatch(o)...)
 		rows = append(rows, bench.AblationSkip(o)...)

@@ -1,19 +1,17 @@
-// Transfers: the paper's Section 3 motivating scenario. Objects x and y
-// live in different partitions; transactions T1 (reads x, updates y) and
-// T2 (reads y, updates x) run concurrently. With two-phase commit both
-// abort; with atomic multicast both are ordered and both commit.
-//
-// Two account partitions each run a replicated balance machine subscribed
-// to its own group plus a shared "transfers" group. Cross-partition
-// transfers multicast to the shared group are delivered in the same
-// relative order at both partitions, so the total balance is conserved and
-// every replica of both partitions agrees on the outcome.
+// Transfers: the paper's Section 3 motivating scenario, on the store's
+// transaction API. Accounts x and y live in different partitions;
+// transactions T1 (moves 7 from x to y) and T2 (moves 3 from y to x) run
+// concurrently from different clients. With two-phase commit both abort
+// under this contention; with atomic multicast each transfer is ONE
+// command multicast to the rings covering its participants, delivered in
+// the same relative order at every replica of both partitions — so both
+// always commit, the total balance is conserved, and the balances a
+// transfer returns are read at its own delivery position.
 //
 //	go run ./examples/transfers
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -21,119 +19,69 @@ import (
 	"mrp"
 )
 
-// Groups: 1 = partition X, 2 = partition Y, 3 = shared transfer group.
-const (
-	groupX        mrp.GroupID = 1
-	groupY        mrp.GroupID = 2
-	groupTransfer mrp.GroupID = 3
-)
-
-// account is a replicated balance machine for one partition. Transfers
-// delivered through the shared group touch both partitions: each side
-// applies only its half, in the globally agreed order.
-type account struct {
-	mu      sync.Mutex
-	name    string
-	balance int64
-	applied int
-}
-
-type transferOp struct {
-	From   string `json:"from"`
-	To     string `json:"to"`
-	Amount int64  `json:"amount"`
-}
-
-func (a *account) apply(d mrp.Delivery) {
-	if d.Skip {
-		return
-	}
-	var op transferOp
-	if err := json.Unmarshal(d.Entry.Data, &op); err != nil {
-		return
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if op.From == a.name {
-		a.balance -= op.Amount
-	}
-	if op.To == a.name {
-		a.balance += op.Amount
-	}
-	a.applied++
-}
-
 func main() {
-	net := mrp.NewSimNetwork()
+	net := mrp.NewSimNetwork(mrp.WithUniformLatency(50 * time.Microsecond))
 	defer net.Close()
 
-	peers := make([]mrp.Peer, 3)
-	for i := range peers {
-		peers[i] = mrp.Peer{
-			ID:    mrp.NodeID(i + 1),
-			Addr:  mrp.Addr(fmt.Sprintf("bank-%d", i)),
-			Roles: mrp.RoleProposer | mrp.RoleAcceptor | mrp.RoleLearner,
-		}
-	}
-	var nodes []*mrp.Node
-	for i := range peers {
-		node := mrp.NewNode(peers[i].ID, net.Endpoint(peers[i].Addr))
-		for _, g := range []mrp.GroupID{groupX, groupY, groupTransfer} {
-			if _, err := node.Join(mrp.RingConfig{
-				Ring: g, Peers: peers, Coordinator: 1, Log: mrp.NewMemLog(),
-				SkipInterval: 5 * time.Millisecond, SkipRate: 2000,
-			}); err != nil {
+	// Two range partitions — "x" below the boundary "y", "y" above it —
+	// three replicas each, plus a global ring ordering cross-partition
+	// transactions.
+	st, err := mrp.DeployStore(mrp.StoreConfig{
+		Net:          net,
+		Partitions:   2,
+		Replicas:     3,
+		GlobalRing:   true,
+		Partitioner:  mrp.NewRangePartitioner([]string{"y"}),
+		SkipInterval: 2 * time.Millisecond,
+		SkipRate:     2000,
+	})
+	must(err)
+	defer st.Stop()
+	st.Preload([]mrp.StoreEntry{
+		{Key: "x", Value: mrp.EncodeBalance(1000)},
+		{Key: "y", Value: mrp.EncodeBalance(1000)},
+	})
+
+	// The T1/T2 scenario, concurrently, many times: opposite-direction
+	// cross-partition transfers from two independent clients.
+	const rounds = 50
+	var wg sync.WaitGroup
+	transfer := func(from, to string, amount int64) {
+		defer wg.Done()
+		cl := st.NewClient()
+		defer cl.Close()
+		for k := 0; k < rounds; k++ {
+			if _, _, err := cl.Transfer(from, to, amount); err != nil {
 				panic(err)
 			}
 		}
-		node.Start()
-		defer node.Stop()
-		nodes = append(nodes, node)
 	}
-
-	// Partition X's replica (node 0) subscribes to {X, transfers};
-	// partition Y's replica (node 1) subscribes to {Y, transfers}.
-	mkLearner := func(n *mrp.Node, own mrp.GroupID) *mrp.Learner {
-		p1, _ := n.Process(own)
-		p2, _ := n.Process(groupTransfer)
-		l := mrp.NewLearner(1, p1, p2)
-		l.Start()
-		return l
-	}
-	lx := mkLearner(nodes[0], groupX)
-	defer lx.Stop()
-	ly := mkLearner(nodes[1], groupY)
-	defer ly.Stop()
-
-	x := &account{name: "x", balance: 1000}
-	y := &account{name: "y", balance: 1000}
-	var wg sync.WaitGroup
-	run := func(a *account, l *mrp.Learner, want int) {
-		defer wg.Done()
-		for a.applied < want {
-			a.apply(<-l.Deliveries())
-		}
-	}
-
-	// The T1/T2 scenario, concurrently, many times: opposite-direction
-	// transfers multicast to the shared group by different proposers.
-	const rounds = 50
 	wg.Add(2)
-	go run(x, lx, rounds*2)
-	go run(y, ly, rounds*2)
-	for k := 0; k < rounds; k++ {
-		t1, _ := json.Marshal(transferOp{From: "x", To: "y", Amount: 7})
-		t2, _ := json.Marshal(transferOp{From: "y", To: "x", Amount: 3})
-		must(nodes[0].Multicast(groupTransfer, t1)) // T1 from one client
-		must(nodes[1].Multicast(groupTransfer, t2)) // T2 from another
-	}
+	go transfer("x", "y", 7) // T1
+	go transfer("y", "x", 3) // T2
 	wg.Wait()
 
+	cl := st.NewClient()
+	defer cl.Close()
+	bal, err := cl.MultiGet([]string{"x", "y"}) // one consistent cut
+	must(err)
+	x := mrp.DecodeBalance(bal["x"])
+	y := mrp.DecodeBalance(bal["y"])
 	fmt.Printf("after %d concurrent T1/T2 pairs:\n", rounds)
-	fmt.Printf("  x = %d\n", x.balance)
-	fmt.Printf("  y = %d\n", y.balance)
-	fmt.Printf("  total = %d (conserved: %v)\n", x.balance+y.balance, x.balance+y.balance == 2000)
+	fmt.Printf("  x = %d\n", x)
+	fmt.Printf("  y = %d\n", y)
+	fmt.Printf("  total = %d (conserved: %v)\n", x+y, x+y == 2000)
 	fmt.Printf("  every transfer committed — none aborted, unlike 2PC under this contention\n")
+
+	// And the conditional flavor: an atomic swap across both partitions
+	// that applies only if every expectation holds — same machinery, one
+	// multicast on the shared ring, votes exchanged between partitions.
+	ok, err := cl.CompareAndSwapAcross([]mrp.StoreCASOp{
+		{Key: "x", Expect: mrp.EncodeBalance(x), New: mrp.EncodeBalance(0)},
+		{Key: "y", Expect: mrp.EncodeBalance(y), New: mrp.EncodeBalance(x + y)},
+	})
+	must(err)
+	fmt.Printf("  cross-partition CAS consolidating both balances: applied=%v\n", ok)
 }
 
 func must(err error) {

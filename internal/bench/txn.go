@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"mrp/internal/metrics"
+	"mrp/internal/netsim"
+	"mrp/internal/storage"
+	"mrp/internal/store"
+	"mrp/internal/ycsb"
+)
+
+// TxnMode names the two routing strategies the figure compares.
+type TxnMode string
+
+// The compared strategies: minimal-ring-set multicast (the paper's
+// design) vs the naive baseline that orders EVERY transaction on the
+// global ring.
+const (
+	TxnMulticast TxnMode = "multicast"
+	TxnGlobalAll TxnMode = "global-all"
+)
+
+// TxnModes lists the modes in report order.
+var TxnModes = []TxnMode{TxnMulticast, TxnGlobalAll}
+
+// txnParticipants and txnPayloads are the sweep axes: how many partitions
+// a multi-key transaction spans, and how large each written value is.
+var (
+	txnParticipants = []int{1, 2, 3}
+	txnPayloads     = []int{16, 128, 1024}
+)
+
+// txnMultiFraction is the YCSB-T style mix: most transactions touch a
+// single partition; this fraction spans the row's participant count.
+const txnMultiFraction = 0.1
+
+// TxnRow is one (mode, participants, payload) point of the transaction
+// figure.
+type TxnRow struct {
+	Mode         TxnMode       `json:"mode"`
+	Participants int           `json:"participants"`
+	PayloadBytes int           `json:"payload_bytes"`
+	OpsPerSec    float64       `json:"ops_per_sec"`
+	P50          time.Duration `json:"p50_ns"`
+	P99          time.Duration `json:"p99_ns"`
+	P999         time.Duration `json:"p999_ns"`
+	Errors       uint64        `json:"errors"`
+}
+
+// Txn reproduces the cross-partition transaction comparison: a YCSB-T
+// style workload (90% single-partition transactions, 10% spanning the
+// row's participant count, half reads half writes) against a 3-partition
+// deployment, once with minimal-ring-set multicast routing and once with
+// the global-ring-everything baseline. The multicast side keeps
+// single-partition traffic on the partitions' own rings, so the three
+// rings order in parallel; the baseline serializes everything through one
+// ring.
+func Txn(opts Options) []TxnRow {
+	var rows []TxnRow
+	for _, mode := range TxnModes {
+		for _, parts := range txnParticipants {
+			for _, payload := range txnPayloads {
+				row := txnPoint(opts, mode, parts, payload)
+				opts.logf("txn %-10s parts=%d payload=%4dB  %9.0f txn/s  p99=%v",
+					mode, parts, payload, row.OpsPerSec, row.P99.Round(10*time.Microsecond))
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// txnPoint builds a fresh 3-partition deployment and drives one point.
+func txnPoint(opts Options, mode TxnMode, participants, payload int) TxnRow {
+	net := netsim.New(
+		netsim.WithUniformLatency(50*time.Microsecond),
+		netsim.WithBandwidth(10<<30/8),
+	)
+	defer net.Close()
+	d, err := store.Deploy(store.DeployConfig{
+		Net:          net,
+		Partitions:   3,
+		Replicas:     3,
+		GlobalRing:   true,
+		StorageMode:  storage.InMemory,
+		SkipInterval: 5 * time.Millisecond,
+		SkipRate:     9000,
+		RetryTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer d.Stop()
+
+	records := make([]store.Entry, 0, opts.Records)
+	for _, r := range ycsb.Load(ycsb.Config{RecordCount: opts.Records, ValueSize: payload}) {
+		records = append(records, store.Entry{Key: r.Key, Value: r.Value})
+	}
+	d.Preload(records)
+
+	// Pre-bucket the key space by partition so a transaction can pick
+	// keys spanning exactly k partitions.
+	part := d.Partitioner()
+	byPart := make([][]string, 3)
+	for _, r := range records {
+		p := part.PartitionOf(r.Key)
+		byPart[p] = append(byPart[p], r.Key)
+	}
+
+	var (
+		ops  metrics.Counter
+		errs metrics.Counter
+		hist metrics.Histogram
+	)
+	deadline := time.Now().Add(opts.point())
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Clients; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			cl := d.NewClient()
+			defer cl.Close()
+			if mode == TxnGlobalAll {
+				cl.ForceGlobal(true)
+			}
+			rng := rand.New(rand.NewSource(int64(t) + 1))
+			value := make([]byte, payload)
+			for time.Now().Before(deadline) {
+				span := 1
+				if participants > 1 && rng.Float64() < txnMultiFraction {
+					span = participants
+				}
+				keys := make([]string, span)
+				first := rng.Intn(3)
+				for i := 0; i < span; i++ {
+					bucket := byPart[(first+i)%3]
+					keys[i] = bucket[rng.Intn(len(bucket))]
+				}
+				start := time.Now()
+				var err error
+				if rng.Intn(2) == 0 {
+					_, err = cl.MultiGet(keys)
+				} else {
+					entries := make([]store.Entry, span)
+					for i, k := range keys {
+						entries[i] = store.Entry{Key: k, Value: value}
+					}
+					err = cl.MultiPut(entries)
+				}
+				if err != nil {
+					errs.Add(1, 0)
+					continue
+				}
+				hist.Record(time.Since(start))
+				ops.Add(1, 0)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return TxnRow{
+		Mode:         mode,
+		Participants: participants,
+		PayloadBytes: payload,
+		OpsPerSec:    float64(ops.Ops()) / opts.PointSeconds,
+		P50:          hist.Quantile(0.50),
+		P99:          hist.Quantile(0.99),
+		P999:         hist.Quantile(0.999),
+		Errors:       errs.Ops(),
+	}
+}
+
+// RenderTxn prints the transaction comparison.
+func RenderTxn(w io.Writer, rows []TxnRow) {
+	fmt.Fprintln(w, "Cross-partition transactions — minimal-ring-set multicast vs global-ring baseline")
+	fmt.Fprintln(w, "(YCSB-T mix: 90% single-partition, 10% spanning `parts` partitions; txn/s aggregate)")
+	fmt.Fprintf(w, "%-12s %6s %9s %12s %10s %10s %10s %8s\n",
+		"mode", "parts", "payload", "txn/s", "p50", "p99", "p999", "errors")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %6d %8dB %12.0f %10s %10s %10s %8d\n",
+			r.Mode, r.Participants, r.PayloadBytes, r.OpsPerSec,
+			r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond),
+			r.P999.Round(10*time.Microsecond), r.Errors)
+	}
+}
+
+// WriteTxnJSON emits the machine-readable companion of the transaction
+// figure (BENCH_txn.json in CI).
+func WriteTxnJSON(path string, rows []TxnRow) error {
+	type jsonRow struct {
+		Mode         TxnMode `json:"mode"`
+		Participants int     `json:"participants"`
+		PayloadBytes int     `json:"payload_bytes"`
+		OpsPerSec    float64 `json:"ops_per_sec"`
+		P50us        float64 `json:"p50_us"`
+		P99us        float64 `json:"p99_us"`
+		P999us       float64 `json:"p999_us"`
+		Errors       uint64  `json:"errors"`
+	}
+	out := struct {
+		Figure string    `json:"figure"`
+		Rows   []jsonRow `json:"rows"`
+	}{Figure: "txn"}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, jsonRow{
+			Mode:         r.Mode,
+			Participants: r.Participants,
+			PayloadBytes: r.PayloadBytes,
+			OpsPerSec:    r.OpsPerSec,
+			P50us:        float64(r.P50) / float64(time.Microsecond),
+			P99us:        float64(r.P99) / float64(time.Microsecond),
+			P999us:       float64(r.P999) / float64(time.Microsecond),
+			Errors:       r.Errors,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

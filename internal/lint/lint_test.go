@@ -121,6 +121,10 @@ func TestOrderedResultFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{OrderedResult}, "ordereda")
 }
 
+func TestOrderedTxnFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{OrderedResult}, "orderedtxn")
+}
+
 // TestPropagationFixture proves the scope crosses package boundaries
 // through interfaces (CHA), descends only into marked packages, and
 // stops at //mrp:nondeterministic.

@@ -1,0 +1,61 @@
+// Package orderedtxn exercises the orderedresult analyzer over
+// transaction-verb shapes: multi-key ordered commands whose replies carry
+// the applied/aborted verdict and the balances read at the delivery
+// position. Dropping either loses the one consistent view the multicast
+// paid for.
+package orderedtxn
+
+import "errors"
+
+// Transfer moves amount between two balances as one multicast command and
+// returns the balances read at the transaction's own delivery position.
+//
+//mrp:ordered
+func Transfer(from, to string, amount int64) (int64, int64, error) {
+	return 0, 0, errors.New("x")
+}
+
+// CompareAndSwapAcross applies a conditional multi-key swap and reports
+// whether it was applied.
+//
+//mrp:ordered status
+func CompareAndSwapAcross(keys []string) (bool, error) { return false, errors.New("x") }
+
+func good() bool {
+	fromBal, toBal, err := Transfer("x", "y", 7)
+	if err != nil {
+		return false
+	}
+	applied, err := CompareAndSwapAcross(nil)
+	if err != nil {
+		return false
+	}
+	return applied && fromBal+toBal == 0
+}
+
+func dropped() {
+	Transfer("x", "y", 7)                  // want "all results of ordered command Transfer are dropped"
+	fromBal, _, _ := Transfer("x", "y", 7) // want "error of ordered command Transfer assigned to _"
+	_ = fromBal
+	var err error
+	_, err = CompareAndSwapAcross(nil) // want "reply of ordered command CompareAndSwapAcross assigned to _"
+	_ = err
+	applied, _ := CompareAndSwapAcross(nil) // want "error of ordered command CompareAndSwapAcross assigned to _"
+	_ = applied
+	go CompareAndSwapAcross(nil) // want "go statement"
+}
+
+// blankBalances drops only the returned balances of a non-status verb:
+// the error is still checked, so the analyzer stays quiet (the balances
+// are a convenience, not a typed redirect channel).
+func blankBalances() error {
+	_, _, err := Transfer("x", "y", 7)
+	return err
+}
+
+func justified() bool {
+	//mrp:nolint orderedresult — example fire-and-forget
+	Transfer("x", "y", 1)
+	applied, err := CompareAndSwapAcross(nil)
+	return err == nil && applied
+}

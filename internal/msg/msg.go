@@ -19,6 +19,9 @@
 //   - CkptQuery / CkptReply / CkptFetch / CkptData: remote checkpoint
 //     discovery and state transfer between replicas of a partition.
 //   - Response: a service reply sent from a replica back to a client.
+//   - TxnVote: a vote exchanged between the replicas of the participant
+//     partitions of a conditional cross-partition transaction (S-SMR-style
+//     execution atomicity; see internal/txn).
 //   - Batch: transport-level packing of several messages into one packet.
 //     Both transports (internal/tcpnet, internal/netsim) coalesce queued
 //     writes into Batch packets; see transport.BatchPolicy.
@@ -65,6 +68,7 @@ const (
 	TCkptData
 	TResponse
 	TBatch
+	TTxnVote
 	maxType
 )
 
@@ -661,6 +665,43 @@ func (m *Response) unmarshal(r *reader) {
 	m.Result = r.bytes()
 }
 
+// TxnVote carries one participant partition's vote on a conditional
+// cross-partition transaction between replicas (internal/txn). (ClientID,
+// Seq) identify the transaction — the same pair that identifies the
+// ordered command carrying it — Part is the voting partition and Vote its
+// verdict. Want set asks the receiver to send its own vote back: the vote
+// exchange is a pull-push protocol, so a replica that lost a vote (crash,
+// late subscribe, replay after recovery) can always re-request it.
+type TxnVote struct {
+	ClientID uint64
+	Seq      uint64
+	Part     uint16
+	Vote     uint8
+	Want     bool
+}
+
+// Type implements Message.
+func (*TxnVote) Type() Type { return TTxnVote }
+
+// Size implements Message.
+func (m *TxnVote) Size() int { return 1 + 8 + 8 + 2 + 1 + 1 }
+
+func (m *TxnVote) marshal(w *writer) {
+	w.u64(m.ClientID)
+	w.u64(m.Seq)
+	w.u16(m.Part)
+	w.u8(m.Vote)
+	w.bool(m.Want)
+}
+
+func (m *TxnVote) unmarshal(r *reader) {
+	m.ClientID = r.u64()
+	m.Seq = r.u64()
+	m.Part = r.u16()
+	m.Vote = r.u8()
+	m.Want = r.bool()
+}
+
 // Batch packs several messages into one packet to amortize per-message
 // transport overhead (paper Section 4: "different types of messages ... are
 // often grouped into bigger packets before being forwarded").
@@ -749,6 +790,8 @@ func New(t Type) Message {
 		return &Response{}
 	case TBatch:
 		return &Batch{}
+	case TTxnVote:
+		return &TxnVote{}
 	default:
 		return nil
 	}

@@ -35,6 +35,7 @@ func allSamples() []Message {
 		&CkptFetch{Seq: 2},
 		&CkptData{Seq: 2, Epoch: 3, Tuple: []RingInstance{{1, 10}}, State: []byte("state")},
 		&Response{ClientID: 1, Seq: 2, Result: []byte("ok")},
+		&TxnVote{ClientID: 1, Seq: 2, Part: 3, Vote: 1, Want: true},
 		&Batch{Msgs: []Message{
 			&TrimCmd{Ring: 1, UpTo: 5},
 			&Proposal{Ring: 1, ProposerID: 2, Seq: 3, Payload: []byte("p")},

@@ -1,0 +1,68 @@
+package multiring
+
+import (
+	"fmt"
+	"sort"
+
+	"mrp/internal/msg"
+)
+
+// Cover selects the minimal set of rings a single multicast must be
+// proposed to so that every listed group member delivers it — the ring-
+// set planning step of a cross-partition command (paper Section 3: a
+// message multicast to several groups is delivered in the same relative
+// order by every process subscribed to them).
+//
+//   - one member: its own ring, trivially minimal;
+//   - a shared ring (the store's global ring) that every member
+//     subscribes to: that one ring — every participant's learner merges
+//     it, so one proposal reaches them all in one total order;
+//   - otherwise: each member's own ring, deduplicated and sorted — the
+//     fan-out fallback for members outside the shared ring (the paper's
+//     weaker Figure 4 configuration; split-created store partitions are
+//     born in it).
+//
+// single reports whether one ring covers every member, which is the
+// precondition for conditional (vote-exchange) transactions: only a
+// shared total order makes the exchange deadlock-free. ringOf resolves a
+// member's own ring against the caller's (versioned) schema view and
+// reports false for unknown members, in which case Cover fails and the
+// caller must refresh its view.
+func Cover(members []int, ringOf func(int) (msg.RingID, bool), shared msg.RingID, onShared func(int) bool) (rings []msg.RingID, single bool, err error) {
+	if len(members) == 0 {
+		return nil, false, fmt.Errorf("multiring: empty member set")
+	}
+	seen := make(map[int]bool, len(members))
+	all := shared != 0
+	for _, m := range members {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		r, ok := ringOf(m)
+		if !ok || r == 0 {
+			return nil, false, fmt.Errorf("multiring: no ring known for group member %d", m)
+		}
+		if all && (onShared == nil || !onShared(m)) {
+			all = false
+		}
+		found := false
+		for _, have := range rings {
+			if have == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rings = append(rings, r)
+		}
+	}
+	if len(seen) == 1 {
+		return rings, true, nil
+	}
+	if all {
+		return []msg.RingID{shared}, true, nil
+	}
+	sort.Slice(rings, func(i, j int) bool { return rings[i] < rings[j] })
+	return rings, len(rings) == 1, nil
+}

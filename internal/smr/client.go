@@ -162,6 +162,36 @@ func (c *Client) ExecuteGather(ring msg.RingID, op []byte, want int, classify fu
 	return c.execute(ring, op, want, classify)
 }
 
+// ID returns the client's unique identity (the ClientID its ordered
+// commands carry).
+func (c *Client) ID() uint64 { return c.cfg.ID }
+
+// Reserve allocates the next command sequence number without submitting
+// anything. A caller that must retry the SAME logical command — a
+// cross-partition transaction whose first attempt timed out ambiguously —
+// resubmits under the reserved number, and the replicas' per-client dedup
+// bitmaps make the re-execution idempotent.
+func (c *Client) Reserve() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// ExecuteGatherAt multicasts op under a previously Reserved sequence
+// number to EVERY listed ring — the multi-ring proposal of a cross-
+// partition command (paper Section 3): each participant's learner merges
+// the ring it subscribes to, so one submission is delivered, in the same
+// relative order, at every replica of every participant. Responses are
+// gathered like ExecuteGather. Calling it again with the same seq (and
+// the same op) is the ambiguous-timeout retry path; replicas that already
+// executed the command answer from their dedup cache.
+//
+//mrp:ordered
+func (c *Client) ExecuteGatherAt(seq uint64, rings []msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
+	return c.executeAt(seq, rings, op, want, classify)
+}
+
 func (c *Client) execute(ring msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -170,6 +200,16 @@ func (c *Client) execute(ring msg.RingID, op []byte, want int, classify func([]b
 	}
 	c.seq++
 	seq := c.seq
+	c.mu.Unlock()
+	return c.executeAt(seq, []msg.RingID{ring}, op, want, classify)
+}
+
+func (c *Client) executeAt(seq uint64, rings []msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
 	ch := make(chan *msg.Response, want+8)
 	c.pending[seq] = ch
 	c.mu.Unlock()
@@ -182,16 +222,21 @@ func (c *Client) execute(ring msg.RingID, op []byte, want int, classify func([]b
 	cmd := Command{ClientID: c.cfg.ID, Seq: seq, ReplyTo: c.cfg.Endpoint.Addr(), Op: op}
 	payload := cmd.Encode()
 	send := func(rotate bool) error {
-		addr, err := c.proposerFor(ring, rotate)
-		if err != nil {
-			return err
+		for _, ring := range rings {
+			addr, err := c.proposerFor(ring, rotate)
+			if err != nil {
+				return err
+			}
+			if err := c.cfg.Endpoint.Send(addr, &msg.Proposal{
+				Ring:       ring,
+				ProposerID: msg.NodeID(c.cfg.ID),
+				Seq:        seq,
+				Payload:    payload,
+			}); err != nil {
+				return err
+			}
 		}
-		return c.cfg.Endpoint.Send(addr, &msg.Proposal{
-			Ring:       ring,
-			ProposerID: msg.NodeID(c.cfg.ID),
-			Seq:        seq,
-			Payload:    payload,
-		})
+		return nil
 	}
 	if err := send(false); err != nil {
 		return nil, err

@@ -129,6 +129,10 @@ type Client struct {
 	src     viewSource
 	timeout time.Duration
 
+	// forceGlobal routes every cross-partition transaction through the
+	// global ring (the bench baseline; see ForceGlobal).
+	forceGlobal bool
+
 	mu   sync.Mutex
 	view routeView
 

@@ -15,6 +15,7 @@ import (
 	"mrp/internal/smr"
 	"mrp/internal/storage"
 	"mrp/internal/transport"
+	"mrp/internal/txn"
 )
 
 // DeployConfig describes an MRP-Store deployment: l partitions, each
@@ -72,6 +73,10 @@ type ReplicaHandle struct {
 	Logs      map[msg.RingID]*storage.Log
 	Disk      *storage.Disk
 	Aux       map[msg.RingID]*transport.HandlerMux
+	// Ex exchanges cross-partition transaction votes with the replicas of
+	// other participant partitions (internal/txn). Closed before the
+	// replica stops so an in-flight exchange cannot deadlock teardown.
+	Ex *txn.Exchanger
 
 	stopped bool
 }
@@ -364,7 +369,23 @@ func (d *Deployment) buildReplicaAt(p, r int, members []ringMembership, birth *s
 	for _, aux := range h.Aux {
 		aux.Set(rep.HandleTrimQuery)
 	}
-	node.Service(rep.HandleService)
+	// Cross-partition transaction votes ride the service plane alongside
+	// the replica's checkpoint RPCs; both handlers are non-blocking.
+	ex := txn.NewExchanger(txn.ExchangerConfig{
+		Self:    uint16(p),
+		Send:    func(to transport.Addr, m *msg.TxnVote) error { return node.Endpoint().Send(to, m) },
+		Resolve: d.txnPeers,
+		OwnVote: sm.TxnVote,
+	})
+	sm.SetTxnExchanger(ex)
+	h.Ex = ex
+	node.Service(func(env transport.Envelope) {
+		if _, isVote := env.Msg.(*msg.TxnVote); isVote {
+			ex.Handle(env)
+			return
+		}
+		rep.HandleService(env)
+	})
 	node.Start()
 	learner.Start()
 	rep.Start()
@@ -379,6 +400,7 @@ func (d *Deployment) buildReplicaAt(p, r int, members []ringMembership, birth *s
 			h.Aux[m.ring].Set(rep.HandleTrimQuery)
 			proc, err := node.Subscribe(rc)
 			if err != nil {
+				ex.Close()
 				rep.Stop()
 				learner.Stop()
 				node.Stop()
@@ -393,6 +415,20 @@ func (d *Deployment) buildReplicaAt(p, r int, members []ringMembership, birth *s
 	h.Replica = rep
 	h.SM = sm
 	return h, nil
+}
+
+// txnPeers resolves the live replica addresses of a participant
+// partition for the vote exchanger. Reading the mutable topology is safe
+// here: votes travel outside the ordered planes, so a stale answer only
+// delays an exchange (the periodic re-push retries), never corrupts it.
+func (d *Deployment) txnPeers(part uint16) []transport.Addr {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p := int(part)
+	if p >= len(d.parts) || d.parts[p].retired {
+		return nil
+	}
+	return append([]transport.Addr(nil), d.parts[p].addrs...)
 }
 
 // ReplicaAt returns replica r of partition p (nil when out of range),
@@ -501,6 +537,7 @@ func (d *Deployment) CrashReplica(p, r int) {
 		return
 	}
 	h.stopped = true
+	h.Ex.Close()
 	h.Replica.Stop()
 	h.Learner.Stop()
 	h.Node.Stop()
@@ -623,6 +660,7 @@ func (d *Deployment) Stop() {
 		for _, h := range hs {
 			if h != nil && !h.stopped {
 				h.stopped = true
+				h.Ex.Close()
 				h.Replica.Stop()
 				h.Learner.Stop()
 				h.Node.Stop()
@@ -684,6 +722,7 @@ func (d *Deployment) AddPartition(partitioner Partitioner, part int, epoch uint6
 		if herr != nil {
 			for _, built := range hs {
 				built.stopped = true
+				built.Ex.Close()
 				built.Replica.Stop()
 				built.Learner.Stop()
 				built.Node.Stop()
@@ -736,6 +775,7 @@ func (d *Deployment) RemovePartition(part int) error {
 	for _, h := range hs {
 		if h != nil && !h.stopped {
 			h.stopped = true
+			h.Ex.Close()
 			h.Replica.Stop()
 			h.Learner.Stop()
 			h.Node.Stop()
@@ -788,6 +828,7 @@ func (d *Deployment) RetirePartition(part int) error {
 		h.Learner.Unsubscribe(ring, multiring.Activation{})
 		_ = h.Node.Unsubscribe(ring)
 		h.stopped = true
+		h.Ex.Close()
 		h.Replica.Stop()
 		h.Learner.Stop()
 		h.Node.Stop()

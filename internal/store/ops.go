@@ -46,6 +46,13 @@ const (
 	// auto-sharding controller samples. It is a read: it mutates nothing
 	// and does not itself count as load.
 	opStats
+	// opTxn carries a cross-partition transaction (internal/txn): one
+	// command multicast once to the minimal ring set covering its
+	// participant partitions; each participant's SM executes its half at
+	// the same merged position, non-participants sharing a ring reply
+	// "not involved". The transaction payload rides in the value field
+	// with its own canonical codec.
+	opTxn
 )
 
 // Reconfiguration kinds carried by prepare/abort/commit commands.
@@ -160,6 +167,8 @@ func (o op) encode() []byte {
 		}
 	case opActivatePart, opStats:
 		b = binary.BigEndian.AppendUint16(b, o.part)
+	case opTxn:
+		b = appendBytes(b, o.value)
 	}
 	return b
 }
@@ -246,6 +255,8 @@ func decodeOp(b []byte) (op, error) {
 			return op{}, errBadOp
 		}
 		o.part = binary.BigEndian.Uint16(b)
+	case opTxn:
+		o.value, _, err = takeBytes(b)
 	default:
 		return op{}, errBadOp
 	}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"mrp/internal/txn"
+)
+
+// fuzzOpSeeds covers every op kind, including the cross-partition
+// transaction envelope.
+func fuzzOpSeeds() [][]byte {
+	sub := op{kind: opInsert, epoch: 1, key: "k", value: []byte("v")}
+	sampleTxn := txn.Txn{Client: 3, Seq: 7, Kind: txn.KindTransfer, Parts: []uint16{0, 1},
+		Ops: []txn.KeyOp{{Part: 0, Key: "a", Delta: -5}, {Part: 1, Key: "b", Delta: 5}}}
+	ops := []op{
+		{kind: opRead, epoch: 2, key: "r"},
+		{kind: opScan, epoch: 2, key: "a", to: "z", limit: 10},
+		{kind: opUpdate, epoch: 2, key: "u", value: []byte("x")},
+		{kind: opDelete, epoch: 2, key: "d"},
+		{kind: opBatch, epoch: 2, batch: []op{sub}},
+		{kind: opMigrate, epoch: 2, part: 1, batch: []op{sub}},
+		{kind: opPrepareReconfig, epoch: 2, rkind: reconfigSplit, part: 0, newPart: 3, key: "m"},
+		{kind: opActivatePart, epoch: 2, part: 3},
+		{kind: opCommitReconfig, epoch: 2, rkind: reconfigSplit, part: 0, newPart: 3},
+		{kind: opAbortReconfig, epoch: 2, rkind: reconfigMergeDonor, part: 1, newPart: 0},
+		{kind: opStats, epoch: 2, part: 0},
+		{kind: opTxn, epoch: 2, value: sampleTxn.Encode()},
+	}
+	seeds := make([][]byte, 0, len(ops))
+	for _, o := range ops {
+		seeds = append(seeds, o.encode())
+	}
+	return seeds
+}
+
+// FuzzOpDecode checks the encode fixpoint of the op codec: the legacy
+// format tolerates trailing bytes on input, so full canonicality is out
+// of reach, but whatever decodeOp accepts must re-encode to a stable
+// form — decode(encode(decode(x))) reproduces encode(decode(x)) exactly.
+// For opTxn envelopes the embedded transaction payload IS canonical:
+// if it parses, it must re-encode byte-identically, or ambiguous-timeout
+// retries would not be recognized as duplicates by the dedup bitmap.
+func FuzzOpDecode(f *testing.F) {
+	for _, s := range fuzzOpSeeds() {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(opTxn), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := decodeOp(data)
+		if err != nil {
+			return
+		}
+		e1 := o.encode()
+		o2, err := decodeOp(e1)
+		if err != nil {
+			t.Fatalf("re-encoded op rejected: %v\n in: %x\nout: %x", err, data, e1)
+		}
+		if e2 := o2.encode(); !bytes.Equal(e1, e2) {
+			t.Fatalf("encode not a fixpoint:\n e1: %x\n e2: %x", e1, e2)
+		}
+		if o.kind == opTxn {
+			tx, err := txn.Decode(o.value)
+			if err != nil {
+				return
+			}
+			if re := tx.Encode(); !bytes.Equal(re, o.value) {
+				t.Fatalf("embedded txn payload not canonical:\n in: %x\nout: %x", o.value, re)
+			}
+		}
+	})
+}

@@ -69,6 +69,16 @@ type SM struct {
 	// the snapshot), so a recovered replica restarts it at zero — the
 	// controller consumes rate deltas, which self-heal after one tick.
 	statOps atomic.Uint64
+
+	// votes is this replica's own vote history for conditional
+	// cross-partition transactions (see txn.go). Own votes are a pure
+	// function of the ordered command stream, so the history is part of
+	// the snapshot; received remote votes are transient and are not.
+	votes voteTable
+	// txnEx exchanges CAS votes with the replicas of other participant
+	// partitions; nil outside a deployment (conditional multi-partition
+	// transactions then fail with statusError, everything else works).
+	txnEx TxnExchanger
 }
 
 var _ smr.StateMachine = (*SM)(nil)
@@ -197,6 +207,8 @@ func (s *SM) apply(o op) result {
 		return s.applyCommit(o)
 	case opAbortReconfig:
 		return s.applyAbort(o)
+	case opTxn:
+		return s.applyTxn(o)
 	default:
 		res.status = statusError
 	}
@@ -526,9 +538,13 @@ func (s *SM) dropUnowned() {
 	}
 }
 
-// Snapshot format version tag; bumped when the generalized reconfiguration
-// state (pending kind, abort-restore mapping, merge flags) joined.
-const snapshotV3 = 3
+// Snapshot format version tags: v3 added the generalized reconfiguration
+// state (pending kind, abort-restore mapping, merge flags); v4 appends the
+// replica's own transaction-vote history (txn.go) after the entries.
+const (
+	snapshotV3 = 3
+	snapshotV4 = 4
+)
 
 // appendPartitioner encodes a partitioner for snapshots.
 func appendPartitioner(b []byte, p Partitioner) []byte {
@@ -605,7 +621,7 @@ func takePartitioner(b []byte) (Partitioner, []byte, bool) {
 //mrp:deterministic
 func (s *SM) Snapshot() []byte {
 	var b []byte
-	b = append(b, snapshotV3)
+	b = append(b, snapshotV4)
 	b = binary.BigEndian.AppendUint64(b, s.epoch)
 	b = binary.BigEndian.AppendUint64(b, s.pendingEpoch)
 	var flags byte
@@ -637,6 +653,7 @@ func (s *SM) Snapshot() []byte {
 		b = appendBytes(b, e.Value)
 		return true
 	})
+	b = s.votes.encode(b)
 	return b
 }
 
@@ -646,9 +663,11 @@ func (s *SM) Snapshot() []byte {
 func (s *SM) Restore(b []byte) {
 	s.data = NewSortedMap()
 	s.clearPending()
-	if len(b) < 1 || b[0] != snapshotV3 {
+	s.votes.reset()
+	if len(b) < 1 || (b[0] != snapshotV3 && b[0] != snapshotV4) {
 		return
 	}
+	version := b[0]
 	b = b[1:]
 	if len(b) < 20 {
 		return
@@ -697,5 +716,8 @@ func (s *SM) Restore(b []byte) {
 		}
 		s.data.Put(k, append([]byte(nil), v...))
 		b = rest2
+	}
+	if version >= snapshotV4 {
+		s.votes.decode(b)
 	}
 }

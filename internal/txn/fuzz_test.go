@@ -1,0 +1,49 @@
+package txn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTxnDecode checks that any byte slice accepted by Decode re-encodes
+// to exactly the same bytes: the transaction wire format is canonical,
+// so the cross-ring dedup bitmap sees identical payloads on retry.
+func FuzzTxnDecode(f *testing.F) {
+	for _, tx := range sampleTxns() {
+		f.Add(tx.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if re := tx.Encode(); !bytes.Equal(re, data) {
+			t.Fatalf("accepted input did not re-encode canonically:\n in: %x\nout: %x", data, re)
+		}
+		if err := tx.Validate(); err != nil {
+			t.Fatalf("decoded transaction fails Validate: %v", err)
+		}
+	})
+}
+
+// FuzzResultDecode is the same canonicality property for reply payloads.
+func FuzzResultDecode(f *testing.F) {
+	f.Add(EncodeResult(Result{Outcome: OutcomeApplied}))
+	f.Add(EncodeResult(Result{Outcome: OutcomeFailed, Reads: []KeyRead{
+		{Key: "a", Found: true, Value: []byte("v")},
+		{Key: "b", Found: false},
+	}}))
+	f.Add([]byte{})
+	f.Add([]byte{4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeResult(r); !bytes.Equal(re, data) {
+			t.Fatalf("accepted result did not re-encode canonically:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,415 @@
+// Package txn implements cross-partition transactions over atomic
+// multicast, the paper's headline programming model (conf_middleware
+// BenzMPG14, Sections 3 and 6): a multi-key operation is encoded as ONE
+// command, multicast once to the minimal set of rings covering the
+// involved partitions, delivered in the same relative order at every
+// replica of every participant by the deterministic learner merge, and
+// applied by each participant's state machine executing its half. There
+// are no locks and no 2PC coordinator: the merge order IS the commit
+// order.
+//
+// The package holds the pieces that are independent of the store:
+//
+//   - the transaction payload and result codecs (strict and canonical, so
+//     the op-encoding fuzzers can assert decode∘encode is the identity);
+//   - the replica-side vote Exchanger used by conditional transactions
+//     (CompareAndSwapAcross), an S-SMR-style execution-atomicity exchange:
+//     participants deliver the command in the same relative order, compute
+//     a local verdict, swap votes over the service plane, and all apply or
+//     all discard.
+//
+// Unconditional transactions (MultiGet, MultiPut, transfers) need no vote
+// exchange at all — each half is deterministic in isolation — which is
+// exactly the "weaker but cheaper" point in the design space the paper's
+// Figure 4 configuration occupies.
+package txn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transaction kinds.
+const (
+	// KindGet reads every named key; each participant returns its half.
+	KindGet byte = iota + 1
+	// KindPut writes every named key unconditionally.
+	KindPut
+	// KindCAS compares every key against an expected value and swaps all
+	// or none; participants exchange votes to agree on the outcome.
+	KindCAS
+	// KindTransfer applies a signed delta to each key's 64-bit balance
+	// (missing keys start at zero) and returns the new balances: the
+	// transfer-style read-modify-write of the bank workload.
+	KindTransfer
+	maxKind
+)
+
+// Votes exchanged between participants of a KindCAS transaction, and the
+// combined verdicts. Codes are ordered by precedence: the combined verdict
+// is the maximum over all participants' votes, so any participant seeing a
+// VoteWrongEpoch vote may stop waiting early (no later vote can change the
+// outcome), while VoteMismatch must wait for the full vector.
+const (
+	// VoteOK: every local key matched its expected value.
+	VoteOK byte = iota + 1
+	// VoteMismatch: at least one local key differed.
+	VoteMismatch
+	// VoteWrongEpoch: the participant no longer owns (or does not yet
+	// own) at least one of its keys — the client must replan and retry.
+	VoteWrongEpoch
+)
+
+// Transaction outcomes, reported per participant in Result.
+const (
+	// OutcomeApplied: this participant executed its half.
+	OutcomeApplied byte = iota + 1
+	// OutcomeFailed: a KindCAS comparison failed somewhere; nothing was
+	// applied anywhere. Reads carry the actual values of the local keys.
+	OutcomeFailed
+	// OutcomeNotInvolved: the replica's partition is not a participant
+	// (it received the command only because it shares a ring, e.g. the
+	// global ring, with one).
+	OutcomeNotInvolved
+)
+
+// KeyOp is one key's share of a transaction. Part is the participant
+// partition the client planned for the key; replicas use it to select
+// their half, and the plan being stale is exactly what the wrong-epoch
+// redirect catches.
+type KeyOp struct {
+	Part uint16
+	Key  string
+	// Value is the new value for KindPut and KindCAS.
+	Value []byte
+	// Expect is the expected current value for KindCAS; nil means the key
+	// is expected to be absent.
+	Expect []byte
+	// Delta is the signed balance change for KindTransfer.
+	Delta int64
+}
+
+// Txn is the wire form of a cross-partition transaction. (Client, Seq)
+// identify it globally — they mirror the ordered command's own identity,
+// so a retried command carries the same transaction identity and the
+// replicas' dedup bitmaps make re-execution idempotent. Parts is the
+// sorted set of participant partitions the client planned against its
+// schema view.
+type Txn struct {
+	Client uint64
+	Seq    uint64
+	Kind   byte
+	Parts  []uint16
+	Ops    []KeyOp
+}
+
+// KeyRead is one key's value as observed (or produced) by a participant.
+type KeyRead struct {
+	Key   string
+	Found bool
+	Value []byte
+}
+
+// Result is one participant's reply to a transaction: its verdict plus
+// the reads its half produced (gets: current values; transfers: the new
+// balances, giving the client read-your-writes; failed CAS: the actual
+// values that broke the comparison).
+type Result struct {
+	Outcome byte
+	Reads   []KeyRead
+}
+
+// ErrBadTxn reports a malformed or non-canonical transaction encoding.
+var ErrBadTxn = errors.New("txn: malformed transaction payload")
+
+// Encode serializes t canonically: fixed field order, big-endian sizes,
+// sorted unique Parts. Decode rejects everything Encode cannot produce,
+// so decode∘encode is the identity on accepted inputs (asserted by fuzz).
+func (t Txn) Encode() []byte {
+	b := make([]byte, 0, 64)
+	b = appendU64(b, t.Client)
+	b = appendU64(b, t.Seq)
+	b = append(b, t.Kind)
+	b = appendU16(b, uint16(len(t.Parts)))
+	for _, p := range t.Parts {
+		b = appendU16(b, p)
+	}
+	b = appendU32(b, uint32(len(t.Ops)))
+	for _, o := range t.Ops {
+		b = appendU16(b, o.Part)
+		b = appendU16(b, uint16(len(o.Key)))
+		b = append(b, o.Key...)
+		switch t.Kind {
+		case KindPut:
+			b = appendBytes(b, o.Value)
+		case KindCAS:
+			b = appendOpt(b, o.Expect)
+			b = appendOpt(b, o.Value)
+		case KindTransfer:
+			b = appendU64(b, uint64(o.Delta))
+		}
+	}
+	return b
+}
+
+// Decode parses a transaction payload, enforcing canonical form: known
+// kind, sorted unique participant set, every op assigned to a listed
+// participant, and no trailing bytes.
+func Decode(b []byte) (Txn, error) {
+	var t Txn
+	d := decoder{b: b}
+	t.Client = d.u64()
+	t.Seq = d.u64()
+	t.Kind = d.u8()
+	if t.Kind == 0 || t.Kind >= maxKind {
+		return Txn{}, ErrBadTxn
+	}
+	np := int(d.u16())
+	if d.err || np == 0 || np > d.remaining()/2 {
+		return Txn{}, ErrBadTxn
+	}
+	t.Parts = make([]uint16, np)
+	for i := range t.Parts {
+		t.Parts[i] = d.u16()
+		if i > 0 && t.Parts[i] <= t.Parts[i-1] {
+			return Txn{}, ErrBadTxn
+		}
+	}
+	no := int(d.u32())
+	if d.err || no == 0 || no > d.remaining()/4 {
+		return Txn{}, ErrBadTxn
+	}
+	t.Ops = make([]KeyOp, no)
+	for i := range t.Ops {
+		o := &t.Ops[i]
+		o.Part = d.u16()
+		if !containsPart(t.Parts, o.Part) {
+			return Txn{}, ErrBadTxn
+		}
+		o.Key = string(d.take(int(d.u16())))
+		switch t.Kind {
+		case KindPut:
+			o.Value = d.bytes()
+		case KindCAS:
+			o.Expect = d.opt()
+			o.Value = d.opt()
+		case KindTransfer:
+			o.Delta = int64(d.u64())
+		}
+	}
+	if d.err || d.remaining() != 0 {
+		return Txn{}, ErrBadTxn
+	}
+	return t, nil
+}
+
+// EncodeResult serializes a participant reply canonically.
+func EncodeResult(r Result) []byte {
+	b := make([]byte, 0, 32)
+	b = append(b, r.Outcome)
+	b = appendU32(b, uint32(len(r.Reads)))
+	for _, kr := range r.Reads {
+		b = appendU16(b, uint16(len(kr.Key)))
+		b = append(b, kr.Key...)
+		if kr.Found {
+			b = append(b, 1)
+			b = appendBytes(b, kr.Value)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// DecodeResult parses a participant reply, enforcing canonical form.
+func DecodeResult(b []byte) (Result, error) {
+	var r Result
+	d := decoder{b: b}
+	r.Outcome = d.u8()
+	if r.Outcome == 0 || r.Outcome > OutcomeNotInvolved {
+		return Result{}, ErrBadTxn
+	}
+	n := int(d.u32())
+	if d.err || n > d.remaining()/3 {
+		return Result{}, ErrBadTxn
+	}
+	r.Reads = make([]KeyRead, n)
+	for i := range r.Reads {
+		kr := &r.Reads[i]
+		kr.Key = string(d.take(int(d.u16())))
+		switch d.u8() {
+		case 1:
+			kr.Found = true
+			kr.Value = d.bytes()
+		case 0:
+		default:
+			return Result{}, ErrBadTxn
+		}
+	}
+	if d.err || d.remaining() != 0 {
+		return Result{}, ErrBadTxn
+	}
+	return r, nil
+}
+
+// EncodeBalance renders a 64-bit signed account balance as a stored
+// value; DecodeBalance reads one back (absent or malformed values count
+// as zero, so transfers create accounts on first touch).
+func EncodeBalance(v int64) []byte {
+	return appendU64(nil, uint64(v))
+}
+
+// DecodeBalance parses a stored balance; anything but exactly 8 bytes is
+// treated as a zero balance.
+func DecodeBalance(b []byte) int64 {
+	if len(b) != 8 {
+		return 0
+	}
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return int64(v)
+}
+
+// Validate checks the client-side invariants Encode relies on: a known
+// kind, at least one op, sorted unique parts covering exactly the ops'
+// assignments.
+func (t Txn) Validate() error {
+	if t.Kind == 0 || t.Kind >= maxKind {
+		return fmt.Errorf("txn: unknown kind %d", t.Kind)
+	}
+	if len(t.Ops) == 0 {
+		return errors.New("txn: no operations")
+	}
+	for i := 1; i < len(t.Parts); i++ {
+		if t.Parts[i] <= t.Parts[i-1] {
+			return errors.New("txn: participant set not sorted")
+		}
+	}
+	for _, o := range t.Ops {
+		if !containsPart(t.Parts, o.Part) {
+			return fmt.Errorf("txn: op on key %q assigned to unlisted partition %d", o.Key, o.Part)
+		}
+	}
+	return nil
+}
+
+func containsPart(parts []uint16, p uint16) bool {
+	for _, q := range parts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// --- minimal canonical primitive codec -------------------------------
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendBytes writes a u32 length prefix then the bytes (nil encodes as
+// the empty slice).
+func appendBytes(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// appendOpt writes a presence flag then, when present, the bytes; it
+// distinguishes nil (absent) from empty (present, zero length), which
+// KindCAS needs: Expect=nil means "key must not exist".
+func appendOpt(b, v []byte) []byte {
+	if v == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return appendBytes(b, v)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) take(n int) []byte {
+	if d.err || n < 0 || d.remaining() < n {
+		d.err = true
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *decoder) u8() byte {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *decoder) u16() uint16 {
+	v := d.take(2)
+	if v == nil {
+		return 0
+	}
+	return uint16(v[0])<<8 | uint16(v[1])
+}
+
+func (d *decoder) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return uint32(v[0])<<24 | uint32(v[1])<<16 | uint32(v[2])<<8 | uint32(v[3])
+}
+
+func (d *decoder) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	var x uint64
+	for _, c := range v {
+		x = x<<8 | uint64(c)
+	}
+	return x
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	v := d.take(n)
+	if d.err {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out
+}
+
+func (d *decoder) opt() []byte {
+	switch d.u8() {
+	case 0:
+		return nil
+	case 1:
+		return d.bytes()
+	default:
+		d.err = true
+		return nil
+	}
+}

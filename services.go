@@ -5,6 +5,7 @@ import (
 	"mrp/internal/dlog"
 	"mrp/internal/rebalance"
 	"mrp/internal/store"
+	"mrp/internal/txn"
 )
 
 // MRP-Store, the partitioned strongly consistent key-value service
@@ -50,6 +51,26 @@ var (
 	WatchStoreSchema = store.WatchSchema
 	// ErrNotFound reports operations on missing keys.
 	ErrNotFound = store.ErrNotFound
+)
+
+// Cross-partition transactions (StoreClient.MultiGet / MultiPut /
+// Transfer / CompareAndSwapAcross): multi-key operations ordered by one
+// atomic multicast — no locks, no 2PC.
+type (
+	// StoreCASOp is one key's conditional update in CompareAndSwapAcross.
+	StoreCASOp = store.CASOp
+)
+
+var (
+	// EncodeBalance renders an int64 account balance as a stored value
+	// (the format StoreClient.Transfer operates on).
+	EncodeBalance = txn.EncodeBalance
+	// DecodeBalance reads a stored balance back; absent or malformed
+	// values count as zero.
+	DecodeBalance = txn.DecodeBalance
+	// ErrNoSharedRing reports a conditional transaction whose
+	// participants share no ring.
+	ErrNoSharedRing = store.ErrNoSharedRing
 )
 
 // Elastic rebalancing: online repartitioning of a running MRP-Store
