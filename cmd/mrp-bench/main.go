@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|txn|ablations|all] [-seconds 1.5]
-//	          [-scale 0.25] [-clients 40] [-records 5000] [-v]
+//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|txn|latency|ablations|all]
+//	          [-seconds 1.5] [-scale 0.25] [-clients 40] [-records 5000] [-v]
 //
-// The txn figure additionally writes its rows as machine-readable JSON
-// (BENCH_txn.json, uploaded as a CI artifact).
+// The txn and latency figures additionally write their rows as
+// machine-readable JSON (BENCH_txn.json / BENCH_latency.json, uploaded as
+// CI artifacts).
 //
 // Absolute numbers depend on the host; the shapes (who wins, scaling
 // factors, crossovers) are the reproduction target — see EXPERIMENTS.md.
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,txn,ablations,all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,txn,latency,ablations,all")
 	seconds := flag.Float64("seconds", 1.5, "measured seconds per data point")
 	scale := flag.Float64("scale", 0.25, "time scale for WAN latencies and disk service times")
 	clients := flag.Int("clients", 40, "client threads for the YCSB comparison")
@@ -63,6 +64,14 @@ func main() {
 		bench.RenderTxn(w, rows)
 		if err := bench.WriteTxnJSON("BENCH_txn.json", rows); err != nil {
 			fmt.Fprintf(os.Stderr, "write BENCH_txn.json: %v\n", err)
+			os.Exit(1)
+		}
+	})
+	run("latency", func(w io.Writer, o bench.Options) {
+		rows := bench.Latency(o)
+		bench.RenderLatency(w, rows)
+		if err := bench.WriteLatencyJSON("BENCH_latency.json", rows); err != nil {
+			fmt.Fprintf(os.Stderr, "write BENCH_latency.json: %v\n", err)
 			os.Exit(1)
 		}
 	})

@@ -306,3 +306,60 @@ func TestTxnSmoke(t *testing.T) {
 		global = txnPoint(opts, TxnGlobalAll, 2, 16)
 	}
 }
+
+func TestLatencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Saturation with enough workers per shared client that batches really
+	// form, and enough disk cost per instance (sync SSD at quarter scale)
+	// that amortizing it is measurable.
+	opts := Options{PointSeconds: 0.3, Scale: 0.25, Clients: 64}
+	batched := latencyPoint(opts, LatencyBatched, 16, 0)
+	unbatched := latencyPoint(opts, LatencyUnbatched, 16, 0)
+	paced := latencyPoint(opts, LatencyCoupled, 16, 1000)
+	for _, r := range []LatencyRow{batched, unbatched, paced} {
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", r.Mode)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 {
+			t.Fatalf("%s: implausible quantiles p50=%v p99=%v p999=%v", r.Mode, r.P50, r.P99, r.P999)
+		}
+		if r.Errors > uint64(r.OpsPerSec*opts.PointSeconds/10) {
+			t.Fatalf("%s: too many errors: %d", r.Mode, r.Errors)
+		}
+	}
+	var buf bytes.Buffer
+	RenderLatency(&buf, []LatencyRow{batched, unbatched, paced})
+	for _, want := range []string{"batched", "unbatched", "sat", "1000"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render output missing %q:\n%s", want, buf.String())
+		}
+	}
+	path := t.TempDir() + "/BENCH_latency.json"
+	if err := WriteLatencyJSON(path, []LatencyRow{batched, unbatched, paced}); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := os.ReadFile(path); err != nil || !strings.Contains(string(b), "\"p999_us\"") {
+		t.Fatalf("json artifact: %v\n%s", err, b)
+	}
+	if raceEnabled {
+		t.Log("race detector enabled; skipping throughput comparison")
+		return
+	}
+	// The acceptance claim: at saturation, command batching amortizes one
+	// consensus instance (and its synchronous log write) over many
+	// commands, so batched throughput must be at least twice unbatched.
+	// Sub-second points are noisy under a loaded machine, so remeasure a
+	// losing pair: fail only if batching loses three pairs in a row.
+	for attempt := 1; batched.OpsPerSec < 2*unbatched.OpsPerSec; attempt++ {
+		if attempt == 3 {
+			t.Fatalf("batched (%.0f op/s) should be >= 2x unbatched (%.0f op/s) at saturation",
+				batched.OpsPerSec, unbatched.OpsPerSec)
+		}
+		t.Logf("attempt %d: batched %.0f < 2x unbatched %.0f op/s; remeasuring",
+			attempt, batched.OpsPerSec, unbatched.OpsPerSec)
+		batched = latencyPoint(opts, LatencyBatched, 16, 0)
+		unbatched = latencyPoint(opts, LatencyUnbatched, 16, 0)
+	}
+}

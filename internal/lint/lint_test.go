@@ -125,6 +125,12 @@ func TestOrderedTxnFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{OrderedResult}, "orderedtxn")
 }
 
+// TestBatchPipeFixture covers the SMR batching/pipelining shapes: the
+// deterministic batch codec and the ordered batched-submit path.
+func TestBatchPipeFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{DetMap, OrderedResult}, "batchpipe")
+}
+
 // TestPropagationFixture proves the scope crosses package boundaries
 // through interfaces (CHA), descends only into marked packages, and
 // stops at //mrp:nondeterministic.

@@ -1,0 +1,85 @@
+// Package batchpipe is the golden fixture for the SMR batching and
+// pipelining paths: the batch codec is //mrp:deterministic (every replica
+// must slice a delivered entry into the same commands), and submitting
+// through the batcher is //mrp:ordered (a dropped result is a lost reply,
+// exactly like the unbatched path). The shapes below mirror the real
+// code so analyzer regressions surface here before they surface in CI.
+package batchpipe
+
+import (
+	"errors"
+	"sort"
+)
+
+// encodeBatch is the true positive the batch codec must never become:
+// packing a flush's pending commands in map iteration order would give
+// every proposer — and every replay — a differently laid-out entry.
+//
+//mrp:deterministic
+func encodeBatch(pending map[uint64][]byte) []byte {
+	out := []byte{0xFF}
+	for _, payload := range pending { // want "map iteration order reaches deterministic state"
+		out = append(out, byte(len(payload)))
+		out = append(out, payload...)
+	}
+	return out
+}
+
+// encodeBatchSorted is the fixed form: flush order pinned by sequence
+// number before the bytes are laid out.
+//
+//mrp:deterministic
+func encodeBatchSorted(pending map[uint64][]byte) []byte {
+	seqs := make([]uint64, 0, len(pending))
+	for seq := range pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := []byte{0xFF}
+	for _, seq := range seqs {
+		out = append(out, byte(len(pending[seq])))
+		out = append(out, pending[seq]...)
+	}
+	return out
+}
+
+// batchBytes accumulates commutatively — a size bound check is order-
+// insensitive, so the analyzer stays quiet.
+//
+//mrp:deterministic
+func batchBytes(pending map[uint64][]byte) int {
+	n := 0
+	for _, payload := range pending {
+		n += len(payload)
+	}
+	return n
+}
+
+// SubmitBatched hands one command to the ring's batcher and returns the
+// executed reply. Losing the reply loses the only proof the command's
+// position in the merged order was observed.
+//
+//mrp:ordered
+func SubmitBatched(ring uint32, op []byte) ([]byte, error) {
+	return nil, errors.New("x")
+}
+
+func goodSubmit() []byte {
+	res, err := SubmitBatched(1, []byte("op"))
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+func badSubmit() {
+	SubmitBatched(1, []byte("op"))           // want "all results of ordered command SubmitBatched are dropped"
+	res, _ := SubmitBatched(1, []byte("op")) // want "error of ordered command SubmitBatched assigned to _"
+	_ = res
+	go SubmitBatched(1, []byte("op")) // want "go statement"
+}
+
+func justifiedSubmit() {
+	//mrp:nolint orderedresult — warm-up traffic, replies measured elsewhere
+	SubmitBatched(1, []byte("op"))
+}

@@ -1,0 +1,153 @@
+package smr
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// SMR-level command batching: the client (the proposer of the paper's
+// Section 6 deployment) packs several encoded Commands into ONE atomic
+// multicast payload, so a single consensus instance orders and pays the
+// per-instance cost — proposal circulation, stable-storage write, merge
+// position — for N application commands. The replica unpacks the batch at
+// delivery and applies each inner command through the ordinary per-client
+// dedup window and reply routing, so exactly-once semantics and the
+// determinism invariants are unchanged (docs/DETERMINISM.md, invariant 8:
+// batch cut points are never observable in state).
+//
+// This is the third and highest batching layer, independent of the two
+// below it: ring-level batching (ringpaxos.Config.BatchMaxBytes) groups
+// several already-formed entries into one instance, and transport-level
+// coalescing (transport.BatchPolicy) packs protocol messages into one
+// network write. Command batching is the only one that reduces the number
+// of entries — and with it the per-entry proposal/dedup overhead — rather
+// than just the number of instances or packets.
+
+// batchMagic marks a batch payload. The first eight bytes of a plain
+// Command encoding are the ClientID, and client IDs must fit in 32 bits
+// (ClientConfig.ID), so a first word with the high 32 bits set can never
+// collide with a compliant command.
+const batchMagic uint64 = 0xFFFFFFFF4D524231 // low word "MRB1"
+
+// batchSeqBit is OR-ed into the proposal sequence number of a batch.
+// Command sequence numbers are small counters, and the coordinator
+// deduplicates proposals by (proposer, seq): the top bit keeps a batch's
+// proposal identity disjoint from every inner command's own identity, so
+// a later direct retry of an inner command is never mistaken for a
+// duplicate of the batch that carried the original.
+const batchSeqBit = uint64(1) << 63
+
+// ErrBadBatch reports a malformed or non-canonical batch encoding,
+// including the empty batch: a batch carries at least one command.
+var ErrBadBatch = errors.New("smr: bad batch encoding")
+
+// batchHeaderLen is the fixed prefix: magic (8) + command count (2).
+const batchHeaderLen = 10
+
+// EncodeBatch packs encoded commands (Command.Encode outputs) into one
+// canonical batch payload: magic, u16 count, then each command
+// length-prefixed with a u32. The encoding is strict — DecodeBatch accepts
+// exactly the bytes EncodeBatch produces, and re-encoding the decoded
+// commands reproduces the input byte for byte (the fuzz target pins this).
+//
+//mrp:deterministic
+func EncodeBatch(payloads [][]byte) []byte {
+	n := batchHeaderLen
+	for _, p := range payloads {
+		n += 4 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.BigEndian.AppendUint64(buf, batchMagic)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(payloads)))
+	for _, p := range payloads {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// IsBatch reports whether b carries the batch magic. A replica checks this
+// before DecodeCommand; everything else is a single command (or a foreign
+// payload on a shared ring).
+func IsBatch(b []byte) bool {
+	return len(b) >= 8 && binary.BigEndian.Uint64(b) == batchMagic
+}
+
+// DecodeBatch parses a batch payload. The decode is strict: the count must
+// be at least one (zero-command batches are rejected), every inner payload
+// must be a well-formed Command, and no trailing bytes may follow the last
+// command — anything non-canonical is ErrBadBatch, so a batch accepted
+// here re-encodes to the identical byte string.
+//
+//mrp:deterministic
+func DecodeBatch(b []byte) ([]Command, error) {
+	if len(b) < batchHeaderLen || binary.BigEndian.Uint64(b) != batchMagic {
+		return nil, ErrBadBatch
+	}
+	count := int(binary.BigEndian.Uint16(b[8:]))
+	if count == 0 {
+		return nil, ErrBadBatch
+	}
+	cmds := make([]Command, 0, count)
+	off := batchHeaderLen
+	for i := 0; i < count; i++ {
+		if len(b)-off < 4 {
+			return nil, ErrBadBatch
+		}
+		clen := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if len(b)-off < clen {
+			return nil, ErrBadBatch
+		}
+		cmd, err := DecodeCommand(b[off : off+clen])
+		if err != nil {
+			return nil, ErrBadBatch
+		}
+		cmds = append(cmds, cmd)
+		off += clen
+	}
+	if off != len(b) {
+		return nil, ErrBadBatch
+	}
+	return cmds, nil
+}
+
+// BatchPolicy controls SMR-level command batching on the client. The zero
+// value enables batching with the defaults; set Disabled to opt out, which
+// preserves the unbatched wire behavior byte for byte (every command is
+// its own proposal, exactly as before batching existed).
+//
+// The batcher never delays a lone command: with MaxDelay zero a batch is
+// exactly the backlog present when the batching loop dequeues (the same
+// contract as transport.BatchPolicy's write coalescing), and a batch of
+// one is sent as a plain unwrapped command. Batches therefore form only
+// under concurrent load, where the amortization is worth having.
+type BatchPolicy struct {
+	// Disabled turns command batching off entirely.
+	Disabled bool
+	// MaxCmds caps the commands per batch (default 64; hard cap 65535,
+	// the width of the codec's count field).
+	MaxCmds int
+	// MaxBytes caps the summed command bytes per batch (default 64 KB).
+	MaxBytes int
+	// MaxDelay is how long the batcher may hold the first command of a
+	// batch waiting for more (default 0: never wait, drain the backlog
+	// only). Raising it trades first-command latency for larger batches
+	// at moderate load.
+	MaxDelay time.Duration
+}
+
+// WithDefaults fills unset fields.
+func (p BatchPolicy) WithDefaults() BatchPolicy {
+	if p.MaxCmds <= 0 {
+		p.MaxCmds = 64
+	}
+	if p.MaxCmds > 65535 {
+		p.MaxCmds = 65535
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = 64 << 10
+	}
+	return p
+}

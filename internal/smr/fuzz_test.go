@@ -1,0 +1,43 @@
+package smr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSMRBatchDecode fuzzes the SMR batch codec with the same canonical
+// contract the msg codecs enforce: any input DecodeBatch accepts must
+// re-encode — via each inner Command's own canonical encoding — to the
+// identical byte string, and a batch never carries zero commands. The
+// strictness is load-bearing: replicas of a partition must agree on
+// whether a delivered payload is a batch, how many commands it carries,
+// and what their bytes are, or their dedup windows and state fork.
+func FuzzSMRBatchDecode(f *testing.F) {
+	one := Command{ClientID: 1, Seq: 9, ReplyTo: "cl", Op: []byte("op")}.Encode()
+	two := Command{ClientID: 2, Seq: 1, Op: []byte("x")}.Encode()
+	f.Add(EncodeBatch([][]byte{one}))
+	f.Add(EncodeBatch([][]byte{one, two}))
+	f.Add(EncodeBatch(nil))                     // zero commands: must be rejected
+	f.Add(one)                                  // plain command: not a batch
+	f.Add([]byte{})                             // empty
+	f.Add(EncodeBatch([][]byte{one, two})[:12]) // truncated
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cmds, err := DecodeBatch(b)
+		if err != nil {
+			return
+		}
+		if len(cmds) == 0 {
+			t.Fatal("zero-command batch accepted")
+		}
+		if !IsBatch(b) {
+			t.Fatal("DecodeBatch accepted a payload IsBatch rejects")
+		}
+		payloads := make([][]byte, len(cmds))
+		for i, c := range cmds {
+			payloads[i] = c.Encode()
+		}
+		if re := EncodeBatch(payloads); !bytes.Equal(re, b) {
+			t.Fatalf("accepted batch is not canonical:\n in  %x\n out %x", b, re)
+		}
+	})
+}

@@ -46,6 +46,35 @@ type ReplicaConfig struct {
 	// paper's replicas checkpoint periodically and write synchronously to
 	// disk so acceptors can trim, Section 7.2).
 	CheckpointEvery time.Duration
+	// Pipeline controls the delivery→execution pipeline (see
+	// PipelinePolicy): the zero value pipelines with the default depth,
+	// Disabled couples execution to delivery on one goroutine.
+	Pipeline PipelinePolicy
+}
+
+// PipelinePolicy controls the replica's delivery→execution pipeline: a
+// pump goroutine moves merged deliveries from the learner into a bounded
+// queue, and the executor goroutine applies them, so apply cost
+// (state-machine work, checkpoint encoding) no longer back-pressures the
+// deterministic merge. Checkpoints and StateSnapshot stay routed through
+// the executor either way, and each delivery — including a whole batch
+// entry — is applied atomically between executor steps, so a checkpoint
+// can never observe half a batch.
+type PipelinePolicy struct {
+	// Disabled runs execution on the delivery goroutine (the coupled,
+	// pre-pipeline behavior; the latency figure's "coupled" baseline).
+	Disabled bool
+	// Depth is the executor queue's capacity in deliveries (default 128).
+	// A full queue blocks the pump — backpressure propagates to the
+	// learner rather than dropping a delivery.
+	Depth int
+}
+
+func (p PipelinePolicy) withDefaults() PipelinePolicy {
+	if p.Depth <= 0 {
+		p.Depth = 128
+	}
+	return p
 }
 
 // Replica executes delivered commands against the state machine, responds
@@ -315,13 +344,23 @@ func (r *Replica) checkpoint() {
 
 func (r *Replica) run() {
 	defer close(r.done)
+	deliveries := r.cfg.Learner.Deliveries()
+	if pol := r.cfg.Pipeline.withDefaults(); !pol.Disabled {
+		// Pipelined: the pump feeds the executor through a bounded queue.
+		// The executor loop below is the same either way; only the channel
+		// it reads differs.
+		execQ := make(chan multiring.Delivery, pol.Depth)
+		pumpDone := make(chan struct{})
+		go r.pump(deliveries, execQ, pumpDone)
+		defer func() { <-pumpDone }()
+		deliveries = execQ
+	}
 	var ckptC <-chan time.Time
 	if r.cfg.CheckpointEvery > 0 {
 		t := time.NewTicker(r.cfg.CheckpointEvery)
 		defer t.Stop()
 		ckptC = t.C
 	}
-	deliveries := r.cfg.Learner.Deliveries()
 	for {
 		select {
 		case d := <-deliveries:
@@ -333,6 +372,25 @@ func (r *Replica) run() {
 			close(done)
 		case resp := <-r.snaps:
 			resp <- r.cfg.SM.Snapshot()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// pump is the delivery half of the pipeline: it moves merged deliveries
+// from the learner into the executor queue. A full queue blocks the pump
+// (bounded memory, no drops); stopping the replica unblocks it.
+func (r *Replica) pump(in <-chan multiring.Delivery, out chan<- multiring.Delivery, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case d := <-in:
+			select {
+			case out <- d:
+			case <-r.stop:
+				return
+			}
 		case <-r.stop:
 			return
 		}
@@ -380,10 +438,53 @@ func (r *Replica) apply(d multiring.Delivery) {
 	if already {
 		return
 	}
-	cmd, err := DecodeCommand(d.Entry.Data)
-	if err != nil {
-		return // foreign payload on a shared ring: ignore
+	// One entry is one atomic unit of execution: a batch's inner commands
+	// all apply before the executor handles anything else, so a checkpoint
+	// (taken between executor steps) can never observe half a batch —
+	// batch cut points are invisible in state (DETERMINISM invariant 8).
+	var cmds []Command
+	if IsBatch(d.Entry.Data) {
+		var err error
+		if cmds, err = DecodeBatch(d.Entry.Data); err != nil {
+			return // malformed batch: ignore like any foreign payload
+		}
+	} else {
+		cmd, err := DecodeCommand(d.Entry.Data)
+		if err != nil {
+			return // foreign payload on a shared ring: ignore
+		}
+		cmds = []Command{cmd}
 	}
+	type reply struct {
+		to   transport.Addr
+		resp *msg.Response
+	}
+	var replies []reply
+	for _, cmd := range cmds {
+		if to, resp := r.applyCommand(cmd); resp != nil {
+			replies = append(replies, reply{to: to, resp: resp})
+		}
+	}
+	// Advance the applied watermark before replying so a client that
+	// observed the response also observes the tuple movement.
+	if d.EndOfInstance {
+		r.mu.Lock()
+		if d.Instance > r.applied[d.Ring] {
+			r.applied[d.Ring] = d.Instance
+		}
+		r.mu.Unlock()
+	}
+	for _, rep := range replies {
+		_ = r.cfg.Node.Endpoint().Send(rep.to, rep.resp)
+	}
+}
+
+// applyCommand executes one command through the per-client dedup window
+// and returns the response owed to the client (nil when none: the command
+// carried no reply address, or it is a stale re-delivery whose result is
+// no longer cached). Inside the deterministic scope via apply; the reply
+// is routed by the caller after the watermark has advanced.
+func (r *Replica) applyCommand(cmd Command) (transport.Addr, *msg.Response) {
 	r.mu.Lock()
 	prev, seen := r.dedup[cmd.ClientID]
 	r.mu.Unlock()
@@ -409,22 +510,10 @@ func (r *Replica) apply(d multiring.Delivery) {
 			r.onExecute(cmd, result)
 		}
 	}
-	// Advance the applied watermark before replying so a client that
-	// observed the response also observes the tuple movement.
-	if d.EndOfInstance {
-		r.mu.Lock()
-		if d.Instance > r.applied[d.Ring] {
-			r.applied[d.Ring] = d.Instance
-		}
-		r.mu.Unlock()
+	if !respond {
+		return "", nil
 	}
-	if respond {
-		_ = r.cfg.Node.Endpoint().Send(cmd.ReplyTo, &msg.Response{
-			ClientID: cmd.ClientID,
-			Seq:      cmd.Seq,
-			Result:   result,
-		})
-	}
+	return cmd.ReplyTo, &msg.Response{ClientID: cmd.ClientID, Seq: cmd.Seq, Result: result}
 }
 
 // tupleOf converts a watermark map into a tuple ordered by ring ID

@@ -90,6 +90,12 @@ type smrCluster struct {
 }
 
 func newSMRCluster(t *testing.T) *smrCluster {
+	return newSMRClusterOpt(t, nil)
+}
+
+// newSMRClusterOpt builds the cluster with a per-replica config hook
+// (pipeline policy, wrapped state machines, ...).
+func newSMRClusterOpt(t *testing.T, mod func(i int, rc *ReplicaConfig)) *smrCluster {
 	t.Helper()
 	net := netsim.New(netsim.WithUniformLatency(20 * time.Microsecond))
 	c := &smrCluster{net: net}
@@ -118,12 +124,16 @@ func newSMRCluster(t *testing.T) *smrCluster {
 		}
 		learner := multiring.NewLearner(1, proc)
 		sm := newRegSM()
-		rep := NewReplica(ReplicaConfig{
+		rc := ReplicaConfig{
 			Node:    node,
 			Learner: learner,
 			SM:      sm,
 			Ckpt:    storage.NewCheckpointStore(storage.NewDisk(storage.NullDisk)),
-		})
+		}
+		if mod != nil {
+			mod(i, &rc)
+		}
+		rep := NewReplica(rc)
 		node.Service(rep.HandleService)
 		node.Start()
 		learner.Start()

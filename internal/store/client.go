@@ -140,13 +140,17 @@ type Client struct {
 	watchDone chan struct{}
 }
 
-// newClient builds a client over an endpoint and routing-view source.
-func newClient(ep transport.Endpoint, id uint64, src viewSource) *Client {
+// newClient builds a client over an endpoint and routing-view source. The
+// batch policy passes straight to the underlying smr.Client, so every
+// ordered verb — single-key ops, scans, WriteBatch, opTxn — rides
+// SMR-level command batches transparently unless the policy disables it.
+func newClient(ep transport.Endpoint, id uint64, src viewSource, batch smr.BatchPolicy) *Client {
 	c := &Client{
 		smr: smr.NewClient(smr.ClientConfig{
 			ID:       id,
 			Endpoint: ep,
 			Timeout:  execTimeout,
+			Batch:    batch,
 		}),
 		src:     src,
 		timeout: 20 * time.Second,

@@ -59,6 +59,16 @@ type DeployConfig struct {
 	CheckpointEvery time.Duration
 	// TrimInterval enables trim coordination per ring when > 0.
 	TrimInterval time.Duration
+
+	// CmdBatch controls SMR-level command batching in clients created by
+	// NewClient/NewClientAt (see smr.BatchPolicy). The zero value batches
+	// with defaults, so every ordered store verb — including opTxn — rides
+	// batches transparently; set Disabled to opt out.
+	CmdBatch smr.BatchPolicy
+	// Pipeline controls the replicas' delivery→execution pipeline (see
+	// smr.PipelinePolicy). The zero value pipelines with the default
+	// queue depth.
+	Pipeline smr.PipelinePolicy
 }
 
 // ReplicaHandle bundles everything one replica node runs.
@@ -362,6 +372,7 @@ func (d *Deployment) buildReplicaAt(p, r int, members []ringMembership, birth *s
 		SM:              sm,
 		Ckpt:            h.Ckpt,
 		CheckpointEvery: cfg.CheckpointEvery,
+		Pipeline:        cfg.Pipeline,
 	})
 	if install != nil {
 		rep.InstallCheckpoint(*install)
@@ -919,7 +930,7 @@ func (d *Deployment) NewClient() *Client {
 // deployment's live topology: it refreshes its cached view whenever a
 // replica answers with the typed wrong-epoch redirect.
 func (d *Deployment) NewClientAt(ep transport.Endpoint, id uint64) *Client {
-	return newClient(ep, id, d)
+	return newClient(ep, id, d, d.cfg.CmdBatch)
 }
 
 // NewRegistryClient creates a client that discovers and refreshes the
@@ -939,7 +950,7 @@ func (d *Deployment) NewRegistryClient(reg *registry.Registry) (*Client, error) 
 		_ = ep.Close()
 		return nil, err
 	}
-	c := newClient(ep, id, src)
+	c := newClient(ep, id, src, d.cfg.CmdBatch)
 	c.watchSchema(reg)
 	return c, nil
 }
