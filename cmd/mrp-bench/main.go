@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|txn|latency|ablations|all]
+//	mrp-bench [-fig 3|4|5|6|7|8|rebalance|merge|autoshard|txn|latency|reads|ablations|all]
 //	          [-seconds 1.5] [-scale 0.25] [-clients 40] [-records 5000] [-v]
 //
-// The txn and latency figures additionally write their rows as
-// machine-readable JSON (BENCH_txn.json / BENCH_latency.json, uploaded as
-// CI artifacts).
+// The txn, latency, and reads figures additionally write their rows as
+// machine-readable JSON (BENCH_txn.json / BENCH_latency.json /
+// BENCH_reads.json, uploaded as CI artifacts).
 //
 // Absolute numbers depend on the host; the shapes (who wins, scaling
 // factors, crossovers) are the reproduction target — see EXPERIMENTS.md.
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,txn,latency,ablations,all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3,4,5,6,7,8,rebalance,merge,autoshard,txn,latency,reads,ablations,all")
 	seconds := flag.Float64("seconds", 1.5, "measured seconds per data point")
 	scale := flag.Float64("scale", 0.25, "time scale for WAN latencies and disk service times")
 	clients := flag.Int("clients", 40, "client threads for the YCSB comparison")
@@ -72,6 +72,14 @@ func main() {
 		bench.RenderLatency(w, rows)
 		if err := bench.WriteLatencyJSON("BENCH_latency.json", rows); err != nil {
 			fmt.Fprintf(os.Stderr, "write BENCH_latency.json: %v\n", err)
+			os.Exit(1)
+		}
+	})
+	run("reads", func(w io.Writer, o bench.Options) {
+		rows := bench.Reads(o)
+		bench.RenderReads(w, rows)
+		if err := bench.WriteReadsJSON("BENCH_reads.json", rows); err != nil {
+			fmt.Fprintf(os.Stderr, "write BENCH_reads.json: %v\n", err)
 			os.Exit(1)
 		}
 	})

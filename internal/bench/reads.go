@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"mrp/internal/metrics"
+	"mrp/internal/netsim"
+	"mrp/internal/storage"
+	"mrp/internal/store"
+	"mrp/internal/ycsb"
+)
+
+// ReadsMode names the two read paths the figure compares.
+type ReadsMode string
+
+// The compared paths: lease-served local reads (the default deployment
+// behavior — a single request/response against the partition's lease
+// holder, no consensus round) vs the pre-lease baseline that orders every
+// read like a write.
+const (
+	ReadsLocal   ReadsMode = "local"
+	ReadsOrdered ReadsMode = "ordered"
+)
+
+// ReadsModes lists the modes in report order.
+var ReadsModes = []ReadsMode{ReadsLocal, ReadsOrdered}
+
+// readsWorkloads are the sweep's read-dominated YCSB mixes: B (95% read,
+// 5% update — the updates still pay for ordering, so the figure shows the
+// fast path coexisting with writes) and C (read only).
+var readsWorkloads = []ycsb.Workload{ycsb.WorkloadB, ycsb.WorkloadC}
+
+// readsWarmup bounds how long a point waits for every partition's lease to
+// be claimed, applied, and advertised before the measured window opens.
+const readsWarmup = 5 * time.Second
+
+// ReadsRow is one (mode, workload) point of the local-reads figure.
+type ReadsRow struct {
+	Mode       ReadsMode     `json:"mode"`
+	Workload   string        `json:"workload"`
+	OpsPerSec  float64       `json:"ops_per_sec"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	P999       time.Duration `json:"p999_ns"`
+	LeaseReads uint64        `json:"lease_reads"`
+	Errors     uint64        `json:"errors"`
+}
+
+// Reads reproduces the lease-read comparison: the same read-dominated YCSB
+// workloads against the same 3-partition deployment, once with ring leases
+// (reads served consensus-free by each partition's lease holder) and once
+// with leases disabled (every read ordered through its partition's ring,
+// the pre-lease behavior). The LeaseReads column reports how many measured
+// reads actually took the fast path, so a regression that silently falls
+// back to ordering is visible in the rows, not just in the ratio.
+func Reads(opts Options) []ReadsRow {
+	var rows []ReadsRow
+	for _, mode := range ReadsModes {
+		for _, w := range readsWorkloads {
+			row := readsPoint(opts, mode, w)
+			opts.logf("reads %-8s ycsb-%s  %9.0f op/s  p50=%v  lease=%d",
+				mode, w, row.OpsPerSec, row.P50.Round(10*time.Microsecond), row.LeaseReads)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// readsPoint builds a fresh 3-partition deployment and drives one point.
+func readsPoint(opts Options, mode ReadsMode, workload ycsb.Workload) ReadsRow {
+	net := netsim.New(
+		netsim.WithUniformLatency(50*time.Microsecond),
+		netsim.WithBandwidth(10<<30/8),
+	)
+	defer net.Close()
+	d, err := store.Deploy(store.DeployConfig{
+		Net:          net,
+		Partitions:   3,
+		Replicas:     3,
+		GlobalRing:   true,
+		StorageMode:  storage.InMemory,
+		SkipInterval: 5 * time.Millisecond,
+		SkipRate:     9000,
+		RetryTimeout: 300 * time.Millisecond,
+		Lease:        store.LeasePolicy{Disabled: mode == ReadsOrdered},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer d.Stop()
+
+	records := make([]store.Entry, 0, opts.Records)
+	for _, r := range ycsb.Load(ycsb.Config{RecordCount: opts.Records, ValueSize: 100}) {
+		records = append(records, store.Entry{Key: r.Key, Value: r.Value})
+	}
+	d.Preload(records)
+
+	if mode == ReadsLocal {
+		waitForLeases(d, records)
+	}
+
+	var (
+		ops   metrics.Counter
+		errs  metrics.Counter
+		lease metrics.Counter
+		hist  metrics.Histogram
+	)
+	deadline := time.Now().Add(opts.point())
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Clients; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			cl := d.NewClient()
+			defer cl.Close()
+			gen := ycsb.New(ycsb.Config{
+				Workload:    workload,
+				RecordCount: opts.Records,
+				ValueSize:   100,
+				Seed:        int64(t) + 1,
+			})
+			for time.Now().Before(deadline) {
+				o := gen.Next()
+				start := time.Now()
+				var err error
+				switch o.Kind {
+				case ycsb.OpRead:
+					_, err = cl.Read(o.Key)
+				case ycsb.OpUpdate:
+					err = cl.Update(o.Key, o.Value)
+				default:
+					continue
+				}
+				if err != nil {
+					errs.Add(1, 0)
+					continue
+				}
+				hist.Record(time.Since(start))
+				ops.Add(1, 0)
+			}
+			lease.Add(uint64(cl.LeaseReads()), 0)
+		}(t)
+	}
+	wg.Wait()
+	return ReadsRow{
+		Mode:       mode,
+		Workload:   workload.String(),
+		OpsPerSec:  float64(ops.Ops()) / opts.PointSeconds,
+		P50:        hist.Quantile(0.50),
+		P99:        hist.Quantile(0.99),
+		P999:       hist.Quantile(0.999),
+		LeaseReads: lease.Ops(),
+		Errors:     errs.Ops(),
+	}
+}
+
+// waitForLeases blocks until every partition serves a lease read (claimed
+// by its manager, applied by its holder, advertised in the routing view),
+// so the measured window starts on the fast path instead of averaging over
+// lease establishment. A partition that never comes up within the warmup
+// bound is left to the fallback path — the point still measures, it just
+// reports the miss through the LeaseReads column.
+func waitForLeases(d *store.Deployment, records []store.Entry) {
+	part := d.Partitioner()
+	probe := make([]string, 3)
+	for _, r := range records {
+		probe[part.PartitionOf(r.Key)] = r.Key
+	}
+	cl := d.NewClient()
+	defer cl.Close()
+	deadline := time.Now().Add(readsWarmup)
+	for _, key := range probe {
+		if key == "" {
+			continue
+		}
+		for {
+			before := cl.LeaseReads()
+			if _, err := cl.Read(key); err == nil && cl.LeaseReads() > before {
+				break
+			}
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// RenderReads prints the local-reads comparison.
+func RenderReads(w io.Writer, rows []ReadsRow) {
+	fmt.Fprintln(w, "Local reads via ring leases — lease-served vs ordered-every-read baseline")
+	fmt.Fprintln(w, "(read-dominated YCSB mixes; `lease` counts measured reads served consensus-free)")
+	fmt.Fprintf(w, "%-9s %9s %12s %10s %10s %10s %10s %8s\n",
+		"mode", "workload", "op/s", "p50", "p99", "p999", "lease", "errors")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %8s %12.0f %10s %10s %10s %10d %8d\n",
+			r.Mode, "ycsb-"+r.Workload, r.OpsPerSec,
+			r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond),
+			r.P999.Round(10*time.Microsecond), r.LeaseReads, r.Errors)
+	}
+}
+
+// WriteReadsJSON emits the machine-readable companion of the local-reads
+// figure (BENCH_reads.json in CI).
+func WriteReadsJSON(path string, rows []ReadsRow) error {
+	type jsonRow struct {
+		Mode       ReadsMode `json:"mode"`
+		Workload   string    `json:"workload"`
+		OpsPerSec  float64   `json:"ops_per_sec"`
+		P50us      float64   `json:"p50_us"`
+		P99us      float64   `json:"p99_us"`
+		P999us     float64   `json:"p999_us"`
+		LeaseReads uint64    `json:"lease_reads"`
+		Errors     uint64    `json:"errors"`
+	}
+	out := struct {
+		Figure string    `json:"figure"`
+		Rows   []jsonRow `json:"rows"`
+	}{Figure: "reads"}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, jsonRow{
+			Mode:       r.Mode,
+			Workload:   r.Workload,
+			OpsPerSec:  r.OpsPerSec,
+			P50us:      float64(r.P50) / float64(time.Microsecond),
+			P99us:      float64(r.P99) / float64(time.Microsecond),
+			P999us:     float64(r.P999) / float64(time.Microsecond),
+			LeaseReads: r.LeaseReads,
+			Errors:     r.Errors,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

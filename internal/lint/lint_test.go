@@ -113,6 +113,13 @@ func TestWallClockFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{WallClock}, "wallclocka")
 }
 
+// TestLeaseClockFixture pins the scoped //mrp:leaseclock allowance: one
+// marked site may call time.Now, everything else in deterministic scope
+// still fails, and a duplicate marker is flagged and unexempted.
+func TestLeaseClockFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{WallClock}, "leaseclocka")
+}
+
 func TestLockedBlockFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{LockedBlock}, "lockedblocka")
 }

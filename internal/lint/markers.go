@@ -28,6 +28,13 @@ import (
 //	    "status" argument they must also consume its first result
 //	    (the reply carrying typed redirects such as statusWrongEpoch).
 //
+//	//mrp:leaseclock
+//	    On a function's doc comment: the function is the module's single
+//	    sanctioned wall-clock read inside deterministic scope (the lease
+//	    protocol's local liveness clock). wallclock permits time.Now in
+//	    its body — nothing else, nowhere else — and flags every site
+//	    beyond the first.
+//
 //	//mrp:nolint analyzer[,analyzer] — reason
 //	    On the offending line, or alone on the line above: suppress the
 //	    named analyzers' findings there. A reason is required.
@@ -46,6 +53,9 @@ type Markers struct {
 	// ordered maps marked ordered-command functions to their argument
 	// ("" or "status").
 	ordered map[*types.Func]string
+	// leaseClock lists //mrp:leaseclock-marked functions in collection
+	// order; the wallclock analyzer admits exactly one.
+	leaseClock []*types.Func
 	// pkgDet marks packages whose package doc declares //mrp:deterministic.
 	pkgDet map[*types.Package]bool
 	// eligible marks packages containing at least one mrp marker: the
@@ -92,6 +102,10 @@ func CollectMarkers(m *Module) *Markers {
 				}
 				if arg, ok := markerArg(fd.Doc, "ordered"); ok {
 					mk.ordered[fn] = arg
+					mk.eligible[pkg.Types] = true
+				}
+				if hasMarker(fd.Doc, "leaseclock") {
+					mk.leaseClock = append(mk.leaseClock, fn)
 					mk.eligible[pkg.Types] = true
 				}
 			}
@@ -180,6 +194,12 @@ func markerArg(doc *ast.CommentGroup, verb string) (string, bool) {
 		return arg, true
 	}
 	return "", false
+}
+
+// LeaseClockSites returns the //mrp:leaseclock-marked functions in
+// collection order.
+func (mk *Markers) LeaseClockSites() []*types.Func {
+	return append([]*types.Func(nil), mk.leaseClock...)
 }
 
 // OrderedArg returns the //mrp:ordered argument for fn ("" when unmarked;

@@ -1,0 +1,42 @@
+// Package leaseclocka exercises the scoped //mrp:leaseclock allowance:
+// exactly one marked function may call time.Now inside deterministic
+// scope; the clock stays banned everywhere else, the allowance never
+// extends past Now, and a second marked site is itself a finding.
+package leaseclocka
+
+import "time"
+
+// clockNow mirrors smr.leaseClockNow: the module's one sanctioned
+// wall-clock read. First marked site in source order, so it holds the
+// allowance — no finding on the Now call below.
+//
+//mrp:leaseclock
+func clockNow() time.Time {
+	return time.Now()
+}
+
+// gate pulls clockNow into deterministic scope through the call graph,
+// the same way the replica's apply path reaches leaseClockNow.
+//
+//mrp:deterministic
+func gate(deadline time.Time) bool {
+	return clockNow().Before(deadline)
+}
+
+// leak proves the allowance did not widen the rules for anyone else.
+//
+//mrp:deterministic
+func leak() (int64, time.Duration) {
+	t := time.Now().UnixNano()        // want "time.Now reads the wall clock"
+	return t, time.Since(time.Time{}) // want "time.Since reads the wall clock"
+}
+
+// second tries to mint a second allowance: the declaration is flagged,
+// and its body gets no exemption.
+//
+//mrp:leaseclock
+//mrp:deterministic
+func second() time.Time { // want "duplicate //mrp:leaseclock"
+	<-time.After(time.Millisecond) // want "timer channel"
+	return time.Now()              // want "time.Now reads the wall clock"
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // WallClock forbids reading the wall clock or drawing from the unseeded
@@ -21,6 +22,14 @@ import (
 // (construction from an explicit seed), and every method on an explicitly
 // constructed *rand.Rand — which is exactly the seeded generator
 // store.SortedMap uses for skiplist levels.
+//
+// One scoped exception: the module's single //mrp:leaseclock-marked
+// function may call time.Now. The lease protocol needs exactly one local
+// liveness clock (smr.leaseClockNow) whose value feeds "may I serve" /
+// "must I stay silent" decisions but never replicated state; funneling
+// every read through one audited site keeps that property checkable. The
+// allowance covers time.Now only — timers and Since/Until stay banned
+// even there — and a second marked site is itself a finding.
 var WallClock = &Analyzer{
 	Name: "wallclock",
 	Doc:  "forbid wall-clock reads and unseeded randomness in deterministic functions",
@@ -48,6 +57,7 @@ var randAllowed = map[string]bool{
 
 func runWallClock(p *Pass) {
 	info := p.Module.Info
+	leaseClock := leaseClockHolder(p)
 	p.Module.eachFuncDecl(func(pkg *Package, file *ast.File, decl *ast.FuncDecl) {
 		fn := p.Module.funcFor(decl)
 		if fn == nil || decl.Body == nil {
@@ -73,6 +83,9 @@ func runWallClock(p *Pass) {
 				if isMethod {
 					return true
 				}
+				if callee.Name() == "Now" && fn == leaseClock {
+					return true // the single sanctioned read (//mrp:leaseclock)
+				}
 				if what, banned := wallClockBanned[callee.Name()]; banned {
 					p.Report(call.Pos(), "time.%s %s inside deterministic function %s (%s)",
 						callee.Name(), what, relName(fn), why)
@@ -87,4 +100,28 @@ func runWallClock(p *Pass) {
 			return true
 		})
 	})
+}
+
+// leaseClockHolder resolves the one function granted the //mrp:leaseclock
+// allowance: the first marked site in source order. Every further site is
+// reported and receives no allowance — the exception stays auditable only
+// while it is singular.
+func leaseClockHolder(p *Pass) *types.Func {
+	sites := p.Markers.LeaseClockSites()
+	if len(sites) == 0 {
+		return nil
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a := p.Module.Fset.Position(sites[i].Pos())
+		b := p.Module.Fset.Position(sites[j].Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, fn := range sites[1:] {
+		p.Report(fn.Pos(), "duplicate //mrp:leaseclock on %s: the wall-clock allowance is scoped to a single site module-wide (held by %s)",
+			relName(fn), relName(sites[0]))
+	}
+	return sites[0]
 }

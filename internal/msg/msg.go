@@ -19,6 +19,9 @@
 //   - CkptQuery / CkptReply / CkptFetch / CkptData: remote checkpoint
 //     discovery and state transfer between replicas of a partition.
 //   - Response: a service reply sent from a replica back to a client.
+//   - LeaseRead / LeaseReply: a consensus-free local read served by a
+//     lease-holding replica from its applied state (see internal/smr's
+//     lease commands), and its answer or refusal.
 //   - TxnVote: a vote exchanged between the replicas of the participant
 //     partitions of a conditional cross-partition transaction (S-SMR-style
 //     execution atomicity; see internal/txn).
@@ -69,6 +72,8 @@ const (
 	TResponse
 	TBatch
 	TTxnVote
+	TLeaseRead
+	TLeaseReply
 	maxType
 )
 
@@ -702,6 +707,69 @@ func (m *TxnVote) unmarshal(r *reader) {
 	m.Want = r.bool()
 }
 
+// LeaseRead asks a lease-holding replica to serve a read-only operation
+// from its applied state without ordering it (consensus-free local read).
+// (ClientID, Seq) match the reply to the request; unlike ordered commands
+// the pair never enters replicated state — a lease read is answered by
+// exactly one replica or not at all, and the client falls back to the
+// ordered path on timeout.
+type LeaseRead struct {
+	ClientID uint64
+	Seq      uint64
+	Op       []byte
+}
+
+// Type implements Message.
+func (*LeaseRead) Type() Type { return TLeaseRead }
+
+// Size implements Message.
+func (m *LeaseRead) Size() int { return 1 + 8 + 8 + 4 + len(m.Op) }
+
+func (m *LeaseRead) marshal(w *writer) {
+	w.u64(m.ClientID)
+	w.u64(m.Seq)
+	w.bytes(m.Op)
+}
+
+func (m *LeaseRead) unmarshal(r *reader) {
+	m.ClientID = r.u64()
+	m.Seq = r.u64()
+	m.Op = r.bytes()
+}
+
+// LeaseReply answers a LeaseRead. OK=false means the replica declined to
+// serve locally — it holds no active lease, its frontier has not covered
+// the lease's grant position yet, or its read queue was full — and carries
+// no result; the client falls back to the ordered read path. OK=true
+// carries the service result bytes exactly as an ordered execution of the
+// same op would have produced them (including typed redirects).
+type LeaseReply struct {
+	ClientID uint64
+	Seq      uint64
+	OK       bool
+	Result   []byte
+}
+
+// Type implements Message.
+func (*LeaseReply) Type() Type { return TLeaseReply }
+
+// Size implements Message.
+func (m *LeaseReply) Size() int { return 1 + 8 + 8 + 1 + 4 + len(m.Result) }
+
+func (m *LeaseReply) marshal(w *writer) {
+	w.u64(m.ClientID)
+	w.u64(m.Seq)
+	w.bool(m.OK)
+	w.bytes(m.Result)
+}
+
+func (m *LeaseReply) unmarshal(r *reader) {
+	m.ClientID = r.u64()
+	m.Seq = r.u64()
+	m.OK = r.bool()
+	m.Result = r.bytes()
+}
+
 // Batch packs several messages into one packet to amortize per-message
 // transport overhead (paper Section 4: "different types of messages ... are
 // often grouped into bigger packets before being forwarded").
@@ -792,6 +860,10 @@ func New(t Type) Message {
 		return &Batch{}
 	case TTxnVote:
 		return &TxnVote{}
+	case TLeaseRead:
+		return &LeaseRead{}
+	case TLeaseReply:
+		return &LeaseReply{}
 	default:
 		return nil
 	}

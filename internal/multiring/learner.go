@@ -83,7 +83,12 @@ type Learner struct {
 	mu      sync.Mutex
 	sources []DecisionSource // active set, owned by run(); mu guards Rings()
 	pending []subChange
-	kick    chan struct{}
+	// pub is the published copy of the merge's consumed frontier,
+	// refreshed at round boundaries; Frontier() reads it. The merge's own
+	// frontier map stays goroutine-local — determinism does not depend on
+	// this copy, it only serves observers (lease catch-up waits, stats).
+	pub  map[msg.RingID]msg.Instance
+	kick chan struct{}
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -105,6 +110,7 @@ func NewLearner(m int, procs ...DecisionSource) *Learner {
 		m:       m,
 		sources: sources,
 		out:     make(chan Delivery, 8192),
+		pub:     make(map[msg.RingID]msg.Instance),
 		kick:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -122,6 +128,23 @@ func (l *Learner) Rings() []msg.RingID {
 	for i, s := range l.sources {
 		out[i] = s.Ring()
 	}
+	return out
+}
+
+// Frontier returns the merge's consumed frontier — per subscribed ring,
+// the highest instance the deterministic merge has taken in (inclusive;
+// skip ranges advance it), as of the last round boundary. This is the
+// applied-frontier position lease machinery and recovery waits observe:
+// everything at or below it has been emitted toward the replica (though
+// the replica may still be draining the pipeline). Ordered by ring ID.
+func (l *Learner) Frontier() []msg.RingInstance {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]msg.RingInstance, 0, len(l.pub))
+	for ring, inst := range l.pub {
+		out = append(out, msg.RingInstance{Ring: ring, Instance: inst})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ring < out[j].Ring })
 	return out
 }
 
@@ -177,10 +200,10 @@ func (l *Learner) run() {
 	carry := make(map[msg.RingID]uint64)
 	for {
 		l.applyPending(frontier, carry)
-		l.mu.Lock()
-		active := append([]DecisionSource(nil), l.sources...)
-		l.mu.Unlock()
-		if len(active) == 0 {
+		// l.sources is mutated only by applyPending, on this goroutine, so
+		// the rotation can be walked without copying it per round (the
+		// mutex only orders those writes with Rings()'s reads).
+		if len(l.sources) == 0 {
 			select {
 			case <-l.kick:
 				continue
@@ -188,7 +211,7 @@ func (l *Learner) run() {
 				return
 			}
 		}
-		for _, src := range active {
+		for _, src := range l.sources {
 			ring := src.Ring()
 			quota := uint64(l.m)
 			if carry[ring] >= quota {
@@ -265,6 +288,11 @@ func (l *Learner) run() {
 func (l *Learner) applyPending(frontier map[msg.RingID]msg.Instance, carry map[msg.RingID]uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Publish the consumed frontier for Frontier() readers while the lock
+	// is held anyway (once per merge round, into a reused map).
+	for ring, inst := range frontier {
+		l.pub[ring] = inst
+	}
 	if len(l.pending) == 0 {
 		return
 	}
@@ -298,6 +326,7 @@ func (l *Learner) applyPending(frontier map[msg.RingID]msg.Instance, carry map[m
 			}
 			delete(frontier, c.ring)
 			delete(carry, c.ring)
+			delete(l.pub, c.ring)
 		}
 	}
 	l.pending = remain

@@ -450,7 +450,11 @@ func (c *Coordinator) runSplit(plan *Plan, next store.Partitioner) error {
 	// 2. Prepare: freeze and collect the moved range. The command carries
 	// the authoritative post-split mapping: replicas install it instead of
 	// deriving it from views that reconfigurations on other rings may have
-	// left stale.
+	// left stale. A lease revocation is ordered on the same ring first so
+	// no read lease granted against the pre-freeze state spans the freeze.
+	if err := c.client.RevokeLease(via); err != nil {
+		return c.failed(plan, "prepare", err)
+	}
 	moved, err := c.client.PrepareSplit(via, plan.Donor, plan.SplitKey, plan.Dest, plan.Epoch, next)
 	if err != nil {
 		return c.failed(plan, "prepare", err)
@@ -548,11 +552,19 @@ func (c *Coordinator) runMerge(plan *Plan, next store.Partitioner) error {
 	donorRing := msg.RingID(plan.DonorVia)
 	destRing := msg.RingID(plan.DestRing)
 
-	// 2a. Prepare the survivor: arm it to accept epoch-tagged chunks.
+	// 2a. Prepare the survivor: arm it to accept epoch-tagged chunks. As
+	// with a split, each prepare is preceded by a lease revocation ordered
+	// on its own ring, so neither side's read lease spans the freeze.
+	if err := c.client.RevokeLease(destRing); err != nil {
+		return c.failed(plan, "prepare", err)
+	}
 	if err := c.client.PrepareMergeDest(destRing, plan.Donor, plan.Dest, plan.Epoch); err != nil {
 		return c.failed(plan, "prepare", err)
 	}
 	// 2b. Prepare the donor: freeze its whole range and collect it.
+	if err := c.client.RevokeLease(donorRing); err != nil {
+		return c.failed(plan, "prepare", err)
+	}
 	moved, err := c.client.PrepareMergeDonor(donorRing, plan.Donor, plan.Dest, plan.Epoch)
 	if err != nil {
 		return c.failed(plan, "prepare", err)

@@ -10,6 +10,7 @@
 package registry
 
 import (
+	"bytes"
 	"sort"
 	"strings"
 	"sync"
@@ -90,6 +91,19 @@ func (r *Registry) Set(path string, data []byte) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.setLocked(path, data, nil)
+}
+
+// SetIfChanged replaces a node's data only when it differs from what is
+// stored, returning the node's (possibly unchanged) version and whether a
+// write happened. Periodic advertisers — lease-holder renewal being the
+// canonical case — use it so watches fire on transitions, not heartbeats.
+func (r *Registry) SetIfChanged(path string, data []byte) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[path]; ok && bytes.Equal(n.data, data) {
+		return n.version, false
+	}
+	return r.setLocked(path, data, nil), true
 }
 
 func (r *Registry) setLocked(path string, data []byte, owner *Session) uint64 {

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"time"
+
+	"mrp/internal/transport"
 )
 
 // SMR-level command batching: the client (the proposer of the paper's
@@ -82,6 +84,16 @@ func IsBatch(b []byte) bool {
 //
 //mrp:deterministic
 func DecodeBatch(b []byte) ([]Command, error) {
+	return decodeBatchInto(nil, b, nil)
+}
+
+// decodeBatchInto is DecodeBatch appending into dst (which may be a reused
+// scratch slice) and interning reply addresses through intern when
+// non-nil; the replica's delivery path passes both so a steady-state batch
+// decode allocates nothing. On error dst's contents are unspecified.
+//
+//mrp:deterministic
+func decodeBatchInto(dst []Command, b []byte, intern func([]byte) transport.Addr) ([]Command, error) {
 	if len(b) < batchHeaderLen || binary.BigEndian.Uint64(b) != batchMagic {
 		return nil, ErrBadBatch
 	}
@@ -89,7 +101,9 @@ func DecodeBatch(b []byte) ([]Command, error) {
 	if count == 0 {
 		return nil, ErrBadBatch
 	}
-	cmds := make([]Command, 0, count)
+	if dst == nil {
+		dst = make([]Command, 0, count)
+	}
 	off := batchHeaderLen
 	for i := 0; i < count; i++ {
 		if len(b)-off < 4 {
@@ -100,17 +114,17 @@ func DecodeBatch(b []byte) ([]Command, error) {
 		if len(b)-off < clen {
 			return nil, ErrBadBatch
 		}
-		cmd, err := DecodeCommand(b[off : off+clen])
+		cmd, err := decodeCommandWith(b[off:off+clen], intern)
 		if err != nil {
 			return nil, ErrBadBatch
 		}
-		cmds = append(cmds, cmd)
+		dst = append(dst, cmd)
 		off += clen
 	}
 	if off != len(b) {
 		return nil, ErrBadBatch
 	}
-	return cmds, nil
+	return dst, nil
 }
 
 // BatchPolicy controls SMR-level command batching on the client. The zero

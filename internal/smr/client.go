@@ -45,13 +45,15 @@ var ErrTimeout = errors.New("smr: request timed out")
 type Client struct {
 	cfg ClientConfig
 
-	mu       sync.Mutex
-	seq      uint64
-	batchSeq uint64
-	pending  map[uint64]chan *msg.Response
-	cursor   map[msg.RingID]int
-	batchers map[msg.RingID]*ringBatcher
-	closed   bool
+	mu           sync.Mutex
+	seq          uint64
+	batchSeq     uint64
+	leaseSeq     uint64
+	pending      map[uint64]chan *msg.Response
+	leasePending map[uint64]chan *msg.LeaseReply
+	cursor       map[msg.RingID]int
+	batchers     map[msg.RingID]*ringBatcher
+	closed       bool
 
 	batchWG  sync.WaitGroup
 	stopOnce sync.Once
@@ -86,12 +88,13 @@ func NewClient(cfg ClientConfig) *Client {
 	}
 	cfg.Batch = cfg.Batch.WithDefaults()
 	c := &Client{
-		cfg:      cfg,
-		pending:  make(map[uint64]chan *msg.Response),
-		cursor:   make(map[msg.RingID]int),
-		batchers: make(map[msg.RingID]*ringBatcher),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:          cfg,
+		pending:      make(map[uint64]chan *msg.Response),
+		leasePending: make(map[uint64]chan *msg.LeaseReply),
+		cursor:       make(map[msg.RingID]int),
+		batchers:     make(map[msg.RingID]*ringBatcher),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
@@ -118,17 +121,32 @@ func (c *Client) readLoop() {
 			if !ok {
 				return
 			}
-			resp, isResp := env.Msg.(*msg.Response)
-			if !isResp || resp.ClientID != c.cfg.ID {
-				continue
-			}
-			c.mu.Lock()
-			ch := c.pending[resp.Seq]
-			c.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- resp:
-				default: // gather buffer full: extra duplicate, drop
+			switch resp := env.Msg.(type) {
+			case *msg.Response:
+				if resp.ClientID != c.cfg.ID {
+					continue
+				}
+				c.mu.Lock()
+				ch := c.pending[resp.Seq]
+				c.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- resp:
+					default: // gather buffer full: extra duplicate, drop
+					}
+				}
+			case *msg.LeaseReply:
+				if resp.ClientID != c.cfg.ID {
+					continue
+				}
+				c.mu.Lock()
+				ch := c.leasePending[resp.Seq]
+				c.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- resp:
+					default: // late duplicate, drop
+					}
 				}
 			}
 		case <-c.stop:
@@ -219,6 +237,49 @@ func (c *Client) Reserve() uint64 {
 //mrp:ordered
 func (c *Client) ExecuteGatherAt(seq uint64, rings []msg.RingID, op []byte, want int, classify func([]byte) (int, bool)) (map[int][]byte, error) {
 	return c.executeAt(seq, rings, op, want, classify)
+}
+
+// LeaseRead asks the replica at addr to serve a read-only op from its
+// applied state without ordering it (consensus-free local read; see
+// lease.go). It returns served=false — with no error — when the replica
+// declined (no active lease, frontier behind the grant, queue full) or no
+// reply arrived within timeout; the caller is expected to fall back to
+// the ordered path. A lease read is fire-once: there is no retry loop,
+// because the fallback IS the retry.
+func (c *Client) LeaseRead(addr transport.Addr, op []byte, timeout time.Duration) (result []byte, served bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, transport.ErrClosed
+	}
+	c.leaseSeq++
+	seq := c.leaseSeq
+	ch := make(chan *msg.LeaseReply, 1)
+	c.leasePending[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.leasePending, seq)
+		c.mu.Unlock()
+	}()
+	if err := c.cfg.Endpoint.Send(addr, &msg.LeaseRead{
+		ClientID: c.cfg.ID, Seq: seq, Op: op,
+	}); err != nil {
+		return nil, false, err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case reply := <-ch:
+		if !reply.OK {
+			return nil, false, nil
+		}
+		return reply.Result, true, nil
+	case <-deadline.C:
+		return nil, false, nil
+	case <-c.stop:
+		return nil, false, transport.ErrClosed
+	}
 }
 
 // enqueueBatch hands one encoded command to the ring's batcher, starting

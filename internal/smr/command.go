@@ -40,6 +40,15 @@ func (c Command) Encode() []byte {
 
 // DecodeCommand parses a payload produced by Encode.
 func DecodeCommand(b []byte) (Command, error) {
+	return decodeCommandWith(b, nil)
+}
+
+// decodeCommandWith parses a payload, materializing the ReplyTo string
+// through intern when non-nil. Every delivered command pays a []byte →
+// string conversion for its reply address otherwise; the replica's hot
+// path passes its address cache so steady-state decoding allocates
+// nothing (clients reuse one address across their whole session).
+func decodeCommandWith(b []byte, intern func([]byte) transport.Addr) (Command, error) {
 	if len(b) < 18 {
 		return Command{}, ErrBadCommand
 	}
@@ -51,7 +60,12 @@ func DecodeCommand(b []byte) (Command, error) {
 	if len(b) < 18+alen {
 		return Command{}, ErrBadCommand
 	}
-	c.ReplyTo = transport.Addr(b[18 : 18+alen])
+	raw := b[18 : 18+alen]
+	if intern != nil {
+		c.ReplyTo = intern(raw)
+	} else {
+		c.ReplyTo = transport.Addr(raw)
+	}
 	c.Op = b[18+alen:]
 	return c, nil
 }

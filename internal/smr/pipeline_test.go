@@ -149,7 +149,7 @@ func TestPipelineCheckpointBatchAligned(t *testing.T) {
 
 func mustDecodeState(t *testing.T, state []byte) ([]byte, map[uint64]clientEntry) {
 	t.Helper()
-	dedupRaw, smState, err := decodeReplicaState(state)
+	dedupRaw, _, smState, err := decodeReplicaState(state)
 	if err != nil {
 		t.Fatalf("decode checkpoint state: %v", err)
 	}

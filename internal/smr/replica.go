@@ -95,12 +95,45 @@ type Replica struct {
 	// dedup tracks executed command sequences per client (see clientEntry).
 	dedup map[uint64]clientEntry
 
+	// lease is the replicated half of the ring lease (see lease.go): a
+	// pure function of the delivery stream, checkpointed with the state.
+	lease leaseTable
+	// readDeadline / suppressUntil are the PROCESS-LOCAL lease windows:
+	// until readDeadline this replica (when it is the holder) serves local
+	// reads; until suppressUntil this replica (when it is not) withholds
+	// client replies. Neither is checkpointed — see the lease.go comment.
+	readDeadline  time.Time
+	suppressUntil time.Time
+	// pendingClaims binds claims this process proposed (via
+	// RegisterLeaseClaim) to the serve window computed before proposing.
+	pendingClaims map[claimKey]time.Time
+	// held buffers client replies withheld by the suppression gate. The
+	// ring coordinator deduplicates (proposer, seq), so a retransmission
+	// of a suppressed command is never re-delivered — the buffered reply
+	// is the command's ONLY reply. Suppression therefore delays replies,
+	// never drops them: flushHeld sends the buffer the moment the silence
+	// window lapses (holder down, renewals stopped) or an ordered revoke
+	// or holder change deactivates the lease. Process-local liveness
+	// state, like the windows above; not checkpointed.
+	held []heldReply
+
 	executed  uint64
 	ckpts     uint64
 	onExecute func(Command, []byte)
 
-	snaps   chan chan []byte
-	ckptReq chan chan struct{}
+	// Apply-path scratch, owned by the execution goroutine: decoded
+	// commands and outgoing replies are built into reused slices, and
+	// reply addresses are interned (clients keep one address for their
+	// whole session), so a steady-state delivery allocates only the
+	// responses it actually sends.
+	cmdScratch   []Command
+	replyScratch []routedReply
+	addrCache    map[string]transport.Addr
+	intern       func([]byte) transport.Addr
+
+	snaps      chan chan []byte
+	ckptReq    chan chan struct{}
+	leaseReads chan leaseRead
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -163,16 +196,49 @@ func (e clientEntry) record(seq uint64, result []byte) clientEntry {
 
 // NewReplica creates a replica. Call Start to begin executing.
 func NewReplica(cfg ReplicaConfig) *Replica {
-	return &Replica{
-		cfg:     cfg,
-		applied: make(map[msg.RingID]msg.Instance),
-		safe:    make(map[msg.RingID]msg.Instance),
-		dedup:   make(map[uint64]clientEntry),
-		snaps:   make(chan chan []byte),
-		ckptReq: make(chan chan struct{}),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+	r := &Replica{
+		cfg:        cfg,
+		applied:    make(map[msg.RingID]msg.Instance),
+		safe:       make(map[msg.RingID]msg.Instance),
+		dedup:      make(map[uint64]clientEntry),
+		addrCache:  make(map[string]transport.Addr),
+		snaps:      make(chan chan []byte),
+		ckptReq:    make(chan chan struct{}),
+		leaseReads: make(chan leaseRead, leaseReadQueueLen),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+	// Bound once: a per-delivery method value would itself allocate.
+	r.intern = r.internAddr
+	return r
+}
+
+// addrCacheCap bounds the reply-address intern cache; on overflow (a churn
+// of distinct client addresses no real deployment produces) the cache is
+// reset rather than evicted — correctness never depends on it.
+const addrCacheCap = 4096
+
+// internAddr returns a stable string for a decoded reply address without
+// re-allocating it on every delivery. Process-local routing state only:
+// the bytes of the address, which are all that execution observes, are
+// identical on every replica.
+func (r *Replica) internAddr(b []byte) transport.Addr {
+	if a, ok := r.addrCache[string(b)]; ok { // no-alloc map lookup
+		return a
+	}
+	if len(r.addrCache) >= addrCacheCap {
+		r.addrCache = make(map[string]transport.Addr)
+	}
+	a := transport.Addr(b) // the one copy the cache keeps
+	r.addrCache[string(a)] = a
+	return a
+}
+
+// routedReply pairs a response with its destination while a delivery's
+// commands apply; replies are sent only after the watermark advances.
+type routedReply struct {
+	to   transport.Addr
+	resp *msg.Response
 }
 
 // OnExecute registers a hook called after every executed command (used by
@@ -184,6 +250,20 @@ func (r *Replica) OnExecute(fn func(Command, []byte)) { r.onExecute = fn }
 // it with Node.Service. It must stay non-blocking.
 func (r *Replica) HandleService(env transport.Envelope) {
 	switch m := env.Msg.(type) {
+	case *msg.LeaseRead:
+		// Local reads execute on the executor goroutine between
+		// deliveries; here we only enqueue. A full queue (or a stopped
+		// executor) declines immediately so the client falls back to the
+		// ordered read path instead of waiting out its timeout.
+		select {
+		case <-r.stop:
+		case r.leaseReads <- leaseRead{from: env.From, m: m}:
+			return
+		default:
+		}
+		_ = r.cfg.Node.Endpoint().Send(env.From, &msg.LeaseReply{
+			ClientID: m.ClientID, Seq: m.Seq,
+		})
 	case *msg.CkptQuery:
 		r.mu.Lock()
 		tuple := tupleOf(r.safe)
@@ -279,7 +359,7 @@ func (r *Replica) SafeTuple() []msg.RingInstance {
 // InstallCheckpoint restores the state machine, the deduplication table,
 // and the tuples from a recovered checkpoint. Must be called before Start.
 func (r *Replica) InstallCheckpoint(ck storage.Checkpoint) {
-	dedupRaw, smState, err := decodeReplicaState(ck.State)
+	dedupRaw, leaseRaw, smState, err := decodeReplicaState(ck.State)
 	if err != nil {
 		return
 	}
@@ -287,6 +367,18 @@ func (r *Replica) InstallCheckpoint(ck storage.Checkpoint) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.dedup = decodeDedup(dedupRaw)
+	if lt, ok := decodeLeaseTable(leaseRaw); ok {
+		r.lease = lt
+		// The replicated lease recovers identically; the local windows do
+		// not. A recovered holder serves nothing until a fresh claim of
+		// its own round-trips (readDeadline stays zero). A recovered
+		// non-holder re-arms its silence window from NOW — recovery
+		// happens after the claim was applied somewhere, so now + D is a
+		// superset of the window the crashed process was observing.
+		if lt.active && lt.holder != r.cfg.Node.ID() {
+			r.suppressUntil = leaseClockNow().Add(time.Duration(lt.durMs) * time.Millisecond)
+		}
+	}
 	for _, e := range ck.Tuple {
 		r.applied[e.Ring] = e.Instance
 		r.safe[e.Ring] = e.Instance
@@ -327,12 +419,13 @@ func (r *Replica) checkpoint() {
 	r.mu.Lock()
 	tuple := tupleOf(r.applied)
 	dedup := encodeDedup(r.dedup)
+	lease := encodeLeaseTable(r.lease)
 	r.mu.Unlock()
 	var epoch uint64
 	if eh, ok := r.cfg.SM.(EpochHolder); ok {
 		epoch = eh.Epoch()
 	}
-	state := encodeReplicaState(dedup, r.cfg.SM.Snapshot())
+	state := encodeReplicaState(dedup, lease, r.cfg.SM.Snapshot())
 	r.cfg.Ckpt.Save(storage.Checkpoint{Tuple: tuple, Epoch: epoch, State: state})
 	r.mu.Lock()
 	for _, e := range tuple {
@@ -361,10 +454,19 @@ func (r *Replica) run() {
 		defer t.Stop()
 		ckptC = t.C
 	}
+	// The held-reply buffer must drain even when the ring goes idle (no
+	// delivery to piggyback the flush on), so the executor ticks for it.
+	heldT := time.NewTicker(50 * time.Millisecond)
+	defer heldT.Stop()
 	for {
 		select {
 		case d := <-deliveries:
 			r.apply(d)
+			r.flushHeld()
+		case lr := <-r.leaseReads:
+			r.serveLeaseRead(lr)
+		case <-heldT.C:
+			r.flushHeld()
 		case <-ckptC:
 			r.checkpoint()
 		case done := <-r.ckptReq:
@@ -442,27 +544,24 @@ func (r *Replica) apply(d multiring.Delivery) {
 	// all apply before the executor handles anything else, so a checkpoint
 	// (taken between executor steps) can never observe half a batch —
 	// batch cut points are invisible in state (DETERMINISM invariant 8).
-	var cmds []Command
+	cmds := r.cmdScratch[:0]
 	if IsBatch(d.Entry.Data) {
 		var err error
-		if cmds, err = DecodeBatch(d.Entry.Data); err != nil {
+		if cmds, err = decodeBatchInto(cmds, d.Entry.Data, r.intern); err != nil {
 			return // malformed batch: ignore like any foreign payload
 		}
 	} else {
-		cmd, err := DecodeCommand(d.Entry.Data)
+		cmd, err := decodeCommandWith(d.Entry.Data, r.intern)
 		if err != nil {
 			return // foreign payload on a shared ring: ignore
 		}
-		cmds = []Command{cmd}
+		cmds = append(cmds, cmd)
 	}
-	type reply struct {
-		to   transport.Addr
-		resp *msg.Response
-	}
-	var replies []reply
+	r.cmdScratch = cmds
+	replies := r.replyScratch[:0]
 	for _, cmd := range cmds {
 		if to, resp := r.applyCommand(cmd); resp != nil {
-			replies = append(replies, reply{to: to, resp: resp})
+			replies = append(replies, routedReply{to: to, resp: resp})
 		}
 	}
 	// Advance the applied watermark before replying so a client that
@@ -477,6 +576,12 @@ func (r *Replica) apply(d multiring.Delivery) {
 	for _, rep := range replies {
 		_ = r.cfg.Node.Endpoint().Send(rep.to, rep.resp)
 	}
+	// Drop the sent responses before parking the scratch (the transport
+	// owns them now); the next apply reuses the capacity.
+	for i := range replies {
+		replies[i] = routedReply{}
+	}
+	r.replyScratch = replies[:0]
 }
 
 // applyCommand executes one command through the per-client dedup window
@@ -485,6 +590,7 @@ func (r *Replica) apply(d multiring.Delivery) {
 // no longer cached). Inside the deterministic scope via apply; the reply
 // is routed by the caller after the watermark has advanced.
 func (r *Replica) applyCommand(cmd Command) (transport.Addr, *msg.Response) {
+	leaseOp := isLeaseOp(cmd.Op)
 	r.mu.Lock()
 	prev, seen := r.dedup[cmd.ClientID]
 	r.mu.Unlock()
@@ -501,7 +607,14 @@ func (r *Replica) applyCommand(cmd Command) (transport.Addr, *msg.Response) {
 			respond = false
 		}
 	} else {
-		result = r.cfg.SM.Execute(cmd.Op)
+		if leaseOp {
+			// Lease claims/revokes mutate the replicated lease table
+			// instead of the application state; they ride the same dedup
+			// window so retransmissions are idempotent.
+			result = r.applyLease(cmd)
+		} else {
+			result = r.cfg.SM.Execute(cmd.Op)
+		}
 		r.mu.Lock()
 		r.dedup[cmd.ClientID] = prev.record(cmd.Seq, result)
 		r.executed++
@@ -509,6 +622,23 @@ func (r *Replica) applyCommand(cmd Command) (transport.Addr, *msg.Response) {
 		if r.onExecute != nil {
 			r.onExecute(cmd, result)
 		}
+	}
+	// While the replicated lease is active, only the holder answers data
+	// commands (lease commands are always answered — they are how the
+	// lease changes hands). Execution above is unconditional: state and
+	// dedup caches stay identical everywhere; only the reply is withheld,
+	// which is what makes the holder's applied state cover every write a
+	// client could have seen acknowledged. Withheld replies are buffered,
+	// not dropped: the coordinator absorbs retransmissions, so if the
+	// holder dies without answering, the buffered copy flushed at the
+	// window's lapse is the client's only way to ever hear back.
+	if respond && !leaseOp {
+		r.mu.Lock()
+		if r.replySuppressed() {
+			r.holdReplyLocked(cmd.ReplyTo, &msg.Response{ClientID: cmd.ClientID, Seq: cmd.Seq, Result: result})
+			respond = false
+		}
+		r.mu.Unlock()
 	}
 	if !respond {
 		return "", nil

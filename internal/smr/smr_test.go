@@ -414,8 +414,8 @@ func TestReplicaStateCodec(t *testing.T) {
 		1: {seq: 5, bits: 0b1011, result: []byte("r1")},
 		9: {seq: 2, bits: 1, result: nil},
 	}
-	enc := encodeReplicaState(encodeDedup(dedup), []byte("sm-state"))
-	dRaw, sm, err := decodeReplicaState(enc)
+	enc := encodeReplicaState(encodeDedup(dedup), encodeLeaseTable(leaseTable{}), []byte("sm-state"))
+	dRaw, leaseRaw, sm, err := decodeReplicaState(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +426,10 @@ func TestReplicaStateCodec(t *testing.T) {
 	if len(got) != 2 || got[1].seq != 5 || got[1].bits != 0b1011 || string(got[1].result) != "r1" || got[9].seq != 2 {
 		t.Fatalf("dedup = %+v", got)
 	}
-	if _, _, err := decodeReplicaState([]byte{0, 0}); err == nil {
+	if lt, ok := decodeLeaseTable(leaseRaw); !ok || lt.active || lt.holder != 0 {
+		t.Fatalf("lease = %+v ok=%v", lt, ok)
+	}
+	if _, _, _, err := decodeReplicaState([]byte{0, 0}); err == nil {
 		t.Fatal("short state should fail")
 	}
 }

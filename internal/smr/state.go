@@ -6,31 +6,42 @@ import (
 )
 
 // Replica checkpoints wrap the state machine's snapshot with the replica's
-// own metadata (the client-dedup table), framed as:
+// own metadata (the client-dedup table and the replicated lease table),
+// framed as:
 //
-//	u32 dedupLen | dedup bytes | sm snapshot bytes
+//	u32 dedupLen | dedup bytes | u32 leaseLen | lease bytes | sm snapshot
 //
 // dedup bytes are repeated (u64 clientID, u64 seq, u64 bits, u32
 // resultLen, result); bits is the executed-sequence window bitmap (see
-// clientEntry).
+// clientEntry). lease bytes encode the leaseTable (see lease.go) — the
+// replicated half of the ring lease, which recovers identically on every
+// replica; the process-local serve/silence windows deliberately do not.
 
-func encodeReplicaState(dedup, smState []byte) []byte {
-	out := make([]byte, 0, 4+len(dedup)+len(smState))
+func encodeReplicaState(dedup, lease, smState []byte) []byte {
+	out := make([]byte, 0, 4+len(dedup)+4+len(lease)+len(smState))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(dedup)))
 	out = append(out, dedup...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(lease)))
+	out = append(out, lease...)
 	out = append(out, smState...)
 	return out
 }
 
-func decodeReplicaState(b []byte) (dedup, smState []byte, err error) {
+func decodeReplicaState(b []byte) (dedup, lease, smState []byte, err error) {
 	if len(b) < 4 {
-		return nil, nil, ErrBadCommand
+		return nil, nil, nil, ErrBadCommand
 	}
 	n := int(binary.BigEndian.Uint32(b))
-	if len(b) < 4+n {
-		return nil, nil, ErrBadCommand
+	if len(b) < 4+n+4 {
+		return nil, nil, nil, ErrBadCommand
 	}
-	return b[4 : 4+n], b[4+n:], nil
+	dedup = b[4 : 4+n]
+	b = b[4+n:]
+	ln := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+ln {
+		return nil, nil, nil, ErrBadCommand
+	}
+	return dedup, b[4 : 4+ln], b[4+ln:], nil
 }
 
 // encodeDedup serializes the dedup table in ascending client-ID order:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrp/internal/msg"
@@ -41,6 +42,19 @@ type routeView struct {
 	onGlobal    []bool       // per partition
 	global      msg.RingID   // 0 when disabled
 	proposers   map[msg.RingID][]transport.Addr
+	// leaseHolders is, per partition, the service address of the replica
+	// advertised as the ring's lease holder ("" when lease reads are off
+	// or the partition has no advertised holder). Advisory: a stale entry
+	// costs one declined local read, never a wrong result.
+	leaseHolders []transport.Addr
+}
+
+// leaseHolderFor returns the advertised lease holder of partition p.
+func (v *routeView) leaseHolderFor(p int) transport.Addr {
+	if p < 0 || p >= len(v.leaseHolders) {
+		return ""
+	}
+	return v.leaseHolders[p]
 }
 
 // viewSource supplies routing views: the deployment handle (live topology)
@@ -76,12 +90,16 @@ func (s *registrySource) currentView() (routeView, error) {
 		}
 	}
 	var globalAddrs []transport.Addr
+	v.leaseHolders = make([]transport.Addr, sc.Partitions)
 	for p := 0; p < sc.Partitions; p++ {
 		if schemaRetired(sc, p) {
 			// Merged-away index: keep array alignment, install no route.
 			v.rings = append(v.rings, 0)
 			v.onGlobal = append(v.onGlobal, false)
 			continue
+		}
+		if data, _, ok := s.reg.Get(LeaseHolderPath(p)); ok {
+			v.leaseHolders[p] = transport.Addr(data)
 		}
 		ring := sc.RingOf(p)
 		v.rings = append(v.rings, ring)
@@ -103,6 +121,12 @@ func (s *registrySource) currentView() (routeView, error) {
 // epochRetryDelay paces retries of commands frozen by an in-flight
 // migration (the window between range freeze and schema publish).
 const epochRetryDelay = 2 * time.Millisecond
+
+// leaseReadTimeout bounds one local-read attempt against a lease holder.
+// Deliberately short: a holder that declines does so immediately, so a
+// missing reply means the holder is gone or saturated — fall back to the
+// ordered path rather than waiting out the full command timeout.
+var leaseReadTimeout = 150 * time.Millisecond
 
 // execTimeout bounds a single routed attempt. It is deliberately shorter
 // than the client's overall deadline: an attempt that times out against a
@@ -136,9 +160,18 @@ type Client struct {
 	mu   sync.Mutex
 	view routeView
 
+	// leaseHits counts reads and scans served by the consensus-free lease
+	// fast path (observability: tests assert the path was exercised, the
+	// reads figure reports the local/ordered mix).
+	leaseHits atomic.Int64
+
 	watchStop chan struct{}
 	watchDone chan struct{}
 }
+
+// LeaseReads reports how many of this client's reads and scans were served
+// consensus-free by a lease holder rather than through ordering.
+func (c *Client) LeaseReads() int64 { return c.leaseHits.Load() }
 
 // newClient builds a client over an endpoint and routing-view source. The
 // batch policy passes straight to the underlying smr.Client, so every
@@ -254,6 +287,77 @@ func (c *Client) rerouteOnTimeout(err error, epoch uint64, deadline time.Time) b
 	return c.currentView().epoch > epoch
 }
 
+// leaseRead attempts the consensus-free fast path for a single-key read:
+// one LeaseRead to the partition's advertised holder, no ordering. It
+// reports ok=false whenever the ordered path should take over — no
+// advertised holder, the holder declined or timed out, or the reply was
+// the typed wrong-epoch redirect (the key moved, or its range is frozen
+// by an in-flight reconfiguration; the view is refreshed before falling
+// back so the ordered attempt routes on fresh state, exactly like any
+// other redirected command).
+func (c *Client) leaseRead(o op) (result, bool) {
+	v := c.viewFor()
+	if v.partitioner == nil {
+		return result{}, false
+	}
+	o.epoch = v.epoch
+	addr := v.leaseHolderFor(v.partitioner.PartitionOf(o.key))
+	if addr == "" {
+		return result{}, false
+	}
+	raw, served, err := c.smr.LeaseRead(addr, o.encode(), leaseReadTimeout)
+	if err != nil || !served {
+		return result{}, false
+	}
+	res, err := decodeResult(raw)
+	if err != nil || res.status == statusError {
+		return result{}, false
+	}
+	if res.status == statusWrongEpoch {
+		_ = c.refresh()
+		return result{}, false
+	}
+	c.leaseHits.Add(1)
+	return res, true
+}
+
+// leaseScan attempts the consensus-free fast path for a scan whose whole
+// range lives in ONE partition with an advertised lease holder; anything
+// wider falls back to the ordered fan-out (a multi-partition local scan
+// would not be one consistent cut).
+func (c *Client) leaseScan(from, to string, limit int) ([]Entry, bool) {
+	v := c.viewFor()
+	if v.partitioner == nil {
+		return nil, false
+	}
+	parts := v.partitioner.PartitionsForRange(from, to)
+	if len(parts) != 1 {
+		return nil, false
+	}
+	addr := v.leaseHolderFor(parts[0])
+	if addr == "" {
+		return nil, false
+	}
+	o := op{kind: opScan, epoch: v.epoch, key: from, to: to, limit: limit}
+	raw, served, err := c.smr.LeaseRead(addr, o.encode(), leaseReadTimeout)
+	if err != nil || !served {
+		return nil, false
+	}
+	res, err := decodeResult(raw)
+	if err != nil || res.status != statusOK {
+		if res.status == statusWrongEpoch {
+			_ = c.refresh()
+		}
+		return nil, false
+	}
+	entries := res.entries
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	c.leaseHits.Add(1)
+	return entries, true
+}
+
 // callKey routes a single-key op by the cached view and retries through
 // wrong-epoch redirects until the deadline.
 func (c *Client) callKey(o op) (result, error) {
@@ -297,10 +401,20 @@ func (c *Client) callKey(o op) (result, error) {
 	}
 }
 
-// Read returns the value of entry k, if existent.
+// Read returns the value of entry k, if existent. When the owning
+// partition advertises a lease holder, the read is served locally by that
+// replica without a consensus round (linearizable — see internal/smr's
+// lease.go); otherwise, or whenever the fast path declines, it is an
+// ordered command like every other op.
 //
 //mrp:ordered
 func (c *Client) Read(k string) ([]byte, error) {
+	if res, ok := c.leaseRead(op{kind: opRead, key: k}); ok {
+		if res.status == statusNotFound {
+			return nil, ErrNotFound
+		}
+		return res.value, nil
+	}
 	res, err := c.callKey(op{kind: opRead, key: k})
 	if err != nil {
 		return nil, err
@@ -356,6 +470,9 @@ func (c *Client) Delete(k string) error {
 //
 //mrp:ordered
 func (c *Client) Scan(from, to string, limit int) ([]Entry, error) {
+	if entries, ok := c.leaseScan(from, to, limit); ok {
+		return entries, nil
+	}
 	deadline := time.Now().Add(c.timeout)
 	for {
 		v := c.viewFor()

@@ -45,6 +45,12 @@ type DeployConfig struct {
 	DiskScale float64
 	// AddrFor names replica endpoints; default "store-p<p>-r<r>". Use
 	// region-prefixed names ("us-west-2/...") for WAN deployments.
+	//
+	// EndpointFor is also asked for auxiliary endpoints under symbolic
+	// names outside AddrFor's scheme ("store-lease-p<p>-<n>" for lease
+	// managers, "<replica>-recovery" for recovery conversations);
+	// real-socket factories should map names that are not host:port pairs
+	// to ephemeral listeners.
 	AddrFor func(partition, replica int) transport.Addr
 
 	// Ring tuning (applied to every ring).
@@ -69,6 +75,10 @@ type DeployConfig struct {
 	// smr.PipelinePolicy). The zero value pipelines with the default
 	// queue depth.
 	Pipeline smr.PipelinePolicy
+	// Lease configures ring leases for consensus-free local reads (see
+	// LeasePolicy): the zero value enables them with defaults, so every
+	// deployment serves lease reads unless Lease.Disabled is set.
+	Lease LeasePolicy
 }
 
 // ReplicaHandle bundles everything one replica node runs.
@@ -88,8 +98,13 @@ type ReplicaHandle struct {
 	// replica stops so an in-flight exchange cannot deadlock teardown.
 	Ex *txn.Exchanger
 
-	stopped bool
+	stopped atomic.Bool
 }
+
+// Stopped reports whether the handle's replica has been stopped (crash
+// injection or teardown). Lease managers poll it from their own goroutine,
+// which is why the flag is atomic.
+func (h *ReplicaHandle) Stopped() bool { return h.stopped.Load() }
 
 // partMeta is one partition's live topology entry: the ring ordering its
 // commands, its replica addresses, and whether its replicas subscribe to
@@ -147,6 +162,12 @@ type Deployment struct {
 	// freeRings holds ring IDs recycled by ring retirement; AddPartition
 	// reuses them (most recently retired first) before minting new IDs.
 	freeRings []msg.RingID
+
+	// leaseMu guards the lease managers and the advertisement registry; it
+	// is never held together with mu (managers take mu on their own).
+	leaseMu   sync.Mutex
+	leaseMgrs map[int]*leaseManager
+	leaseReg  *registry.Registry
 }
 
 // PartitionRing returns the ring (= multicast group) of a partition.
@@ -233,6 +254,7 @@ func (c *DeployConfig) withDefaults() {
 	if c.MergeM <= 0 {
 		c.MergeM = 1
 	}
+	c.Lease = c.Lease.withDefaults()
 }
 
 // nodeIDFor gives every replica a stable, unique node ID.
@@ -287,6 +309,14 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 
 	if cfg.TrimInterval > 0 {
 		d.startTrimming()
+	}
+	if !cfg.Lease.Disabled {
+		for p := 0; p < cfg.Partitions; p++ {
+			if err := d.startLeaseManager(p); err != nil {
+				d.Stop()
+				return nil, err
+			}
+		}
 	}
 	return d, nil
 }
@@ -544,10 +574,9 @@ func (d *Deployment) Preload(entries []Entry) {
 // at runtime).
 func (d *Deployment) CrashReplica(p, r int) {
 	h := d.Replicas[p][r]
-	if h == nil || h.stopped {
+	if h == nil || !h.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	h.stopped = true
 	h.Ex.Close()
 	h.Replica.Stop()
 	h.Learner.Stop()
@@ -586,7 +615,7 @@ func (d *Deployment) RecoverReplica(p, r int) error {
 	if valid {
 		meta = d.parts[p]
 		for i, other := range d.Replicas[p] {
-			if i != r && other != nil && !other.stopped {
+			if i != r && other != nil && !other.Stopped() {
 				peers = append(peers, meta.addrs[i])
 			}
 		}
@@ -651,15 +680,17 @@ func (d *Deployment) RecoverReplica(p, r int) error {
 func (d *Deployment) forEachLive(fn func(*ReplicaHandle)) {
 	for _, hs := range d.Replicas {
 		for _, h := range hs {
-			if h != nil && !h.stopped {
+			if h != nil && !h.Stopped() {
 				fn(h)
 			}
 		}
 	}
 }
 
-// Stop shuts the whole deployment down.
+// Stop shuts the whole deployment down. Lease managers go first so no
+// claim is proposed against rings mid-teardown.
 func (d *Deployment) Stop() {
+	d.stopLeaseManagers()
 	for _, tc := range d.trims {
 		tc.Stop()
 	}
@@ -669,8 +700,7 @@ func (d *Deployment) Stop() {
 	d.mu.RUnlock()
 	for _, hs := range replicas {
 		for _, h := range hs {
-			if h != nil && !h.stopped {
-				h.stopped = true
+			if h != nil && h.stopped.CompareAndSwap(false, true) {
 				h.Ex.Close()
 				h.Replica.Stop()
 				h.Learner.Stop()
@@ -732,7 +762,7 @@ func (d *Deployment) AddPartition(partitioner Partitioner, part int, epoch uint6
 		h, herr := d.buildReplicaAt(part, r, members, birth, nil, nil)
 		if herr != nil {
 			for _, built := range hs {
-				built.stopped = true
+				built.stopped.Store(true)
 				built.Ex.Close()
 				built.Replica.Stop()
 				built.Learner.Stop()
@@ -756,6 +786,12 @@ func (d *Deployment) AddPartition(partitioner Partitioner, part int, epoch uint6
 		d.parts[part] = meta
 	}
 	d.mu.Unlock()
+	if !cfg.Lease.Disabled {
+		// Best effort: the new partition's reads pay for ordering until a
+		// manager claims its ring, so a manager that fails to start must
+		// not fail the split itself.
+		_ = d.startLeaseManager(part)
+	}
 	return ring, addrs, nil
 }
 
@@ -765,6 +801,7 @@ func (d *Deployment) AddPartition(partitioner Partitioner, part int, epoch uint6
 // its ring ID returns to the allocator and the index can be reused by the
 // next split.
 func (d *Deployment) RemovePartition(part int) error {
+	d.stopLeaseManager(part)
 	d.mu.Lock()
 	if part < 0 || part >= len(d.parts) || part < d.partitioner.N() || d.parts[part].retired {
 		n := len(d.parts)
@@ -784,8 +821,7 @@ func (d *Deployment) RemovePartition(part int) error {
 	d.freeRings = append(d.freeRings, ring)
 	d.mu.Unlock()
 	for _, h := range hs {
-		if h != nil && !h.stopped {
-			h.stopped = true
+		if h != nil && h.stopped.CompareAndSwap(false, true) {
 			h.Ex.Close()
 			h.Replica.Stop()
 			h.Learner.Stop()
@@ -804,6 +840,7 @@ func (d *Deployment) RemovePartition(part int) error {
 // next split to recycle. The committed partitioner must no longer assign
 // any range to the partition (i.e. the merge was committed first).
 func (d *Deployment) RetirePartition(part int) error {
+	d.stopLeaseManager(part)
 	d.mu.Lock()
 	if part < 0 || part >= len(d.parts) || part >= len(d.Replicas) {
 		d.mu.Unlock()
@@ -833,12 +870,11 @@ func (d *Deployment) RetirePartition(part int) error {
 	d.freeRings = append(d.freeRings, ring)
 	d.mu.Unlock()
 	for _, h := range hs {
-		if h == nil || h.stopped {
+		if h == nil || !h.stopped.CompareAndSwap(false, true) {
 			continue
 		}
 		h.Learner.Unsubscribe(ring, multiring.Activation{})
 		_ = h.Node.Unsubscribe(ring)
-		h.stopped = true
 		h.Ex.Close()
 		h.Replica.Stop()
 		h.Learner.Stop()
@@ -892,6 +928,9 @@ func (d *Deployment) currentView() (routeView, error) {
 		proposers:   make(map[msg.RingID][]transport.Addr),
 	}
 	n := d.partitioner.N()
+	if !d.cfg.Lease.Disabled {
+		v.leaseHolders = make([]transport.Addr, n)
+	}
 	for p := 0; p < n && p < len(d.parts); p++ {
 		meta := d.parts[p]
 		if meta.retired {
@@ -904,6 +943,14 @@ func (d *Deployment) currentView() (routeView, error) {
 		v.rings = append(v.rings, meta.ring)
 		v.onGlobal = append(v.onGlobal, meta.onGlobal)
 		v.proposers[meta.ring] = append([]transport.Addr(nil), meta.addrs...)
+		if v.leaseHolders != nil && len(meta.addrs) > 0 {
+			// Advisory fast-path route: the designated holder, when up. The
+			// replica itself decides whether it may actually serve.
+			hIdx := leaseHolderIdx(len(meta.addrs))
+			if h := d.handleAt(p, hIdx); h != nil && !h.Stopped() {
+				v.leaseHolders[p] = meta.addrs[hIdx]
+			}
+		}
 	}
 	if v.global != 0 {
 		var addrs []transport.Addr

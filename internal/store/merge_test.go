@@ -2,7 +2,10 @@ package store
 
 import (
 	"bytes"
+	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestRangePartitionerMerge pins the key-mapping half of a partition
@@ -289,7 +292,13 @@ func liveMerge(t *testing.T, d *Deployment, cl *Client, survivor, donor int) {
 	epoch := d.Epoch() + 1
 	donorRing := d.PartitionRing(donor)
 	destRing := d.PartitionRing(survivor)
+	if err := cl.RevokeLease(destRing); err != nil {
+		t.Fatal(err)
+	}
 	if err := cl.PrepareMergeDest(destRing, donor, survivor, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RevokeLease(donorRing); err != nil {
 		t.Fatal(err)
 	}
 	moved, err := cl.PrepareMergeDonor(donorRing, donor, survivor, epoch)
@@ -311,6 +320,81 @@ func liveMerge(t *testing.T, d *Deployment, cl *Client, survivor, donor int) {
 	}
 	if err := d.RetirePartition(donor); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestGetRacesMergeRetirement pins the read path's self-correction across
+// a merge retirement: a client hammering a key that lives on the merge
+// donor must keep getting correct answers while the donor is frozen,
+// drained, and its ring torn down. Each hazard resolves through a typed
+// signal, never a wrong result — the frozen donor answers with the
+// wrong-epoch redirect, a read in flight against the torn-down ring times
+// out into the reroute path, and the lease fast path declines once the
+// advertised holder vanishes — and in every case the client refreshes its
+// view and retries against the survivor.
+func TestGetRacesMergeRetirement(t *testing.T) {
+	d := deployRangeStore(t, true)
+	cl := d.NewClient()
+	defer cl.Close()
+	for _, k := range []string{"b", "q", "t"} {
+		if err := cl.Insert(k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newPart := liveSplit(t, d, cl, 1, "p") // "q","t" move to the split-born partition
+
+	reader := d.NewClient()
+	defer reader.Close()
+	if v, err := reader.Read("q"); err != nil || string(v) != "v-q" {
+		t.Fatalf("warmup read = %q, %v", v, err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	readErr := make(chan error, 1)
+	var retired atomic.Bool
+	var after atomic.Int64 // successful reads observed after retirement
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := reader.Read("q")
+			if err != nil || string(v) != "v-q" {
+				select {
+				case readErr <- fmt.Errorf("read racing merge = %q, %v", v, err):
+				default:
+				}
+				return
+			}
+			if retired.Load() {
+				after.Add(1)
+			}
+		}
+	}()
+
+	liveMerge(t, d, cl, 1, newPart) // ends in RetirePartition(newPart)
+	retired.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for after.Load() < 5 && time.Now().Before(deadline) {
+		select {
+		case err := <-readErr:
+			t.Fatal(err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	if after.Load() < 5 {
+		t.Fatalf("only %d successful reads after the donor ring was retired", after.Load())
 	}
 }
 

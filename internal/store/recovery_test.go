@@ -65,6 +65,9 @@ func liveSplit(t *testing.T, d *Deployment, cl *Client, src int, splitKey string
 	if via == 0 || !d.PartitionOnGlobal(src) {
 		via = d.PartitionRing(src)
 	}
+	if err := cl.RevokeLease(via); err != nil {
+		t.Fatal(err)
+	}
 	moved, err := cl.PrepareSplit(via, src, splitKey, newPart, epoch, next)
 	if err != nil {
 		t.Fatal(err)

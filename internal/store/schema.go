@@ -145,6 +145,7 @@ func (d *Deployment) PublishSchema(reg *registry.Registry) error {
 		return err
 	}
 	reg.Set(SchemaPath, data)
+	d.setLeaseRegistry(reg)
 	return nil
 }
 
@@ -164,6 +165,7 @@ func (d *Deployment) PublishSchemaCAS(reg *registry.Registry, expect uint64) (ui
 		return 0, false, err
 	}
 	v, ok := reg.CompareAndSet(SchemaPath, data, expect)
+	d.setLeaseRegistry(reg)
 	return v, ok, nil
 }
 
@@ -190,6 +192,7 @@ func (d *Deployment) PublishSchemaAsCAS(reg *registry.Registry, epoch, expect ui
 		return 0, false, err
 	}
 	v, ok := reg.CompareAndSet(SchemaPath, data, expect)
+	d.setLeaseRegistry(reg)
 	return v, ok, nil
 }
 

@@ -81,7 +81,10 @@ type SM struct {
 	txnEx TxnExchanger
 }
 
-var _ smr.StateMachine = (*SM)(nil)
+var (
+	_ smr.StateMachine = (*SM)(nil)
+	_ smr.LocalReader  = (*SM)(nil)
+)
 
 // NewSM creates the state machine for one partition at epoch 1.
 func NewSM(partition int, p Partitioner) *SM {
@@ -119,6 +122,28 @@ func (s *SM) Execute(raw []byte) []byte {
 		return result{status: statusError, partition: uint16(s.partition), epoch: s.epoch}.encode()
 	}
 	return s.apply(o).encode()
+}
+
+// ExecuteLocal implements smr.LocalReader: a lease-holding replica serves
+// reads and scans against its applied state without ordering them. Only
+// side-effect-free op kinds qualify — everything else declines so the
+// client proposes through the ring as usual. The op runs through the same
+// apply gates as an ordered execution (warming, frozen, ownership, scan
+// epoch), so a local read of a key this partition cannot currently serve
+// returns the same typed statusWrongEpoch redirect an ordered read would,
+// and the client's refresh-and-retry machinery works unchanged. Runs on
+// the replica's execution goroutine between deliveries (see
+// smr.LocalReader), never concurrently with Execute.
+func (s *SM) ExecuteLocal(raw []byte) ([]byte, bool) {
+	o, err := decodeOp(raw)
+	if err != nil {
+		return nil, false
+	}
+	switch o.kind {
+	case opRead, opScan:
+		return s.apply(o).encode(), true
+	}
+	return nil, false
 }
 
 // wrongEpoch builds the typed redirect reply carrying the replica's

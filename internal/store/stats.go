@@ -87,7 +87,7 @@ func (d *Deployment) PartitionStats(p int) (PartitionStats, bool) {
 		return PartitionStats{}, false
 	}
 	for _, h := range d.Replicas[p] {
-		if h != nil && !h.stopped {
+		if h != nil && !h.Stopped() {
 			return h.SM.Stats(), true
 		}
 	}
