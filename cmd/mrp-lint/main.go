@@ -1,11 +1,14 @@
-// Command mrp-lint runs the determinism and concurrency static-analysis
-// suite (internal/lint) over the module: detmap, wallclock, lockedblock,
-// and orderedresult. CI runs it as
+// Command mrp-lint runs the determinism, concurrency, and allocation
+// static-analysis suite (internal/lint) over the module: detmap,
+// wallclock, lockedblock, orderedresult, hotalloc, lockorder, and
+// snapcodec. CI runs it as
 //
 //	go run ./cmd/mrp-lint ./...
 //
-// and fails the build on any finding. See docs/DETERMINISM.md for the
-// invariants it checks and the //mrp: annotation convention.
+// and fails the build on any finding; the final stderr line
+// ("mrp-lint: N finding(s) ...") is always printed, so CI turns it into
+// a build annotation. See docs/DETERMINISM.md for the invariants it
+// checks and the //mrp: annotation convention.
 //
 // Usage:
 //
@@ -73,8 +76,10 @@ func main() {
 			fmt.Printf("\tsuggested fix: %s (run with -fix)\n", d.Fix.Message)
 		}
 	}
+	// Always print the summary (CI scrapes it into a build annotation).
+	fmt.Fprintf(os.Stderr, "mrp-lint: %d finding(s) from %d analyzer(s) over %d package(s)\n",
+		len(diags), len(analyzers), len(m.Pkgs))
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mrp-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

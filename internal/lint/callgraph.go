@@ -19,14 +19,22 @@ import (
 // least one mrp marker: unmarked layers (transport, registry, netsim) are
 // explicit boundaries whose nondeterminism is confined behind their API.
 type Scope struct {
-	deterministic map[*types.Func]string
-	bodies        map[*types.Func]*ast.FuncDecl
+	inScope map[*types.Func]string
+	bodies  map[*types.Func]*ast.FuncDecl
 }
 
-// Deterministic returns the provenance of fn in the deterministic scope
-// and whether it is in scope.
+// Deterministic returns the provenance of fn in the scope and whether it
+// is in scope. (The name predates the hot-path scope, which reuses the
+// same propagation; Contains is the role-neutral alias.)
 func (s *Scope) Deterministic(fn *types.Func) (string, bool) {
-	why, ok := s.deterministic[fn]
+	why, ok := s.inScope[fn]
+	return why, ok
+}
+
+// Contains returns the provenance of fn in the scope and whether it is in
+// scope.
+func (s *Scope) Contains(fn *types.Func) (string, bool) {
+	why, ok := s.inScope[fn]
 	return why, ok
 }
 
@@ -34,21 +42,77 @@ func (s *Scope) Deterministic(fn *types.Func) (string, bool) {
 // without bodies or outside the module).
 func (s *Scope) Body(fn *types.Func) *ast.FuncDecl { return s.bodies[fn] }
 
+// scopeSpec parameterizes marked-scope propagation: which functions are
+// roots, which stop propagation, and which callees it may descend into.
+type scopeSpec struct {
+	root     func(fn *types.Func, pkg *Package) (string, bool)
+	stop     func(fn *types.Func) bool
+	eligible func(fn *types.Func) bool
+}
+
 // BuildScope computes the deterministic scope of the module.
 func BuildScope(m *Module, mk *Markers) *Scope {
+	return buildScope(m, mk, scopeSpec{
+		root: func(fn *types.Func, pkg *Package) (string, bool) {
+			switch {
+			case mk.det[fn]:
+				return "marked //mrp:deterministic", true
+			case mk.pkgDet[pkg.Types]:
+				return "package " + pkg.Types.Name() + " is marked //mrp:deterministic", true
+			}
+			return "", false
+		},
+		stop: func(fn *types.Func) bool { return mk.nondet[fn] },
+		eligible: func(fn *types.Func) bool {
+			if mk.det[fn] {
+				return true
+			}
+			pkg := fn.Pkg()
+			return pkg != nil && mk.eligible[pkg]
+		},
+	})
+}
+
+// BuildHotScope computes the hot-path scope: roots are //mrp:hotpath
+// functions, //mrp:coldpath stops propagation (rare branches reached from
+// a hot loop pay their allocations outside the steady state), and the
+// graph descends only into packages that opted into the allocation
+// discipline by carrying a hot-family marker.
+func BuildHotScope(m *Module, mk *Markers) *Scope {
+	return buildScope(m, mk, scopeSpec{
+		root: func(fn *types.Func, pkg *Package) (string, bool) {
+			if mk.hot[fn] {
+				return "marked //mrp:hotpath", true
+			}
+			return "", false
+		},
+		stop: func(fn *types.Func) bool { return mk.cold[fn] },
+		eligible: func(fn *types.Func) bool {
+			if mk.hot[fn] {
+				return true
+			}
+			pkg := fn.Pkg()
+			return pkg != nil && mk.hotEligible[pkg]
+		},
+	})
+}
+
+// buildScope runs the worklist propagation shared by the deterministic
+// and hot-path scopes.
+func buildScope(m *Module, mk *Markers, spec scopeSpec) *Scope {
 	s := &Scope{
-		deterministic: make(map[*types.Func]string),
-		bodies:        make(map[*types.Func]*ast.FuncDecl),
+		inScope: make(map[*types.Func]string),
+		bodies:  make(map[*types.Func]*ast.FuncDecl),
 	}
 	var worklist []*types.Func
 	add := func(fn *types.Func, why string) {
-		if fn == nil || mk.nondet[fn] {
+		if fn == nil || spec.stop(fn) {
 			return
 		}
-		if _, ok := s.deterministic[fn]; ok {
+		if _, ok := s.inScope[fn]; ok {
 			return
 		}
-		s.deterministic[fn] = why
+		s.inScope[fn] = why
 		worklist = append(worklist, fn)
 	}
 
@@ -60,11 +124,8 @@ func BuildScope(m *Module, mk *Markers) *Scope {
 		if decl.Body != nil {
 			s.bodies[fn] = decl
 		}
-		switch {
-		case mk.det[fn]:
-			add(fn, "marked //mrp:deterministic")
-		case mk.pkgDet[pkg.Types]:
-			add(fn, "package "+pkg.Types.Name()+" is marked //mrp:deterministic")
+		if why, ok := spec.root(fn, pkg); ok {
+			add(fn, why)
 		}
 	})
 
@@ -88,29 +149,19 @@ func BuildScope(m *Module, mk *Markers) *Scope {
 			}
 			if iface := interfaceRecv(callee); iface != nil {
 				for _, impl := range implementations(concrete, iface, callee) {
-					if eligibleCallee(mk, impl) {
+					if spec.eligible(impl) {
 						add(impl, via+" (via "+relName(callee)+")")
 					}
 				}
 				return true
 			}
-			if eligibleCallee(mk, callee) {
+			if spec.eligible(callee) {
 				add(callee, via)
 			}
 			return true
 		})
 	}
 	return s
-}
-
-// eligibleCallee reports whether propagation may enter fn: its package
-// carries mrp markers, or it is itself explicitly marked.
-func eligibleCallee(mk *Markers, fn *types.Func) bool {
-	if mk.det[fn] {
-		return true
-	}
-	pkg := fn.Pkg()
-	return pkg != nil && mk.eligible[pkg]
 }
 
 // interfaceRecv returns the interface type fn is declared on, or nil for

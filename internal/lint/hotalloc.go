@@ -1,0 +1,465 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags heap allocations inside the hot-path scope — the
+// delivery→execute→reply path in smr, the learner merge in multiring, and
+// the SM apply path in store. PR 9's allocation sweep got the steady state
+// down to fractions of an allocation per applied command; this analyzer is
+// what keeps those B/op wins from silently regressing under later
+// refactors (the pinned benchmarks catch the regression, hotalloc names
+// the line).
+//
+// Scope is declared with "//mrp:hotpath" on a function's doc comment and
+// propagated through the call graph exactly like the deterministic scope
+// (static calls plus interface dispatch via class-hierarchy analysis),
+// descending only into packages that carry at least one hot-family marker.
+// "//mrp:coldpath" stops propagation into rare branches (reconfiguration,
+// admin ops) whose allocations are paid outside the steady state.
+//
+// The analysis is conservative and syntactic — it has no escape analysis,
+// so it flags the allocation shapes that matter on this code base:
+//
+//   - make, new, and &T{...} composite literals (assumed to escape);
+//   - slice/map literals with elements (backing arrays);
+//   - non-pointer-shaped values boxed into interface parameters, results,
+//     or channel sends;
+//   - string<->[]byte conversions, except the compiler-optimized map-read
+//     index m[string(b)] and string comparisons;
+//   - fmt formatting and errors.New calls;
+//   - closures that capture enclosing variables, and method values;
+//   - append growth on nil-initialized locals (no scratch reuse).
+//
+// A deliberate allocation is allowed with an "//mrp:alloc — reason" marker
+// on the line (amortized arena refills, cold-entry scratch creation, state
+// growth that must outlive the call).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations in //mrp:hotpath scope",
+	Run:  runHotAlloc,
+}
+
+// allocHint closes every hotalloc message with the allowance contract.
+const allocHint = `; keep the steady state allocation-free or annotate "//mrp:alloc — reason"`
+
+func runHotAlloc(p *Pass) {
+	p.Module.eachFuncDecl(func(pkg *Package, file *ast.File, decl *ast.FuncDecl) {
+		fn := p.Module.funcFor(decl)
+		if fn == nil || decl.Body == nil {
+			return
+		}
+		why, ok := p.Hot.Contains(fn)
+		if !ok {
+			return
+		}
+		w := &allocWalker{
+			pass:    p,
+			info:    p.Module.Info,
+			decl:    decl,
+			why:     why,
+			parents: parentsOf(decl.Body),
+		}
+		w.collectNilSlices(decl.Body)
+		ast.Inspect(decl.Body, w.visit)
+	})
+}
+
+// parentsOf maps every node under root to its syntactic parent.
+func parentsOf(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+type allocWalker struct {
+	pass    *Pass
+	info    *types.Info
+	decl    *ast.FuncDecl
+	why     string
+	parents map[ast.Node]ast.Node
+	// nilSlices holds slice locals declared without an initializer; the
+	// first append to one is heap growth with no scratch to reuse.
+	nilSlices map[types.Object]bool
+	reported  map[types.Object]bool
+}
+
+func (w *allocWalker) report(pos token.Pos, format string, args ...any) {
+	args = append(args, w.why, allocHint)
+	w.pass.Report(pos, format+" in hot-path scope (%s)%s", args...)
+}
+
+// collectNilSlices records `var x []T` locals and forgets any that are
+// later reassigned from something other than an append to themselves.
+func (w *allocWalker) collectNilSlices(body *ast.BlockStmt) {
+	w.nilSlices = make(map[types.Object]bool)
+	w.reported = make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := w.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					w.nilSlices[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.info.Uses[id]
+			if obj == nil || !w.nilSlices[obj] {
+				continue
+			}
+			if i < len(as.Rhs) && isAppendTo(w.info, as.Rhs[i], obj) {
+				continue
+			}
+			// Reassigned from elsewhere: the append rule no longer owns it
+			// (the new source is checked at its own site).
+			delete(w.nilSlices, obj)
+		}
+		return true
+	})
+}
+
+// isAppendTo reports whether x is append(obj, ...).
+func isAppendTo(info *types.Info, x ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func (w *allocWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.call(n)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				w.report(n.Pos(), "&%s composite literal escapes to the heap", litName(w.info, lit))
+			}
+		}
+	case *ast.CompositeLit:
+		w.composite(n)
+	case *ast.FuncLit:
+		if captured := w.captures(n); captured != "" {
+			w.report(n.Pos(), "closure capturing %s allocates", captured)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+			if call, ok := w.parents[n].(*ast.CallExpr); !ok || call.Fun != n {
+				w.report(n.Pos(), "method value %s allocates", exprString(w.pass.Module.Fset, n))
+			}
+		}
+	case *ast.ReturnStmt:
+		w.returns(n)
+	case *ast.SendStmt:
+		w.send(n)
+	}
+	return true
+}
+
+func (w *allocWalker) call(call *ast.CallExpr) {
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type)
+		return
+	}
+	switch {
+	case isBuiltin(w.info, call, "make"):
+		w.report(call.Pos(), "make(%s) allocates", exprString(w.pass.Module.Fset, call.Args[0]))
+		return
+	case isBuiltin(w.info, call, "new"):
+		w.report(call.Pos(), "new(%s) allocates", exprString(w.pass.Module.Fset, call.Args[0]))
+		return
+	case isBuiltin(w.info, call, "append"):
+		w.append(call)
+		return
+	}
+	callee := calleeOf(w.info, call)
+	if callee != nil && callee.Pkg() != nil {
+		switch path := callee.Pkg().Path(); {
+		case path == "fmt":
+			w.report(call.Pos(), "fmt.%s formats into fresh heap storage", callee.Name())
+			return
+		case path == "errors" && callee.Name() == "New":
+			w.report(call.Pos(), "errors.New allocates; use a package-level sentinel error")
+			return
+		}
+	}
+	w.boxedArgs(call)
+}
+
+// conversion flags string<->byte-slice conversions, allowing the
+// compiler-optimized no-copy contexts: a map-read index m[string(b)] and
+// string comparisons.
+func (w *allocWalker) conversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := w.info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	toString := isStringType(target) && isByteLike(src)
+	toSlice := isByteLike(target) && isStringType(src)
+	if !toString && !toSlice {
+		return
+	}
+	if toString && w.freeStringContext(call) {
+		return
+	}
+	w.report(call.Pos(), "conversion %s copies its bytes", exprString(w.pass.Module.Fset, call))
+}
+
+// freeStringContext reports contexts where the compiler elides the
+// string([]byte) copy: map-read indexes and string comparisons.
+func (w *allocWalker) freeStringContext(call *ast.CallExpr) bool {
+	switch parent := w.parents[call].(type) {
+	case *ast.IndexExpr:
+		if parent.Index != call {
+			return false
+		}
+		if t := w.info.TypeOf(parent.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				// A map *read* with a converted key is copy-free; a map
+				// write stores the key and must copy.
+				if as, ok := w.parents[parent].(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if lhs == ast.Expr(parent) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+		}
+	case *ast.BinaryExpr:
+		switch parent.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return true
+		}
+	case *ast.SwitchStmt:
+		return parent.Tag == ast.Expr(call)
+	}
+	return false
+}
+
+// append flags growth on nil-initialized locals: there is no scratch
+// capacity to reuse, so every call grows on the heap. Appends to
+// parameters, fields, and reslices are assumed to reuse caller-owned
+// capacity (the make/literal that created them is flagged at its site).
+func (w *allocWalker) append(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.info.Uses[id]
+	if obj == nil || !w.nilSlices[obj] || w.reported[obj] {
+		return
+	}
+	w.reported[obj] = true
+	w.report(call.Pos(), "append to nil-initialized local %s grows on the heap", id.Name)
+}
+
+// boxedArgs flags non-pointer-shaped values passed to interface-typed
+// parameters: the conversion boxes the value on the heap.
+func (w *allocWalker) boxedArgs(call *ast.CallExpr) {
+	tv, ok := w.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue // f(xs...): no per-element boxing
+		}
+		w.boxed(arg, pt, "passed as")
+	}
+}
+
+func (w *allocWalker) returns(ret *ast.ReturnStmt) {
+	sig, ok := w.info.TypeOf(w.decl.Name).(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		w.boxed(res, sig.Results().At(i).Type(), "returned as")
+	}
+}
+
+func (w *allocWalker) send(s *ast.SendStmt) {
+	t := w.info.TypeOf(s.Chan)
+	if t == nil {
+		return
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return
+	}
+	w.boxed(s.Value, ch.Elem(), "sent as")
+}
+
+// boxed flags x when placing it into an interface-typed slot allocates.
+func (w *allocWalker) boxed(x ast.Expr, slot types.Type, how string) {
+	if slot == nil {
+		return
+	}
+	if _, ok := slot.Underlying().(*types.Interface); !ok {
+		return
+	}
+	t := w.info.TypeOf(x)
+	if t == nil {
+		return
+	}
+	if tv, ok := w.info.Types[x]; ok && tv.IsNil() {
+		return
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return
+	}
+	if pointerShaped(t) {
+		return
+	}
+	w.report(x.Pos(), "%s %s interface %s boxes the value on the heap",
+		exprString(w.pass.Module.Fset, x), how, types.TypeString(slot, relQualifier))
+}
+
+// captures names one enclosing variable the function literal captures
+// ("" when it captures nothing and is a static, allocation-free closure).
+func (w *allocWalker) captures(lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= w.decl.Pos() && pos < w.decl.End() && (pos < lit.Pos() || pos >= lit.End()) {
+			captured = id.Name
+		}
+		return true
+	})
+	return captured
+}
+
+// composite flags slice and map literals (their backing storage is heap
+// allocated); struct and array value literals live on the stack unless
+// boxed, which the interface checks cover. Literals under & are reported
+// by the unary case; empty slice literals share the runtime's zero base.
+func (w *allocWalker) composite(lit *ast.CompositeLit) {
+	if parent, ok := w.parents[lit].(*ast.UnaryExpr); ok && parent.Op == token.AND {
+		return
+	}
+	if parent, ok := w.parents[lit].(*ast.CompositeLit); ok && parent != nil {
+		// Nested literals are part of the outer literal's storage.
+		return
+	}
+	t := w.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		if len(lit.Elts) > 0 {
+			w.report(lit.Pos(), "%s literal allocates its backing array", litName(w.info, lit))
+		}
+	case *types.Map:
+		w.report(lit.Pos(), "%s literal allocates", litName(w.info, lit))
+	}
+}
+
+// litName renders a composite literal's type for a message.
+func litName(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.TypeOf(lit); t != nil {
+		return types.TypeString(t, relQualifier)
+	}
+	return "composite"
+}
+
+// relQualifier renders package names without their import paths.
+func relQualifier(p *types.Package) string { return p.Name() }
+
+// pointerShaped reports whether values of t fit in one pointer word, so
+// boxing them into an interface stores the pointer directly (no heap
+// copy). Slices, strings, structs, and scalars are not pointer-shaped.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteLike reports whether t is a []byte or []rune (the conversion
+// partners of string).
+func isByteLike(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

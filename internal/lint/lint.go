@@ -47,7 +47,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Module   *Module
 	Markers  *Markers
-	Scope    *Scope
+	// Scope is the deterministic scope (//mrp:deterministic roots).
+	Scope *Scope
+	// Hot is the hot-path scope (//mrp:hotpath roots).
+	Hot *Scope
 
 	diags *[]Diagnostic
 }
@@ -102,17 +105,33 @@ func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...any) {
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetMap, WallClock, LockedBlock, OrderedResult}
+	return []*Analyzer{DetMap, WallClock, LockedBlock, OrderedResult, HotAlloc, LockOrder, SnapCodec}
 }
 
 // Run executes the given analyzers over a loaded module and returns the
-// findings sorted by position.
+// findings sorted by position. Malformed markers (suppressions without a
+// reason or naming unknown analyzers, bad //mrp:codec shapes) are
+// reported under the "nolint" pseudo-analyzer regardless of which
+// analyzers were selected — a suppression that doesn't parse is a hole
+// in the gate, not a style nit.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	markers := CollectMarkers(m)
 	scope := BuildScope(m, markers)
+	hot := BuildHotScope(m, markers)
 	var diags []Diagnostic
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	markers.validate(known, func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "nolint",
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	})
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Module: m, Markers: markers, Scope: scope, diags: &diags}
+		pass := &Pass{Analyzer: a, Module: m, Markers: markers, Scope: scope, Hot: hot, diags: &diags}
 		a.Run(pass)
 	}
 	sort.Slice(diags, func(i, j int) bool {

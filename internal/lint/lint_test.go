@@ -152,7 +152,7 @@ func TestPropagationProvenance(t *testing.T) {
 	mk := CollectMarkers(m)
 	scope := BuildScope(m, mk)
 	got := make(map[string]bool)
-	for fn := range scope.deterministic {
+	for fn := range scope.inScope {
 		got[fn.Pkg().Name()+"."+relName(fn)] = true
 	}
 	for _, want := range []string{"propa.Apply", "propb.*Machine.Execute", "propb.*Machine.stamp"} {
@@ -173,6 +173,123 @@ func keysOf(m map[string]bool) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// TestHotAllocFixture covers every allocation shape hotalloc flags plus
+// its escape hatches: a coldpath stop, a reasoned //mrp:alloc allowance,
+// and the copy-free string contexts.
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{HotAlloc}, "hotalloca")
+}
+
+// TestHotPropFixture proves hot-path scope crosses a package boundary
+// through an interface (CHA), descends only into hot-eligible packages,
+// and stops at //mrp:coldpath.
+func TestHotPropFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{HotAlloc}, "hotpropa", "hotpropb")
+}
+
+// TestLockOrderFixture covers the in-package lock-graph shapes: the
+// opposite-order cycle, same-class nesting, and an ordered submission
+// under a held mutex.
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{LockOrder}, "lockordera")
+}
+
+// TestLockIfaceFixture pins the cross-package interface-dispatch cycle:
+// neither package alone contains one, so the finding exists only because
+// the lock graph follows CHA-resolved calls.
+func TestLockIfaceFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{LockOrder}, "lockifacea", "lockifaceb")
+}
+
+// TestSnapCodecFixture covers the codec contracts: unsorted map ranges
+// reaching an encoder, version-tag groups missing decode arms, guard
+// position sensitivity, closure propagation through static helper
+// calls, and one-sided pairs.
+func TestSnapCodecFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{SnapCodec}, "snapcodeca")
+}
+
+// TestNolintValidation pins suppression validation over the nolinta
+// fixture with direct assertions (a `// want` comment cannot share a
+// line with the marker it would re-parse): missing or empty reasons,
+// unknown analyzer names, nameless nolints, and malformed codec markers
+// are findings — and a failed-validation suppression still mutes, so
+// silence stays silenced but never silent about itself.
+func TestNolintValidation(t *testing.T) {
+	m := loadFixture(t, "nolinta")
+	file := ""
+	for _, pkg := range m.Pkgs {
+		file = m.Fset.Position(pkg.Files[0].Pos()).Filename
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(src), "\n")
+	lineOf := func(sentinel string) int {
+		t.Helper()
+		for i, l := range lines {
+			if strings.Contains(l, sentinel) {
+				return i + 1
+			}
+		}
+		t.Fatalf("sentinel %q not found in %s", sentinel, file)
+		return 0
+	}
+	// emptyReason's marker is a strict prefix of the baseline's, so it is
+	// identified by its line ending in the bare separator.
+	emptyReasonLine := 0
+	for i, l := range lines {
+		if strings.HasSuffix(strings.TrimRight(l, " \t"), "//mrp:nolint wallclock —") {
+			emptyReasonLine = i + 1
+		}
+	}
+	if emptyReasonLine == 0 {
+		t.Fatal("empty-reason marker line not found")
+	}
+
+	diags := Run(m, []*Analyzer{WallClock})
+	type finding struct {
+		line int
+		sub  string
+	}
+	has := func(f finding) bool {
+		for _, d := range diags {
+			if d.Pos.Line == f.line && strings.Contains(d.Message, f.sub) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range []finding{
+		{emptyReasonLine, "suppression has no reason"},
+		{lineOf("because reasons need a separator"), "suppression has no reason"},
+		{lineOf("the analyzer name is a typo"), `unknown analyzer "wallcheck"`},
+		{lineOf("the analyzer name is a typo"), "time.Now reads the wall clock"},
+		{lineOf("a dangling reason with nothing to suppress"), "names no analyzer"},
+		{lineOf("//mrp:codec broken"), "malformed //mrp:codec marker"},
+	} {
+		if !has(f) {
+			t.Errorf("missing finding at %s:%d containing %q; got %v", file, f.line, f.sub, diags)
+		}
+	}
+	// The sanctioned suppression and the muted-but-flagged ones must not
+	// leak wallclock findings; the nameless nolint must not be reported
+	// as missing a reason (its reason is fine, its name list is not).
+	for _, f := range []finding{
+		{lineOf("the sanctioned baseline suppression"), ""},
+		{emptyReasonLine, "wall clock"},
+		{lineOf("because reasons need a separator"), "wall clock"},
+		{lineOf("a dangling reason with nothing to suppress"), "no reason"},
+	} {
+		for _, d := range diags {
+			if d.Pos.Line == f.line && (f.sub == "" || strings.Contains(d.Message, f.sub)) {
+				t.Errorf("unwanted finding at %s:%d: [%s] %s", file, f.line, d.Analyzer, d.Message)
+			}
+		}
+	}
 }
 
 // TestDetMapSuggestedFix pins the mechanical sorted-keys rewrite text.
@@ -215,4 +332,7 @@ func ExampleAnalyzers() {
 	// wallclock
 	// lockedblock
 	// orderedresult
+	// hotalloc
+	// lockorder
+	// snapcodec
 }

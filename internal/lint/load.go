@@ -7,7 +7,9 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -161,6 +163,12 @@ func goFilesIn(dir string, tests bool) ([]string, error) {
 // select packages: "./..." (everything), "./dir/..." (a subtree), or a
 // plain relative directory. Test files are included when tests is set
 // (in-package tests only; external _test packages are always skipped).
+//
+// Non-module imports (the standard library) are resolved from compiled
+// export data when `go list -export -deps` can provide it — CI shares
+// the build cache between the build and lint steps, so this skips
+// re-type-checking the stdlib from source — falling back to the source
+// importer when the go tool or the export data is unavailable.
 func LoadModule(root string, tests bool, patterns ...string) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -174,7 +182,7 @@ func LoadModule(root string, tests bool, patterns ...string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	ld := newLoader(tests)
+	srcs := make(map[string]string, len(dirs))
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -184,14 +192,14 @@ func LoadModule(root string, tests bool, patterns ...string) (*Module, error) {
 		if rel != "." {
 			path = modName + "/" + filepath.ToSlash(rel)
 		}
-		ld.srcs[path] = dir
+		srcs[path] = dir
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	selected := make(map[string]bool)
 	for _, pat := range patterns {
-		if err := selectPattern(selected, ld.srcs, modName, root, pat); err != nil {
+		if err := selectPattern(selected, srcs, modName, root, pat); err != nil {
 			return nil, err
 		}
 	}
@@ -200,23 +208,78 @@ func LoadModule(root string, tests bool, patterns ...string) (*Module, error) {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	m := &Module{Fset: ld.fset, Info: ld.info, byPath: make(map[string]*Package)}
-	for _, p := range paths {
-		pkg, err := ld.load(p, ld.srcs[p])
-		if err != nil {
-			return nil, err
+
+	load := func(std types.Importer) (*Module, error) {
+		ld := newLoader(tests)
+		if std != nil {
+			ld.std = std
 		}
-		m.add(pkg)
-	}
-	// Dependencies pulled in by the selection are part of the module too
-	// (markers may live there); include every loaded module package.
-	for p, pkg := range ld.pkgs {
-		if _, ok := m.byPath[p]; !ok {
+		for p, dir := range srcs {
+			ld.srcs[p] = dir
+		}
+		m := &Module{Fset: ld.fset, Info: ld.info, byPath: make(map[string]*Package)}
+		for _, p := range paths {
+			pkg, err := ld.load(p, ld.srcs[p])
+			if err != nil {
+				return nil, err
+			}
 			m.add(pkg)
 		}
+		// Dependencies pulled in by the selection are part of the module
+		// too (markers may live there); include every loaded module package.
+		for p, pkg := range ld.pkgs {
+			if _, ok := m.byPath[p]; !ok {
+				m.add(pkg)
+			}
+		}
+		sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+		return m, nil
 	}
-	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
-	return m, nil
+
+	// Try export data first and retry from source on any failure: a
+	// stale or partial build cache must degrade, not break the lint.
+	if files := exportFiles(root); files != nil {
+		if m, err := load(exportImporter(files)); err == nil {
+			return m, nil
+		}
+	}
+	return load(nil)
+}
+
+// exportFiles runs one `go list -export -deps ./...` and maps import
+// paths to their compiled export-data files (nil when the go tool, the
+// module, or the cache cannot provide them).
+func exportFiles(root string) map[string]string {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return nil
+	}
+	files := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok || file == "" {
+			continue
+		}
+		files[path] = file
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	return files
+}
+
+// exportImporter resolves imports from compiled export data.
+func exportImporter(files map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := files[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(token.NewFileSet(), "gc", lookup)
 }
 
 func (m *Module) add(pkg *Package) {

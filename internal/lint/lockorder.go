@@ -1,0 +1,580 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module's lock graph and reports cycles — the
+// whole-module deadlock analysis that lockedblock's intra-procedural
+// blocking check cannot do. Locks are identified by class, not instance:
+// a named type's mutex field ("smr.Replica.mu"), a package-level mutex
+// var, or a named type that embeds a mutex. Acquiring lock B while
+// holding lock A adds the edge A→B; edges also follow the cross-package
+// call graph (including interface dispatch via class-hierarchy analysis
+// over every module type), so a function that calls into another package
+// while holding its own lock inherits that package's acquisitions as
+// nested. Any cycle in the graph is an ordering that can deadlock under
+// the right interleaving.
+//
+// Same-class nesting (A→A) is reported too: locking a second instance of
+// the same class while one is held deadlocks unless every path orders
+// the instances identically, which the analyzer cannot verify.
+//
+// The analyzer additionally reports ordered-command submissions made
+// while holding any lock: an //mrp:ordered call blocks on a consensus
+// round-trip, and parking that under a mutex stalls every other path
+// through the lock (and deadlocks outright if the delivery path needs
+// it). Held regions are tracked flow-aware along statement order, the
+// same discipline as lockedblock: a deferred Unlock holds to function
+// exit, `go` statements and function literals run without the caller's
+// locks.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock-order cycles and lock-held ordered submissions",
+	Run:  runLockOrder,
+}
+
+// lockCall is one resolvable call site with the lock set held around it.
+type lockCall struct {
+	callee *types.Func
+	held   map[string]token.Pos
+	pos    token.Pos
+}
+
+// lockSummary is the per-function result of the held-region walk.
+type lockSummary struct {
+	fn *types.Func
+	// acquires maps lock class -> first acquisition site in the function.
+	acquires map[string]token.Pos
+	calls    []lockCall
+}
+
+// lockEdge is one lock-order edge A→B with its provenance.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee carrying the nested acquisition ("" if direct)
+}
+
+func runLockOrder(p *Pass) {
+	lo := &lockOrder{
+		pass:    p,
+		info:    p.Module.Info,
+		byFunc:  make(map[*types.Func]*lockSummary),
+		edges:   make(map[string]map[string]lockEdge),
+		ordered: make(map[*types.Func]bool),
+	}
+	lo.concrete = allNamedTypes(p.Module)
+	p.Module.eachFuncDecl(func(pkg *Package, file *ast.File, decl *ast.FuncDecl) {
+		fn := p.Module.funcFor(decl)
+		if fn == nil || decl.Body == nil {
+			return
+		}
+		s := &lockSummary{fn: fn, acquires: make(map[string]token.Pos)}
+		lo.byFunc[fn] = s
+		lo.order = append(lo.order, s)
+		w := &lockOrderWalker{lo: lo, sum: s}
+		w.stmts(decl.Body.List, make(map[string]token.Pos))
+	})
+	lo.closeOrdered()
+	trans := lo.closeAcquires()
+	lo.callEdges(trans)
+	lo.reportCycles()
+}
+
+type lockOrder struct {
+	pass     *Pass
+	info     *types.Info
+	concrete []types.Type
+	byFunc   map[*types.Func]*lockSummary
+	order    []*lockSummary
+	edges    map[string]map[string]lockEdge
+	// ordered marks functions that are (or transitively make) an
+	// //mrp:ordered submission.
+	ordered map[*types.Func]bool
+}
+
+// addEdge records A→B once (first site wins; the walk order is
+// deterministic, so so is the kept site).
+func (lo *lockOrder) addEdge(e lockEdge) {
+	m := lo.edges[e.from]
+	if m == nil {
+		m = make(map[string]lockEdge)
+		lo.edges[e.from] = m
+	}
+	if _, ok := m[e.to]; !ok {
+		m[e.to] = e
+	}
+}
+
+// closeOrdered propagates //mrp:ordered through the call graph: a
+// function that calls an ordered function anywhere submits ordered
+// commands itself.
+func (lo *lockOrder) closeOrdered() {
+	for _, s := range lo.order {
+		if _, ok := lo.pass.Markers.OrderedArg(s.fn); ok {
+			lo.ordered[s.fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range lo.order {
+			if lo.ordered[s.fn] {
+				continue
+			}
+			for _, c := range s.calls {
+				if _, ok := lo.pass.Markers.OrderedArg(c.callee); ok || lo.ordered[c.callee] {
+					lo.ordered[s.fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// closeAcquires computes the transitive lock acquisitions of every
+// function: its own plus those of everything it can call.
+func (lo *lockOrder) closeAcquires() map[*types.Func]map[string]token.Pos {
+	trans := make(map[*types.Func]map[string]token.Pos, len(lo.order))
+	for _, s := range lo.order {
+		t := make(map[string]token.Pos, len(s.acquires))
+		for id, pos := range s.acquires {
+			t[id] = pos
+		}
+		trans[s.fn] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range lo.order {
+			t := trans[s.fn]
+			for _, c := range s.calls {
+				for id, pos := range trans[c.callee] {
+					if _, ok := t[id]; !ok {
+						t[id] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return trans
+}
+
+// callEdges turns lock-held call sites into graph edges (held lock →
+// every lock the callee transitively acquires) and reports lock-held
+// ordered submissions.
+func (lo *lockOrder) callEdges(trans map[*types.Func]map[string]token.Pos) {
+	for _, s := range lo.order {
+		for _, c := range s.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			heldIDs := sortedLockIDs(c.held)
+			if lo.ordered[c.callee] {
+				at := lo.pass.Module.Fset.Position(c.held[heldIDs[0]])
+				lo.pass.Report(c.pos,
+					"ordered-command submission %s while holding %s (acquired at %s:%d): a consensus round-trip under a mutex stalls every other path through the lock",
+					relName(c.callee), heldIDs[0], at.Filename, at.Line)
+			}
+			acquired := trans[c.callee]
+			if len(acquired) == 0 {
+				continue
+			}
+			for _, to := range sortedLockIDs(acquired) {
+				for _, from := range heldIDs {
+					lo.addEdge(lockEdge{from: from, to: to, pos: c.pos, via: relName(c.callee)})
+				}
+			}
+		}
+	}
+}
+
+// reportCycles finds strongly connected components of the lock graph and
+// reports one representative cycle per component, plus same-class
+// self-edges.
+func (lo *lockOrder) reportCycles() {
+	nodes := make([]string, 0, len(lo.edges))
+	for from := range lo.edges {
+		nodes = append(nodes, from)
+	}
+	sort.Strings(nodes)
+
+	for _, from := range nodes {
+		if e, ok := lo.edges[from][from]; ok {
+			via := ""
+			if e.via != "" {
+				via = " (inside " + e.via + ")"
+			}
+			lo.pass.Report(e.pos,
+				"lock %s acquired%s while an instance of %s is already held: same-class nesting deadlocks unless every path orders the instances identically",
+				from, via, from)
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, start := range nodes {
+		if seen[start] {
+			continue
+		}
+		cycle := lo.findCycle(start)
+		if cycle == nil {
+			continue
+		}
+		for _, n := range cycle {
+			seen[n] = true
+		}
+		lo.reportCycle(cycle)
+	}
+}
+
+// findCycle returns the lexicographically-first simple cycle through
+// start (nil if none), excluding self-edges (reported separately).
+func (lo *lockOrder) findCycle(start string) []string {
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(node string) []string
+	dfs = func(node string) []string {
+		path = append(path, node)
+		onPath[node] = true
+		for _, next := range sortedEdgeTargets(lo.edges[node]) {
+			if next == node {
+				continue
+			}
+			if next == start && len(path) > 1 {
+				return append([]string(nil), path...)
+			}
+			if onPath[next] {
+				continue
+			}
+			if c := dfs(next); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[node] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+// reportCycle renders one cycle with the site of every edge.
+func (lo *lockOrder) reportCycle(cycle []string) {
+	fset := lo.pass.Module.Fset
+	var arrows, sites []string
+	for i, from := range cycle {
+		to := cycle[(i+1)%len(cycle)]
+		arrows = append(arrows, from)
+		e := lo.edges[from][to]
+		at := fset.Position(e.pos)
+		site := fmt.Sprintf("%s → %s at %s:%d", from, to, at.Filename, at.Line)
+		if e.via != "" {
+			site += " via " + e.via
+		}
+		sites = append(sites, site)
+	}
+	arrows = append(arrows, cycle[0])
+	first := lo.edges[cycle[0]][cycle[1%len(cycle)]]
+	lo.pass.Report(first.pos, "lock-order cycle: %s (%s): two goroutines taking these locks in opposite order deadlock",
+		strings.Join(arrows, " → "), strings.Join(sites, "; "))
+}
+
+func sortedLockIDs(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedEdgeTargets(m map[string]lockEdge) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockOrderWalker threads the held-lock set through a function body in
+// statement order (the same flow discipline as lockedblock's walker),
+// recording acquisitions, direct nested edges, and lock-held call sites.
+type lockOrderWalker struct {
+	lo  *lockOrder
+	sum *lockSummary
+}
+
+func (w *lockOrderWalker) stmts(list []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func cloneHeld(h map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *lockOrderWalker) stmt(s ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if id, op, ok := w.lockOp(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				for _, from := range sortedLockIDs(held) {
+					w.lo.addEdge(lockEdge{from: from, to: id, pos: s.Pos()})
+				}
+				if _, ok := w.sum.acquires[id]; !ok {
+					w.sum.acquires[id] = s.Pos()
+				}
+				held[id] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, id)
+			}
+			return held
+		}
+		w.scanCalls(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the remainder of the
+		// function; other deferred calls run at exit and are walked
+		// without the current held set.
+		if _, op, ok := w.lockOp(s.Call); !ok || (op != "Unlock" && op != "RUnlock") {
+			w.scanCalls(s.Call, nil)
+		}
+	case *ast.GoStmt:
+		// Runs on another goroutine without the caller's locks.
+		w.scanCalls(s.Call, nil)
+	case *ast.SendStmt:
+		w.scanCalls(s.Chan, held)
+		w.scanCalls(s.Value, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.scanCalls(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.scanCalls(l, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanCalls(r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.scanCalls(s.Cond, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		held = w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanCalls(s.Cond, held)
+		}
+		w.stmts(s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		w.scanCalls(s.X, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanCalls(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanCalls(v, held)
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+// scanCalls records every resolvable call inside an expression with the
+// current held set. Function literal bodies run later or elsewhere; they
+// are walked with no held locks so their own acquisitions still enter the
+// enclosing function's summary.
+func (w *lockOrderWalker) scanCalls(x ast.Expr, held map[string]token.Pos) {
+	if x == nil {
+		return
+	}
+	var snapshot map[string]token.Pos
+	if len(held) > 0 {
+		snapshot = cloneHeld(held)
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, make(map[string]token.Pos))
+			return false
+		case *ast.CallExpr:
+			w.recordCall(n, snapshot)
+		}
+		return true
+	})
+}
+
+func (w *lockOrderWalker) recordCall(call *ast.CallExpr, held map[string]token.Pos) {
+	callee := calleeOf(w.lo.info, call)
+	if callee == nil {
+		return
+	}
+	if iface := interfaceRecv(callee); iface != nil {
+		for _, impl := range implementations(w.lo.concrete, iface, callee) {
+			w.sum.calls = append(w.sum.calls, lockCall{callee: impl, held: held, pos: call.Pos()})
+		}
+		return
+	}
+	w.sum.calls = append(w.sum.calls, lockCall{callee: callee, held: held, pos: call.Pos()})
+}
+
+// lockOp recognizes Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// (including embedded ones) and returns the canonical lock class.
+func (w *lockOrderWalker) lockOp(x ast.Expr) (id, op string, ok bool) {
+	call, isCall := ast.Unparen(x).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	callee := calleeOf(w.lo.info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	id, ok = w.lo.lockClass(sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return id, name, true
+}
+
+// lockClass canonicalizes the receiver of a lock operation into a lock
+// class: "pkg.Type.field" for a mutex field, "pkg.Type" for a named type
+// embedding a mutex, "pkg.var" for a package-level mutex. Locks it cannot
+// identify (function-local mutexes, anonymous struct fields) are skipped
+// rather than conflated.
+func (lo *lockOrder) lockClass(x ast.Expr) (string, bool) {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := lo.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			owner := namedOf(sel.Recv())
+			if owner == nil {
+				return "", false
+			}
+			return qualifiedName(owner) + "." + sel.Obj().Name(), true
+		}
+		// Package-qualified var (pkg.mu).
+		if v, ok := lo.info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		v, ok := lo.info.Uses[x].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+		// A local whose type is a named lock-bearing struct is still
+		// classed by its type; a bare local sync.Mutex is unidentifiable.
+		if owner := namedOf(v.Type()); owner != nil && owner.Obj().Pkg() != nil && owner.Obj().Pkg().Path() != "sync" {
+			return qualifiedName(owner), true
+		}
+	}
+	// Embedded mutex promoted through a named receiver (x.Lock() where x
+	// is the struct): class by the receiver's named type.
+	if owner := namedOf(lo.info.TypeOf(x)); owner != nil && owner.Obj().Pkg() != nil && owner.Obj().Pkg().Path() != "sync" {
+		return qualifiedName(owner), true
+	}
+	return "", false
+}
+
+// namedOf strips pointers and returns the named type of t (nil if
+// unnamed).
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func qualifiedName(n *types.Named) string {
+	if pkg := n.Obj().Pkg(); pkg != nil {
+		return pkg.Name() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// allNamedTypes collects every named non-interface type of the module —
+// the candidate set for interface resolution across all packages (the
+// lock graph does not stop at marker boundaries; deadlocks don't either).
+func allNamedTypes(m *Module) []types.Type {
+	var out []types.Type
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, tn.Type())
+		}
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,13 +36,39 @@ import (
 //	    its body — nothing else, nowhere else — and flags every site
 //	    beyond the first.
 //
+//	//mrp:hotpath
+//	    On a function's doc comment: the function is a hot-path root —
+//	    it and everything it (statically) calls inside hot-eligible
+//	    packages must not allocate per operation. hotalloc flags heap
+//	    allocations in the propagated scope.
+//
+//	//mrp:coldpath
+//	    On a function's doc comment: stop hot-path propagation here.
+//	    Used for rare branches reached from a hot loop (reconfiguration,
+//	    admin ops, subscription changes) whose allocations are paid
+//	    outside the steady state.
+//
+//	//mrp:codec name encode|decode
+//	    On a function's doc comment: the function is one side of the
+//	    named checkpoint/snapshot codec pair. snapcodec checks encoders
+//	    for unsorted map-sourced output and decoders (plus their static
+//	    helpers) for unguarded wire-length reads and missing version
+//	    arms.
+//
 //	//mrp:nolint analyzer[,analyzer] — reason
 //	    On the offending line, or alone on the line above: suppress the
-//	    named analyzers' findings there. A reason is required.
+//	    named analyzers' findings there. A non-empty reason after the
+//	    "—" separator is mandatory, and every named analyzer must
+//	    exist; malformed markers are themselves findings.
 //
 //	//mrp:orderinsensitive — reason
 //	    Sugar for "//mrp:nolint detmap": asserts a map iteration is
 //	    order-insensitive for a reason the analyzer cannot prove.
+//
+//	//mrp:alloc — reason
+//	    Sugar for "//mrp:nolint hotalloc": allows one deliberate heap
+//	    allocation inside hot-path scope (amortized arena refills,
+//	    cold-entry scratch creation, state growth that must escape).
 const markerPrefix = "//mrp:"
 
 // Markers is the parsed marker set of a module.
@@ -58,24 +85,65 @@ type Markers struct {
 	leaseClock []*types.Func
 	// pkgDet marks packages whose package doc declares //mrp:deterministic.
 	pkgDet map[*types.Package]bool
+	// hot holds explicitly marked hot-path roots; cold holds explicit
+	// hot-path propagation stops.
+	hot  map[*types.Func]bool
+	cold map[*types.Func]bool
+	// codec maps //mrp:codec-marked functions to their codec name/role.
+	codec map[*types.Func]codecMark
 	// eligible marks packages containing at least one mrp marker: the
 	// deterministic call graph only descends into eligible packages, so
 	// unmarked layers (transport, registry) are propagation boundaries.
 	eligible map[*types.Package]bool
+	// hotEligible marks packages carrying at least one hot-family marker
+	// (hotpath, coldpath, alloc): the hot-path call graph only descends
+	// into these, so packages that never opted into the allocation
+	// discipline are boundaries even when they carry determinism markers.
+	hotEligible map[*types.Package]bool
 	// suppress maps analyzer name -> "file:line" keys where findings are
-	// muted by //mrp:nolint (or //mrp:orderinsensitive).
+	// muted by //mrp:nolint (or its sugar forms).
 	suppress map[string]map[string]bool
+	// marks records every suppression marker for validation, and bad
+	// collects malformed non-suppression markers found during parsing.
+	marks []suppressionMark
+	bad   []markerProblem
+}
+
+// codecMark is one side of a named checkpoint codec pair.
+type codecMark struct {
+	name string
+	role string // "encode" or "decode"
+}
+
+// suppressionMark is one //mrp:nolint / //mrp:orderinsensitive /
+// //mrp:alloc comment, kept for Run-level validation.
+type suppressionMark struct {
+	verb   string
+	names  []string
+	reason string
+	hasSep bool
+	pos    token.Position
+}
+
+// markerProblem is a malformed marker detected at parse time.
+type markerProblem struct {
+	pos token.Position
+	msg string
 }
 
 // CollectMarkers parses every marker comment of the module.
 func CollectMarkers(m *Module) *Markers {
 	mk := &Markers{
-		det:      make(map[*types.Func]bool),
-		nondet:   make(map[*types.Func]bool),
-		ordered:  make(map[*types.Func]string),
-		pkgDet:   make(map[*types.Package]bool),
-		eligible: make(map[*types.Package]bool),
-		suppress: make(map[string]map[string]bool),
+		det:         make(map[*types.Func]bool),
+		nondet:      make(map[*types.Func]bool),
+		ordered:     make(map[*types.Func]string),
+		pkgDet:      make(map[*types.Package]bool),
+		hot:         make(map[*types.Func]bool),
+		cold:        make(map[*types.Func]bool),
+		codec:       make(map[*types.Func]codecMark),
+		eligible:    make(map[*types.Package]bool),
+		hotEligible: make(map[*types.Package]bool),
+		suppress:    make(map[string]map[string]bool),
 	}
 	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
@@ -108,17 +176,58 @@ func CollectMarkers(m *Module) *Markers {
 					mk.leaseClock = append(mk.leaseClock, fn)
 					mk.eligible[pkg.Types] = true
 				}
+				if hasMarker(fd.Doc, "hotpath") {
+					mk.hot[fn] = true
+					mk.eligible[pkg.Types] = true
+					mk.hotEligible[pkg.Types] = true
+				}
+				if hasMarker(fd.Doc, "coldpath") {
+					mk.cold[fn] = true
+					mk.eligible[pkg.Types] = true
+					mk.hotEligible[pkg.Types] = true
+				}
+				if hasMarker(fd.Doc, "codec") {
+					mk.collectCodec(m, pkg, fd, fn)
+				}
 			}
-			mk.collectSuppressions(m, file)
+			mk.collectSuppressions(m, pkg, file)
 		}
 	}
 	return mk
 }
 
-// collectSuppressions records //mrp:nolint and //mrp:orderinsensitive
-// comments: they mute the named analyzers on their own line and on the
-// following line (covering both trailing and preceding placement).
-func (mk *Markers) collectSuppressions(m *Module, file *ast.File) {
+// collectCodec records a //mrp:codec marker, validating its shape.
+func (mk *Markers) collectCodec(m *Module, pkg *Package, fd *ast.FuncDecl, fn *types.Func) {
+	args, pos := markerArgs(m, fd.Doc, "codec")
+	if len(args) != 2 || (args[1] != "encode" && args[1] != "decode") {
+		mk.bad = append(mk.bad, markerProblem{pos,
+			`malformed //mrp:codec marker: want "//mrp:codec name encode|decode"`})
+		return
+	}
+	mk.codec[fn] = codecMark{name: args[0], role: args[1]}
+	mk.eligible[pkg.Types] = true
+}
+
+// reasonSep separates a suppression's analyzer list from its mandatory
+// human reason.
+const reasonSep = "—"
+
+// cutReason splits the tail of a suppression marker at the — separator.
+func cutReason(s string) (reason string, hasSep bool) {
+	after, ok := strings.CutPrefix(strings.TrimSpace(s), reasonSep)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(after), true
+}
+
+// collectSuppressions records //mrp:nolint comments and their sugar forms
+// //mrp:orderinsensitive (detmap) and //mrp:alloc (hotalloc): they mute
+// the named analyzers on their own line and on the following line
+// (covering both trailing and preceding placement). Each marker is also
+// recorded verbatim so Run can validate it: the reason after the "—"
+// separator must be non-empty, and every named analyzer must exist.
+func (mk *Markers) collectSuppressions(m *Module, pkg *Package, file *ast.File) {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, markerPrefix)
@@ -127,21 +236,38 @@ func (mk *Markers) collectSuppressions(m *Module, file *ast.File) {
 			}
 			verb, rest, _ := strings.Cut(text, " ")
 			var names []string
+			var reason string
+			var hasSep bool
 			switch verb {
 			case "nolint":
-				args, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
-				names = strings.Split(args, ",")
+				args, tail, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if args == reasonSep {
+					// "//mrp:nolint — reason": no analyzer named; keep the
+					// separator with the tail so the reason still parses and
+					// only the names-no-analyzer finding fires.
+					args, tail = "", reasonSep+" "+tail
+				}
+				for _, name := range strings.Split(args, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						names = append(names, name)
+					}
+				}
+				reason, hasSep = cutReason(tail)
 			case "orderinsensitive":
 				names = []string{"detmap"}
+				reason, hasSep = cutReason(rest)
+			case "alloc":
+				names = []string{"hotalloc"}
+				reason, hasSep = cutReason(rest)
+				mk.hotEligible[pkg.Types] = true
 			default:
 				continue
 			}
 			pos := m.Fset.Position(c.Pos())
+			mk.marks = append(mk.marks, suppressionMark{
+				verb: verb, names: names, reason: reason, hasSep: hasSep, pos: pos,
+			})
 			for _, name := range names {
-				name = strings.TrimSpace(name)
-				if name == "" {
-					continue
-				}
 				set := mk.suppress[name]
 				if set == nil {
 					set = make(map[string]bool)
@@ -152,6 +278,44 @@ func (mk *Markers) collectSuppressions(m *Module, file *ast.File) {
 			}
 		}
 	}
+}
+
+// validate reports malformed markers: suppressions with a missing or
+// empty reason (an empty reason after the separator — e.g. a comment
+// ending in "— " — counts as missing), suppressions naming analyzers
+// that don't exist (which would otherwise silently suppress nothing),
+// nolint markers naming no analyzer at all, and malformed //mrp:codec
+// markers. known holds the full analyzer registry.
+func (mk *Markers) validate(known map[string]bool, report func(pos token.Position, format string, args ...any)) {
+	for _, b := range mk.bad {
+		report(b.pos, "%s", b.msg)
+	}
+	for _, s := range mk.marks {
+		if s.verb == "nolint" && len(s.names) == 0 {
+			report(s.pos, `//mrp:nolint names no analyzer: want "//mrp:nolint analyzer[,analyzer] — reason"`)
+		}
+		if !s.hasSep || s.reason == "" {
+			report(s.pos, "//mrp:%s suppression has no reason: a non-empty reason after the %s separator is mandatory", s.verb, reasonSep)
+		}
+		if s.verb != "nolint" {
+			continue
+		}
+		for _, name := range s.names {
+			if !known[name] {
+				report(s.pos, "//mrp:nolint names unknown analyzer %q (known: %s); it suppresses nothing", name, knownNames(known))
+			}
+		}
+	}
+}
+
+// knownNames renders the analyzer registry for an error message.
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for name := range known {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 func lineKey(file string, line int) string {
@@ -196,6 +360,23 @@ func markerArg(doc *ast.CommentGroup, verb string) (string, bool) {
 	return "", false
 }
 
+// markerArgs returns every whitespace-separated argument of a marker
+// comment within a doc comment group, plus the comment's position.
+func markerArgs(m *Module, doc *ast.CommentGroup, verb string) ([]string, token.Position) {
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, markerPrefix)
+		if !ok {
+			continue
+		}
+		v, rest, _ := strings.Cut(text, " ")
+		if v != verb {
+			continue
+		}
+		return strings.Fields(rest), m.Fset.Position(c.Pos())
+	}
+	return nil, token.Position{}
+}
+
 // LeaseClockSites returns the //mrp:leaseclock-marked functions in
 // collection order.
 func (mk *Markers) LeaseClockSites() []*types.Func {
@@ -207,4 +388,10 @@ func (mk *Markers) LeaseClockSites() []*types.Func {
 func (mk *Markers) OrderedArg(fn *types.Func) (string, bool) {
 	arg, ok := mk.ordered[fn]
 	return arg, ok
+}
+
+// Codec returns the //mrp:codec marker of fn, if any.
+func (mk *Markers) Codec(fn *types.Func) (name, role string, ok bool) {
+	c, ok := mk.codec[fn]
+	return c.name, c.role, ok
 }

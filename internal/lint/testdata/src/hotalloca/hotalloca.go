@@ -1,0 +1,94 @@
+// Package hotalloca exercises every allocation shape the hotalloc
+// analyzer flags inside hot-path scope — builtin allocators, escaping
+// literals, closures and method values, fmt/errors helpers, string
+// copies, nil-slice growth, and interface boxing — plus the three ways
+// out: a //mrp:coldpath stop, a reasoned //mrp:alloc allowance, and the
+// copy-free string contexts the compiler elides.
+package hotalloca
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pair is scratch state for the literal shapes below.
+type Pair struct {
+	K string
+	V int
+}
+
+// Writer mirrors a transport endpoint: its interface-typed parameter
+// slot is what boxes concrete arguments.
+type Writer interface {
+	Write(v interface{})
+}
+
+// sink consumes values so the fixture compiles; assignments to an
+// interface variable are deliberately not an alloc shape.
+var sink interface{}
+
+// index is read with a converted key in the one copy-free index context.
+var index map[string]int
+
+// events is the interface-typed channel of the send-boxing shape.
+var events chan interface{}
+
+// Apply is the marked hot root: every line below is in hot-path scope.
+//
+//mrp:hotpath
+func Apply(w Writer, key string, raw []byte) {
+	buf := make([]byte, 8)      // want "make([]byte) allocates"
+	p := new(Pair)              // want "new(Pair) allocates"
+	q := &Pair{K: key}          // want "&hotalloca.Pair composite literal escapes to the heap"
+	s := []int{1, 2}            // want "[]int literal allocates its backing array"
+	set := map[string]int{}     // want "map[string]int literal allocates"
+	f := func() { sink = key }  // want "closure capturing key allocates"
+	g := w.Write                // want "method value w.Write allocates"
+	sink = fmt.Sprintf("%d", 1) // want "fmt.Sprintf formats into fresh heap storage"
+	sink = errors.New("boom")   // want "errors.New allocates"
+	k := string(raw)            // want "conversion string(raw) copies its bytes"
+	var accum []byte
+	accum = append(accum, raw...) // want "append to nil-initialized local accum grows on the heap"
+	w.Write(len(raw))             // want "passed as interface"
+	events <- len(buf)            // want "sent as interface"
+
+	// Copy-free contexts: a string comparison and a map-read index elide
+	// the conversion copy, so neither line is a finding.
+	if string(raw) == key {
+		sink = index[string(raw)]
+	}
+
+	f()
+	g(nil)
+	sink = boxedReturn(len(accum))
+	_, _, _, _, _ = p, q, s, set, k
+	_ = helper(len(raw))
+	_ = grow()
+	_ = rebuild()
+}
+
+// helper carries no marker of its own: it inherits hot scope
+// transitively from Apply.
+func helper(n int) []int {
+	return make([]int, n) // want "make([]int) allocates"
+}
+
+// boxedReturn returns a concrete int through an interface result, which
+// boxes on every call.
+func boxedReturn(n int) interface{} {
+	return n // want "returned as interface"
+}
+
+// grow demonstrates the sanctioned escape hatch: a trailing //mrp:alloc
+// allowance with a reason mutes the finding on its line.
+func grow() []byte {
+	return make([]byte, 64) //mrp:alloc — fixture: sanctioned amortized scratch growth
+}
+
+// rebuild is checkpoint-shaped work: //mrp:coldpath stops hot-path
+// propagation, so its allocations are free.
+//
+//mrp:coldpath
+func rebuild() map[string]int {
+	return map[string]int{"a": 1}
+}

@@ -1,0 +1,25 @@
+// Package hotpropa exercises hot-path propagation across a package
+// boundary through an interface: the marked root calls Executor.Exec,
+// class hierarchy analysis resolves it to hotpropb.Machine, and the
+// allocation discipline follows the call into that package.
+package hotpropa
+
+import "hotpropb"
+
+// Executor mirrors the replica's state-machine interface.
+type Executor interface {
+	Exec(op []byte) []byte
+}
+
+// New wires the concrete machine in. It is NOT in hot scope, so the
+// escaping composite literal here is free — construction happens once,
+// delivery happens per command.
+func New() Executor { return &hotpropb.Machine{} }
+
+// Deliver is the marked hot root; the interface call below carries the
+// scope into hotpropb.
+//
+//mrp:hotpath
+func Deliver(e Executor, op []byte) []byte {
+	return e.Exec(op)
+}

@@ -1,0 +1,36 @@
+// Package hotpropb is the concrete executor reached from
+// hotpropa.Deliver through the Executor interface. The //mrp:coldpath
+// marker on rare opts the package into the hot-path discipline (making
+// it hot-eligible), so class hierarchy analysis descends into it; Exec
+// itself carries no marker and enters the scope purely via the call
+// graph.
+package hotpropb
+
+// Machine implements hotpropa.Executor.
+type Machine struct {
+	scratch []byte
+}
+
+// Exec enters hot scope via CHA from hotpropa.Deliver.
+func (m *Machine) Exec(op []byte) []byte {
+	out := make([]byte, len(op)) // want "make([]byte) allocates"
+	copy(out, op)
+	return m.tag(out)
+}
+
+// tag is reached transitively (Exec -> tag): the scope follows static
+// calls inside the package too.
+func (m *Machine) tag(b []byte) []byte {
+	var out []byte
+	out = append(out, b...) // want "append to nil-initialized local out grows on the heap"
+	return out
+}
+
+// rare is a reconfiguration-time slow path: //mrp:coldpath makes its
+// allocation free — and opts this package into hot-eligibility in the
+// first place.
+//
+//mrp:coldpath
+func (m *Machine) rare() {
+	m.scratch = make([]byte, 1<<16)
+}

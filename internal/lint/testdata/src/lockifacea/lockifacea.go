@@ -1,0 +1,40 @@
+// Package lockifacea holds Guard.mu across an interface-dispatched
+// flush into lockifaceb, which takes DB.mu — while lockifaceb.DB.Commit
+// holds DB.mu across a Notifier callback that takes Guard.mu. Neither
+// package alone contains a cycle; only class hierarchy analysis over
+// both finds the opposite-order pair.
+package lockifacea
+
+import (
+	"sync"
+
+	"lockifaceb"
+)
+
+// Flusher is satisfied by lockifaceb.DB.
+type Flusher interface {
+	Flush()
+}
+
+// Guard serializes updates and implements lockifaceb.Notifier.
+type Guard struct {
+	mu sync.Mutex
+	f  Flusher
+}
+
+var _ lockifaceb.Notifier = (*Guard)(nil)
+
+// Update holds Guard.mu across the interface-dispatched flush, whose
+// concrete implementation acquires DB.mu.
+func (g *Guard) Update() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.f.Flush() // want "lock-order cycle: lockifacea.Guard.mu → lockifaceb.DB.mu → lockifacea.Guard.mu"
+}
+
+// Notify implements lockifaceb.Notifier by taking the guard lock — the
+// back edge of the cycle when called under DB.mu.
+func (g *Guard) Notify() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package lockifaceb is the flush target: DB.Flush takes DB.mu, and
+// DB.Commit holds it across a callback through the Notifier interface —
+// implemented on the other side by lockifacea.Guard, which takes
+// Guard.mu. See lockifacea for the full cycle.
+package lockifaceb
+
+import "sync"
+
+// Notifier is implemented by lockifacea.Guard.
+type Notifier interface {
+	Notify()
+}
+
+// DB owns the storage lock.
+type DB struct {
+	mu sync.Mutex
+	n  Notifier
+}
+
+// Flush takes DB.mu; reached from lockifacea.Guard.Update through the
+// Flusher interface while Guard.mu is held.
+func (d *DB) Flush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// Commit holds DB.mu across the notifier callback, which acquires
+// Guard.mu on the other side: the opposite order.
+func (d *DB) Commit() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n.Notify()
+}

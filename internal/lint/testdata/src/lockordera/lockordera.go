@@ -1,0 +1,80 @@
+// Package lockordera exercises the lock-order analyzer's in-package
+// shapes: an opposite-order two-lock cycle, same-class nesting, and an
+// ordered-command submission made under a mutex.
+package lockordera
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+)
+
+// abOrder takes muA then muB. The cycle is reported once, at the edge
+// leaving the lexicographically-first lock — this acquisition.
+func abOrder() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want "lock-order cycle: lockordera.muA → lockordera.muB → lockordera.muA"
+	defer muB.Unlock()
+}
+
+// baOrder takes muB then muA: the opposite order that closes the cycle.
+func baOrder() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+// sequential takes the same two locks but never nested: no edge, no
+// finding.
+func sequential() {
+	muA.Lock()
+	muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}
+
+// Shard is a lock-per-shard table: nesting two instances of the same
+// lock class deadlocks unless every path orders them identically.
+type Shard struct {
+	mu   sync.Mutex
+	keys map[string]bool
+}
+
+// merge locks two shards of the same class.
+func merge(a, b *Shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "same-class nesting"
+	defer b.mu.Unlock()
+	for k := range a.keys {
+		b.keys[k] = true
+	}
+}
+
+// Submit mirrors ring submission: an //mrp:ordered call blocks on a
+// consensus round-trip.
+//
+//mrp:ordered
+func Submit(op []byte) error {
+	_ = op
+	return nil
+}
+
+// flush proposes while holding muC: the round-trip stalls every other
+// path through the lock.
+func flush(op []byte) error {
+	muC.Lock()
+	defer muC.Unlock()
+	return Submit(op) // want "ordered-command submission Submit while holding lockordera.muC"
+}
+
+// flushUnlocked proposes outside the critical section: fine.
+func flushUnlocked(op []byte) error {
+	muC.Lock()
+	muC.Unlock()
+	return Submit(op)
+}

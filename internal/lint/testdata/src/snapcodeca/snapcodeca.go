@@ -1,0 +1,155 @@
+// Package snapcodeca exercises the checkpoint-codec analyzer: map
+// iteration order reaching an encoder, version-tag groups with missing
+// decode arms, wire-sourced lengths used before their bounds check
+// (including position sensitivity and propagation through a static
+// helper call), and one-sided codec pairs.
+package snapcodeca
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// The table codec's version tags: the encoder writes tableV2, and the
+// decoder below deliberately forgets the tableV1 arm.
+const (
+	tableV1 = 1
+	tableV2 = 2
+)
+
+// EncodeTable writes the current version tag and then the entries in
+// map iteration order — both findings live here: the missing V1 decode
+// arm reports at this declaration, the unsorted range at its loop.
+//
+//mrp:codec table encode
+func EncodeTable(m map[string]uint32) []byte { // want "no arm for tableV1"
+	out := []byte{tableV2}
+	for k, v := range m { // want "map iteration order reaches the table encoder"
+		out = append(out, k...)
+		out = binary.BigEndian.AppendUint32(out, v)
+	}
+	return out
+}
+
+// DecodeTable only knows the current version: bumping tableV1 to
+// tableV2 without keeping the old arm is exactly the rolling-upgrade
+// break the version check exists for.
+//
+//mrp:codec table decode
+func DecodeTable(b []byte) bool {
+	if len(b) < 1 {
+		return false
+	}
+	return b[0] == tableV2
+}
+
+// EncodeSorted is the clean shape: collect the keys, sort, then encode.
+//
+//mrp:codec sorted encode
+func EncodeSorted(m map[string]uint32) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		out = append(out, k...)
+		out = binary.BigEndian.AppendUint32(out, m[k])
+	}
+	return out
+}
+
+// DecodeSorted validates the wire count against the remaining input
+// before it sizes anything: no finding.
+//
+//mrp:codec sorted decode
+func DecodeSorted(b []byte) []uint32 {
+	if len(b) < 4 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+4*n {
+		return nil
+	}
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, binary.BigEndian.Uint32(b[4+4*i:]))
+	}
+	return out
+}
+
+// EncodeLate writes a count-prefixed list.
+//
+//mrp:codec late encode
+func EncodeLate(vals []uint16) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint16(out, uint16(len(vals)))
+	for _, v := range vals {
+		out = binary.BigEndian.AppendUint16(out, v)
+	}
+	return out
+}
+
+// DecodeLate checks the count — but only AFTER the make it sizes: the
+// guard position matters, not its existence.
+//
+//mrp:codec late decode
+func DecodeLate(b []byte) []uint16 {
+	n := int(binary.BigEndian.Uint16(b))
+	out := make([]uint16, 0, n) // want "before any bounds check in the late decoder"
+	if len(b) < 2+2*n {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, binary.BigEndian.Uint16(b[2+2*i:]))
+	}
+	return out
+}
+
+// EncodeVia writes a count-prefixed list for the propagation case.
+//
+//mrp:codec via encode
+func EncodeVia(vals []uint32) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(vals)))
+	for _, v := range vals {
+		out = binary.BigEndian.AppendUint32(out, v)
+	}
+	return out
+}
+
+// DecodeVia delegates to an unmarked helper: the codec closure follows
+// the static call, so the unguarded make inside it is still a finding.
+//
+//mrp:codec via decode
+func DecodeVia(b []byte) []uint32 {
+	if len(b) < 4 {
+		return nil
+	}
+	return decodeInner(b[4:], int(binary.BigEndian.Uint32(b)))
+}
+
+// decodeInner sizes its output from the wire count it was handed a
+// sibling of — and reads another one itself, unguarded.
+func decodeInner(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	per := int(binary.BigEndian.Uint32(b))
+	out := make([]uint32, per) // want "before any bounds check in the via decoder"
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(b[4+4*i:])
+	}
+	return out
+}
+
+// EncodeOrphan has no decode counterpart: the pairing finding reports
+// at this declaration.
+//
+//mrp:codec orphan encode
+func EncodeOrphan(v uint64) []byte { // want "codec orphan has an encoder but no //mrp:codec orphan decode counterpart"
+	var out []byte
+	return binary.BigEndian.AppendUint64(out, v)
+}

@@ -197,7 +197,10 @@ func (r *Replica) RegisterLeaseClaim(clientID, seq uint64, deadline time.Time) {
 // inside the deterministic scope: everything it writes to r.lease must be
 // a pure function of the delivery stream. The serve window and the
 // silence window are process-local liveness state and deliberately are
-// not — see the package comment.
+// not — see the package comment. Lease commands are rare control traffic,
+// so the hot-path allocation discipline stops here.
+//
+//mrp:coldpath
 func (r *Replica) applyLease(cmd Command) []byte {
 	op := cmd.Op
 	r.mu.Lock()
@@ -390,6 +393,7 @@ func frontierCovers(applied map[msg.RingID]msg.Instance, grant []msg.RingInstanc
 // The grant tuple is already sorted by ring ID (tupleOf), so the encoding
 // is content-deterministic like the rest of the checkpoint.
 
+//mrp:codec lease encode
 func encodeLeaseTable(l leaseTable) []byte {
 	out := make([]byte, 0, 4+8+1+8+2+len(l.grant)*10)
 	out = binary.BigEndian.AppendUint32(out, uint32(l.holder))
@@ -408,6 +412,7 @@ func encodeLeaseTable(l leaseTable) []byte {
 	return out
 }
 
+//mrp:codec lease decode
 func decodeLeaseTable(b []byte) (leaseTable, bool) {
 	var l leaseTable
 	if len(b) < 23 {

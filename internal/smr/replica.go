@@ -122,12 +122,13 @@ type Replica struct {
 	onExecute func(Command, []byte)
 
 	// Apply-path scratch, owned by the execution goroutine: decoded
-	// commands and outgoing replies are built into reused slices, and
-	// reply addresses are interned (clients keep one address for their
-	// whole session), so a steady-state delivery allocates only the
-	// responses it actually sends.
+	// commands and outgoing replies are built into reused slices, reply
+	// addresses are interned (clients keep one address for their whole
+	// session), and response structs come out of a chunked arena, so a
+	// steady-state delivery performs no per-command heap allocation.
 	cmdScratch   []Command
 	replyScratch []routedReply
+	respArena    []msg.Response
 	addrCache    map[string]transport.Addr
 	intern       func([]byte) transport.Addr
 
@@ -221,15 +222,18 @@ const addrCacheCap = 4096
 // internAddr returns a stable string for a decoded reply address without
 // re-allocating it on every delivery. Process-local routing state only:
 // the bytes of the address, which are all that execution observes, are
-// identical on every replica.
+// identical on every replica. Marked hot explicitly: it is reached through
+// the r.intern func value, which the call-graph propagation cannot see.
+//
+//mrp:hotpath
 func (r *Replica) internAddr(b []byte) transport.Addr {
 	if a, ok := r.addrCache[string(b)]; ok { // no-alloc map lookup
 		return a
 	}
 	if len(r.addrCache) >= addrCacheCap {
-		r.addrCache = make(map[string]transport.Addr)
+		r.addrCache = make(map[string]transport.Addr) //mrp:alloc — overflow reset, once per addrCacheCap distinct client addresses
 	}
-	a := transport.Addr(b) // the one copy the cache keeps
+	a := transport.Addr(b) //mrp:alloc — the one copy the cache keeps; every later delivery from this client hits the no-alloc lookup above
 	r.addrCache[string(a)] = a
 	return a
 }
@@ -239,6 +243,27 @@ func (r *Replica) internAddr(b []byte) transport.Addr {
 type routedReply struct {
 	to   transport.Addr
 	resp *msg.Response
+}
+
+// respArenaChunk is how many responses one arena refill provides. At the
+// wire size of a response (~40 bytes + result) a chunk is one ~10 KiB slab
+// amortized over 256 replies.
+const respArenaChunk = 256
+
+// newResponse hands out a response struct from the chunked arena. Sent
+// messages belong to the transport (both transports hold the pointer
+// asynchronously, so a reused struct would race with delivery) — each
+// struct is handed out exactly once and the slab is dropped wholesale when
+// its last response retires, trading a per-reply heap allocation for one
+// amortized slab refill.
+func (r *Replica) newResponse(clientID, seq uint64, result []byte) *msg.Response {
+	if len(r.respArena) == 0 {
+		r.respArena = make([]msg.Response, respArenaChunk) //mrp:alloc — amortized slab refill, one allocation per respArenaChunk replies
+	}
+	resp := &r.respArena[0]
+	r.respArena = r.respArena[1:]
+	resp.ClientID, resp.Seq, resp.Result = clientID, seq, result
+	return resp
 }
 
 // OnExecute registers a hook called after every executed command (used by
@@ -520,9 +545,12 @@ func (r *Replica) StateSnapshot() []byte {
 
 // apply executes one delivery and advances the applied tuple. Every
 // replica of the partition applies the same delivery stream; anything
-// this reaches must be a pure function of that stream.
+// this reaches must be a pure function of that stream. It is also the
+// executor's steady-state loop body: allocations here are per-delivery
+// garbage, so the hot-path scope holds it to the scratch/arena discipline.
 //
 //mrp:deterministic
+//mrp:hotpath
 func (r *Replica) apply(d multiring.Delivery) {
 	if d.Skip {
 		r.mu.Lock()
@@ -635,7 +663,7 @@ func (r *Replica) applyCommand(cmd Command) (transport.Addr, *msg.Response) {
 	if respond && !leaseOp {
 		r.mu.Lock()
 		if r.replySuppressed() {
-			r.holdReplyLocked(cmd.ReplyTo, &msg.Response{ClientID: cmd.ClientID, Seq: cmd.Seq, Result: result})
+			r.holdReplyLocked(cmd.ReplyTo, r.newResponse(cmd.ClientID, cmd.Seq, result))
 			respond = false
 		}
 		r.mu.Unlock()
@@ -643,7 +671,7 @@ func (r *Replica) applyCommand(cmd Command) (transport.Addr, *msg.Response) {
 	if !respond {
 		return "", nil
 	}
-	return cmd.ReplyTo, &msg.Response{ClientID: cmd.ClientID, Seq: cmd.Seq, Result: result}
+	return cmd.ReplyTo, r.newResponse(cmd.ClientID, cmd.Seq, result)
 }
 
 // tupleOf converts a watermark map into a tuple ordered by ring ID

@@ -17,6 +17,7 @@ import (
 // replicated half of the ring lease, which recovers identically on every
 // replica; the process-local serve/silence windows deliberately do not.
 
+//mrp:codec replicastate encode
 func encodeReplicaState(dedup, lease, smState []byte) []byte {
 	out := make([]byte, 0, 4+len(dedup)+4+len(lease)+len(smState))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(dedup)))
@@ -27,6 +28,7 @@ func encodeReplicaState(dedup, lease, smState []byte) []byte {
 	return out
 }
 
+//mrp:codec replicastate decode
 func decodeReplicaState(b []byte) (dedup, lease, smState []byte, err error) {
 	if len(b) < 4 {
 		return nil, nil, nil, ErrBadCommand
@@ -47,6 +49,8 @@ func decodeReplicaState(b []byte) (dedup, lease, smState []byte, err error) {
 // encodeDedup serializes the dedup table in ascending client-ID order:
 // the bytes land in the checkpoint, and replicas compare checkpoints by
 // content, so map iteration order must not leak into the encoding.
+//
+//mrp:codec dedup encode
 func encodeDedup(m map[uint64]clientEntry) []byte {
 	ids := make([]uint64, 0, len(m))
 	for id := range m {
@@ -65,6 +69,7 @@ func encodeDedup(m map[uint64]clientEntry) []byte {
 	return out
 }
 
+//mrp:codec dedup decode
 func decodeDedup(b []byte) map[uint64]clientEntry {
 	m := make(map[uint64]clientEntry)
 	for len(b) >= 28 {

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashPartitionerMatchesFNV pins the inlined FNV-1a hash against
+// hash/fnv: partition assignment decides data placement, so the
+// allocation-free rewrite must produce bit-identical values or every
+// existing deployment's keys would land on the wrong partition.
+func TestHashPartitionerMatchesFNV(t *testing.T) {
+	keys := []string{"", "a", "user:42", "key-with-a-much-longer-suffix-0123456789", "\x00\xff\x80"}
+	for _, n := range []int{1, 2, 7, 64} {
+		p := NewHashPartitioner(n)
+		for _, key := range keys {
+			h := fnv.New32a()
+			_, _ = h.Write([]byte(key))
+			want := int(h.Sum32() % uint32(n))
+			if got := p.PartitionOf(key); got != want {
+				t.Errorf("PartitionOf(%q) with n=%d = %d, want %d (hash/fnv)", key, n, got, want)
+			}
+		}
+	}
+}
+
+// TestTakePartitionerMalformed pins the wire-count guard mrp-lint's
+// snapcodec analyzer demanded: a snapshot-encoded range partitioner whose
+// partition count is zero used to panic (make with capacity n-1 = -1) and
+// a huge count used to pre-allocate before any bounds check. Snapshots
+// arrive over the network (CkptData), so both are one corrupt checkpoint
+// away; the decoder must reject them instead.
+func TestTakePartitionerMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"zero count":       {1, 0, 0, 0, 0},
+		"huge count":       {1, 0xFF, 0xFF, 0xFF, 0xFF},
+		"count over input": {1, 0, 0, 0, 9, 0, 2, 'a', 'b'},
+		"truncated":        {1, 0, 0, 0},
+	}
+	for name, b := range cases {
+		if _, _, ok := takePartitioner(b); ok {
+			t.Errorf("%s: takePartitioner accepted malformed input %v", name, b)
+		}
+	}
+
+	// The guard must not reject a valid encoding: round-trip a real
+	// partitioner through the snapshot codec.
+	rp := NewRangePartitioner([]string{"m"})
+	enc := appendPartitioner(nil, rp)
+	got, rest, ok := takePartitioner(enc)
+	if !ok || len(rest) != 0 {
+		t.Fatalf("round-trip failed: ok=%v rest=%d", ok, len(rest))
+	}
+	if got.N() != rp.N() || got.PartitionOf("a") != rp.PartitionOf("a") || got.PartitionOf("z") != rp.PartitionOf("z") {
+		t.Errorf("round-tripped partitioner differs: %+v vs %+v", got, rp)
+	}
+}

@@ -114,7 +114,9 @@ func takeString(b []byte) (string, []byte, error) {
 	if len(b) < 2+n {
 		return "", nil, errBadOp
 	}
-	return string(b[2 : 2+n]), b[2+n:], nil
+	// The decoded key outlives the op — it is stored in the map or
+	// becomes part of the reply — so the copy is mandatory.
+	return string(b[2 : 2+n]), b[2+n:], nil //mrp:alloc — decoded strings escape into the map and the reply; the copy is the ownership transfer
 }
 
 func takeBytes(b []byte) ([]byte, []byte, error) {
@@ -215,7 +217,7 @@ func decodeOp(b []byte) (op, error) {
 		if n > len(b) {
 			return op{}, errBadOp
 		}
-		o.batch = make([]op, 0, n)
+		o.batch = make([]op, 0, n) //mrp:alloc — a batch op owns its sub-ops for its lifetime; sized exactly, once per batch command
 		for i := 0; i < n; i++ {
 			var raw []byte
 			raw, b, err = takeBytes(b)
@@ -292,7 +294,12 @@ type result struct {
 }
 
 func (r result) encode() []byte {
-	b := []byte{r.status}
+	n := 1 + 2 + 8 + 4 + len(r.value) + 4 + 4
+	for _, e := range r.entries {
+		n += 2 + len(e.Key) + 4 + len(e.Value)
+	}
+	b := make([]byte, 0, n) //mrp:alloc — the encoded reply escapes into the dedup cache and the transport; sized exactly, one allocation per result instead of append growth
+	b = append(b, r.status)
 	b = binary.BigEndian.AppendUint16(b, r.partition)
 	b = binary.BigEndian.AppendUint64(b, r.epoch)
 	b = appendBytes(b, r.value)

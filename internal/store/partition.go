@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 )
 
@@ -37,11 +36,25 @@ func NewHashPartitioner(n int) *HashPartitioner {
 // N implements Partitioner.
 func (p *HashPartitioner) N() int { return p.n }
 
+// fnv1a32 constants (hash/fnv's 32-bit offset basis and prime). The hash
+// is inlined over the string so the per-key ownership check — run for
+// every data command and every scanned entry — neither copies the key to
+// a byte slice nor allocates a hasher. The values are bit-identical to
+// hash/fnv's New32a, so partition assignments (and therefore every
+// existing deployment's data placement) are unchanged.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // PartitionOf implements Partitioner.
 func (p *HashPartitioner) PartitionOf(key string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(p.n))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(p.n))
 }
 
 // PartitionsForRange implements Partitioner: hash partitioning scatters

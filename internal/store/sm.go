@@ -113,9 +113,11 @@ func (s *SM) Warming() bool { return s.warming }
 // (0 when none is in flight; test/inspection helper).
 func (s *SM) Pending() uint64 { return s.pendingEpoch }
 
-// Execute implements smr.StateMachine.
+// Execute implements smr.StateMachine. It runs once per ordered command
+// on the executor goroutine: a hot-path scope root.
 //
 //mrp:deterministic
+//mrp:hotpath
 func (s *SM) Execute(raw []byte) []byte {
 	o, err := decodeOp(raw)
 	if err != nil {
@@ -298,7 +300,7 @@ func (s *SM) scanOwned(from, to string, limit int) []Entry {
 	// merge survivor's half-received chunks, interleave with owned keys —
 	// the limit only applies after filtering.
 	raw := s.data.Scan(from, to, 0)
-	out := make([]Entry, 0, len(raw))
+	out := make([]Entry, 0, len(raw)) //mrp:alloc — reconfiguration-window scans only; the steady-state branch above filters in place
 	for _, e := range raw {
 		p := s.partitioner.PartitionOf(e.Key)
 		if p == s.partition || (s.migrating && p == s.movedPart) {
@@ -367,7 +369,10 @@ func (s *SM) resolveAbort() {
 	s.clearPending()
 }
 
-// applyPrepare dispatches an ordered reconfiguration prepare.
+// applyPrepare dispatches an ordered reconfiguration prepare. Prepares
+// happen once per reconfiguration, not per command: cold path.
+//
+//mrp:coldpath
 func (s *SM) applyPrepare(o op) result {
 	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
 	s.resolveStraggler(o.epoch)
@@ -448,7 +453,10 @@ func (s *SM) applyPrepareSplit(o op) result {
 
 // applyCommit finishes a prepared reconfiguration: the split source drops
 // the moved range, the merge survivor adopts the merged mapping, and the
-// replicas on the ring adopt the new epoch.
+// replicas on the ring adopt the new epoch. Once per reconfiguration:
+// cold path.
+//
+//mrp:coldpath
 func (s *SM) applyCommit(o op) result {
 	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
 	s.resolveStraggler(o.epoch)
@@ -492,7 +500,10 @@ func (s *SM) applyCommit(o op) result {
 // applyAbort rolls a prepared reconfiguration back: the pre-prepare
 // mapping is restored, frozen ranges unfreeze, and half-transferred
 // entries are dropped. A replica with no matching pending state treats the
-// abort as an idempotent duplicate.
+// abort as an idempotent duplicate. Once per failed reconfiguration:
+// cold path.
+//
+//mrp:coldpath
 func (s *SM) applyAbort(o op) result {
 	res := result{status: statusOK, partition: uint16(s.partition), epoch: s.epoch}
 	s.resolveStraggler(o.epoch)
@@ -592,7 +603,11 @@ func appendPartitioner(b []byte, p Partitioner) []byte {
 	return b
 }
 
-// takePartitioner decodes a snapshot-encoded partitioner.
+// takePartitioner decodes a snapshot-encoded partitioner. Snapshots are
+// decoded only on restore and reconfiguration prepare, never per command:
+// cold path.
+//
+//mrp:coldpath
 func takePartitioner(b []byte) (Partitioner, []byte, bool) {
 	if len(b) < 1 {
 		return nil, nil, false
@@ -611,6 +626,14 @@ func takePartitioner(b []byte) (Partitioner, []byte, bool) {
 		}
 		n := int(binary.BigEndian.Uint32(b))
 		b = b[4:]
+		// The wire-sourced count must be validated before it sizes any
+		// allocation: n == 0 would panic on the negative bounds capacity,
+		// and a huge n would pre-allocate gigabytes from one corrupt
+		// checkpoint. The minimum encoding of n partitions is n-1 bound
+		// strings (2-byte length prefix each) plus n 4-byte assignments.
+		if n < 1 || len(b) < 6*n-2 {
+			return nil, nil, false
+		}
 		bounds := make([]string, 0, n-1)
 		for i := 0; i < n-1; i++ {
 			var bound string
@@ -644,6 +667,7 @@ func takePartitioner(b []byte) (Partitioner, []byte, bool) {
 // snapshots of converged replicas remain byte-identical.
 //
 //mrp:deterministic
+//mrp:codec snapshot encode
 func (s *SM) Snapshot() []byte {
 	var b []byte
 	b = append(b, snapshotV4)
@@ -685,6 +709,7 @@ func (s *SM) Snapshot() []byte {
 // Restore implements smr.StateMachine.
 //
 //mrp:deterministic
+//mrp:codec snapshot decode
 func (s *SM) Restore(b []byte) {
 	s.data = NewSortedMap()
 	s.clearPending()

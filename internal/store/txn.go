@@ -45,7 +45,11 @@ func (s *SM) TxnVote(client, seq uint64) (byte, bool) {
 }
 
 // applyTxn executes this partition's half of a cross-partition
-// transaction at its merged delivery position.
+// transaction at its merged delivery position. Cross-partition
+// transactions decode and vote off the single-key fast path; the
+// allocation discipline covers the fast path, so it stops here.
+//
+//mrp:coldpath
 func (s *SM) applyTxn(o op) result {
 	t, err := txn.Decode(o.value)
 	if err != nil {
@@ -247,6 +251,8 @@ func (vt *voteTable) reset() {
 
 // encode appends the history in FIFO order (identical across replicas:
 // appends follow delivery order), keeping snapshots byte-identical.
+//
+//mrp:codec votes encode
 func (vt *voteTable) encode(b []byte) []byte {
 	vt.mu.Lock()
 	defer vt.mu.Unlock()
@@ -259,6 +265,7 @@ func (vt *voteTable) encode(b []byte) []byte {
 	return b
 }
 
+//mrp:codec votes decode
 func (vt *voteTable) decode(b []byte) {
 	vt.mu.Lock()
 	defer vt.mu.Unlock()
